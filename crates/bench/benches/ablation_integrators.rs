@@ -1,0 +1,56 @@
+//! Ablation A1 — integrator choice.
+//!
+//! The paper selects the multi-step Adams–Bashforth formula "due to its
+//! simplicity and accuracy". This ablation compares AB orders 1–4 and RK4 on a
+//! microgenerator-like damped oscillator, measuring runtime at a fixed step.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use harvsim_linalg::DVector;
+use harvsim_ode::explicit::{AdamsBashforth, ExplicitIntegrator, ForwardEuler, RungeKutta4};
+use harvsim_ode::problem::FnOdeSystem;
+
+fn oscillator() -> FnOdeSystem<impl Fn(f64, &DVector, &mut DVector)> {
+    let omega = 2.0 * std::f64::consts::PI * 70.0;
+    let zeta = 0.01;
+    FnOdeSystem::new(2, move |t, x: &DVector, dx: &mut DVector| {
+        dx[0] = x[1];
+        dx[1] = -omega * omega * x[0] - 2.0 * zeta * omega * x[1] + 0.6 * (omega * t).sin();
+    })
+}
+
+fn bench_integrators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_integrators");
+    group.sample_size(10);
+    let x0 = DVector::from_slice(&[0.0, 0.0]);
+    let span = 0.5;
+    let step = 2e-5;
+
+    group.bench_function("forward_euler", |b| {
+        b.iter(|| {
+            ForwardEuler::new()
+                .integrate(&oscillator(), &x0, 0.0, span, step)
+                .expect("integration succeeds")
+        });
+    });
+    for order in 1..=4usize {
+        group.bench_function(format!("adams_bashforth_{order}"), |b| {
+            b.iter(|| {
+                AdamsBashforth::new(order)
+                    .expect("valid order")
+                    .integrate(&oscillator(), &x0, 0.0, span, step)
+                    .expect("integration succeeds")
+            });
+        });
+    }
+    group.bench_function("runge_kutta_4", |b| {
+        b.iter(|| {
+            RungeKutta4::new()
+                .integrate(&oscillator(), &x0, 0.0, span, step)
+                .expect("integration succeeds")
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_integrators);
+criterion_main!(benches);

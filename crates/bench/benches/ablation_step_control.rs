@@ -1,0 +1,49 @@
+//! Ablation A2 — stability-limited step selection.
+//!
+//! The paper enforces the Eq. 7 stability condition by keeping the point
+//! total-step matrix diagonally dominant; the exact alternative is a spectral
+//! radius (eigenvalue) computation. This ablation measures the cost of both
+//! rules on the assembled 11-state harvester matrix.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use harvsim_blocks::HarvesterParameters;
+use harvsim_core::assembly::AnalogueSystem;
+use harvsim_core::TunableHarvester;
+use harvsim_linalg::DVector;
+use harvsim_ode::stability::{max_stable_step, StabilityRule};
+
+fn bench_step_control(c: &mut Criterion) {
+    let harvester = TunableHarvester::with_constant_excitation(
+        HarvesterParameters::practical_device(),
+        70.0,
+    )
+    .expect("harvester builds");
+    let x = harvester.initial_state(2.5).expect("initial state");
+    let y_guess = DVector::zeros(harvester.net_count());
+    let lin = harvester.linearise_global(0.0, &x, &y_guess).expect("linearisation");
+    let a_total = lin.total_step_matrix().expect("total-step matrix");
+
+    let mut group = c.benchmark_group("ablation_step_control");
+    group.bench_function("diagonal_dominance_rule", |b| {
+        b.iter(|| {
+            max_stable_step(&a_total, StabilityRule::DiagonalDominance { safety: 0.8 })
+                .expect("rule evaluates")
+        });
+    });
+    group.bench_function("spectral_radius_rule", |b| {
+        b.iter(|| {
+            max_stable_step(&a_total, StabilityRule::SpectralRadius { safety: 0.8 })
+                .expect("rule evaluates")
+        });
+    });
+    group.bench_function("assemble_and_eliminate", |b| {
+        b.iter(|| {
+            let lin = harvester.linearise_global(0.0, &x, &y_guess).expect("linearisation");
+            lin.solve_terminals(&x).expect("terminal elimination")
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_step_control);
+criterion_main!(benches);

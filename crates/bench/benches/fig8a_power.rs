@@ -1,0 +1,35 @@
+//! Fig. 8(a) — generator output power during the 1 Hz tuning process.
+//!
+//! Benchmarks the full scenario simulation plus the power post-processing that
+//! produces the figure's waveform and RMS numbers.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use harvsim_bench::scenario1;
+use harvsim_core::measurement;
+
+fn bench_fig8a(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8a_power_waveform");
+    group.sample_size(10);
+
+    group.bench_function("scenario1_power_report", |b| {
+        let scenario = scenario1(1.0);
+        b.iter(|| {
+            let run = scenario.run().expect("scenario run succeeds");
+            measurement::power_report(&run).expect("power report")
+        });
+    });
+
+    // Post-processing alone, on a pre-computed run.
+    let run = scenario1(1.0).run().expect("scenario run succeeds");
+    group.bench_function("power_postprocessing_only", |b| {
+        b.iter(|| {
+            let waveform = measurement::output_power_waveform(&run);
+            let report = measurement::power_report(&run).expect("power report");
+            (waveform.len(), report.rms_before_uw)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig8a);
+criterion_main!(benches);

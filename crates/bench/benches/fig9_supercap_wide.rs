@@ -1,0 +1,25 @@
+//! Fig. 9 — supercapacitor voltage for the wide (14 Hz) tuning scenario,
+//! simulation vs the experimental surrogate.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use harvsim_bench::scenario2;
+use harvsim_core::measurement;
+
+fn bench_fig9(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9_supercap_voltage_wide");
+    group.sample_size(10);
+
+    group.bench_function("scenario2_sim_vs_surrogate", |b| {
+        let scenario = scenario2(1.5);
+        b.iter(|| {
+            let simulation = scenario.run().expect("simulation run");
+            let surrogate = scenario.run_experimental_surrogate().expect("surrogate run");
+            measurement::compare_supercap_voltage(&simulation, &surrogate, 200)
+                .expect("waveform comparison")
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig9);
+criterion_main!(benches);

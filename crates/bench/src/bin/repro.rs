@@ -1,0 +1,196 @@
+//! Regenerates the paper's tables and figures in one run and prints them in a
+//! paper-style layout. This is the program whose output is recorded in
+//! `EXPERIMENTS.md`.
+//!
+//! ```bash
+//! cargo run --release -p harvsim-bench --bin repro            # all experiments
+//! cargo run --release -p harvsim-bench --bin repro -- table2  # one experiment
+//! cargo run --release -p harvsim-bench --bin repro -- --long  # longer spans
+//! ```
+
+use harvsim_bench::{scenario1, scenario2, seconds};
+use harvsim_core::measurement;
+use harvsim_core::scenario::ScenarioConfig;
+use harvsim_core::{BaselineOptions, CoreError, SimulationEngine, SpeedComparison};
+
+fn main() -> Result<(), CoreError> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let long = args.iter().any(|arg| arg == "--long");
+    let wanted = |name: &str| {
+        args.iter().all(|arg| arg.starts_with("--")) || args.iter().any(|arg| arg == name)
+    };
+
+    if wanted("table1") {
+        table1(long)?;
+    }
+    if wanted("table2") {
+        table2(long)?;
+    }
+    if wanted("fig8a") {
+        fig8a(long)?;
+    }
+    if wanted("fig8b") {
+        fig8b(long)?;
+    }
+    if wanted("fig9") {
+        fig9(long)?;
+    }
+    Ok(())
+}
+
+/// Table I: CPU time to simulate the supercapacitor-charging curve with
+/// Newton–Raphson-based simulator configurations versus the proposed engine.
+/// The three commercial tools are represented by three baseline configurations
+/// that differ the way the tools do: integration formula and step policy.
+fn table1(long: bool) -> Result<(), CoreError> {
+    let span = if long { 20.0 } else { 5.0 };
+    println!("== Table I: CPU times of different simulation environments ==");
+    println!("   (supercapacitor charging, {span} s simulated span)\n");
+    println!("{:<34} {:>14} {:>12}", "simulator stand-in", "CPU time [s]", "steps");
+
+    let mut scenario = scenario1(span);
+    // Pure charging: keep the controller asleep so only the analogue part runs.
+    scenario.controller.energy_threshold_v = 10.0;
+
+    let baselines = [
+        ("VHDL-AMS-style (trapezoidal + NR)", BaselineOptions {
+            method: harvsim_core::baseline::BaselineMethod::Trapezoidal,
+            step: 5e-5,
+            ..Default::default()
+        }),
+        ("PSPICE-style (backward Euler + NR)", BaselineOptions {
+            method: harvsim_core::baseline::BaselineMethod::BackwardEuler,
+            step: 2.5e-5,
+            ..Default::default()
+        }),
+        ("SystemC-A-style (trapezoidal + NR, tight tol)", BaselineOptions {
+            method: harvsim_core::baseline::BaselineMethod::Trapezoidal,
+            step: 5e-5,
+            newton_tolerance: 1e-11,
+            ..Default::default()
+        }),
+    ];
+    for (label, options) in baselines {
+        let run = scenario.clone().with_engine(SimulationEngine::NewtonRaphson(options)).run()?;
+        let stats = run.result.engine_stats.baseline;
+        println!("{:<34} {:>14} {:>12}", label, seconds(stats.cpu_time), stats.steps);
+    }
+    let run = scenario.clone().run()?;
+    let stats = run.result.engine_stats.state_space;
+    println!(
+        "{:<34} {:>14} {:>12}",
+        "proposed linearised state-space",
+        seconds(stats.cpu_time),
+        stats.steps
+    );
+    println!("\n(paper, P4 2 GHz: 4h24m VHDL-AMS, 9h48m PSPICE, 6h40m SystemC-A for a full charge)\n");
+    Ok(())
+}
+
+/// Table II: CPU times of the existing (Newton–Raphson) and proposed
+/// (Adams–Bashforth) techniques for the two tuning scenarios.
+fn table2(long: bool) -> Result<(), CoreError> {
+    let (d1, d2) = if long { (20.0, 30.0) } else { (5.0, 8.0) };
+    println!("== Table II: CPU times of existing and proposed simulation techniques ==\n");
+    println!(
+        "{:<12} {:>18} {:>18} {:>10} {:>14}",
+        "scenario", "Newton-Raphson [s]", "state-space [s]", "speed-up", "max dev [V]"
+    );
+    let comparison = SpeedComparison::with_defaults();
+    for (label, scenario) in [("scenario1", scenario1(d1)), ("scenario2", scenario2(d2))] {
+        let report = comparison.run(&scenario)?;
+        println!(
+            "{:<12} {:>18} {:>18} {:>9.1}x {:>14.4}",
+            label,
+            seconds(report.baseline_cpu),
+            seconds(report.proposed_cpu),
+            report.speedup(),
+            report.accuracy.max_deviation
+        );
+    }
+    println!("\n(paper: scenario 1 — 2185 s vs 20.3 s; scenario 2 — 7 h vs 228 s)\n");
+    Ok(())
+}
+
+/// Fig. 8(a): generator output power during the 1 Hz tuning process.
+fn fig8a(long: bool) -> Result<(), CoreError> {
+    let scenario = scenario_for_figures(scenario1(if long { 20.0 } else { 8.0 }));
+    println!("== Fig. 8(a): output power from the microgenerator (1 Hz tuning) ==\n");
+    let run = scenario.run()?;
+    let report = measurement::power_report(&run)?;
+    println!("RMS power tuned at 70 Hz: {:8.1} uW   (paper: 118 uW)", report.rms_before_uw);
+    println!("RMS power tuned at 71 Hz: {:8.1} uW   (paper: 117 uW, measured 116 uW)", report.rms_after_uw);
+    println!("minimum power while detuned: {:5.1} uW (power drops then recovers after tuning)", report.dip_uw);
+    print_series(
+        "cycle-averaged generator power [uW]",
+        &averaged_power_series(&run, 40),
+    );
+    Ok(())
+}
+
+/// Fig. 8(b): supercapacitor voltage, simulation vs experimental surrogate,
+/// during the 1 Hz tuning scenario.
+fn fig8b(long: bool) -> Result<(), CoreError> {
+    figure_voltage("Fig. 8(b)", scenario_for_figures(scenario1(if long { 20.0 } else { 8.0 })))
+}
+
+/// Fig. 9: supercapacitor voltage for the 14 Hz tuning scenario.
+fn fig9(long: bool) -> Result<(), CoreError> {
+    figure_voltage("Fig. 9", scenario_for_figures(scenario2(if long { 30.0 } else { 12.0 })))
+}
+
+fn scenario_for_figures(mut scenario: ScenarioConfig) -> ScenarioConfig {
+    scenario.frequency_step_time_s = (scenario.duration_s * 0.25).max(0.5);
+    scenario
+}
+
+fn figure_voltage(label: &str, scenario: ScenarioConfig) -> Result<(), CoreError> {
+    println!("== {label}: supercapacitor voltage, simulation vs experiment ==\n");
+    let simulation = scenario.run()?;
+    let surrogate = scenario.run_experimental_surrogate()?;
+    let comparison = measurement::compare_supercap_voltage(&simulation, &surrogate, 400)?;
+    println!(
+        "max |simulation - surrogate| = {:.3} V, rms = {:.3} V over {:.1} s",
+        comparison.max_deviation, comparison.rms_deviation, comparison.compared_span_s
+    );
+    let sim = measurement::supercap_voltage_waveform(&simulation);
+    let sur = measurement::supercap_voltage_waveform(&surrogate);
+    println!("\n{:>8} {:>14} {:>22}", "t [s]", "simulated [V]", "surrogate measured [V]");
+    let stride = (sim.len() / 20).max(1);
+    for (a, b) in sim.iter().zip(sur.iter()).step_by(stride) {
+        println!("{:>8.2} {:>14.4} {:>22.4}", a.0, a.1, b.1);
+    }
+    println!();
+    Ok(())
+}
+
+/// Cycle-averaged generator power series (window ≈ `windows` samples).
+fn averaged_power_series(
+    run: &harvsim_core::scenario::ScenarioResult,
+    windows: usize,
+) -> Vec<(f64, f64)> {
+    let power = measurement::output_power_waveform(run);
+    if power.is_empty() {
+        return Vec::new();
+    }
+    let chunk = (power.len() / windows).max(1);
+    power
+        .chunks(chunk)
+        .map(|chunk_samples| {
+            let t = chunk_samples[chunk_samples.len() / 2].0;
+            let mean =
+                chunk_samples.iter().map(|(_, p)| *p).sum::<f64>() / chunk_samples.len() as f64;
+            (t, mean * 1e6)
+        })
+        .collect()
+}
+
+fn print_series(label: &str, series: &[(f64, f64)]) {
+    println!("\n{label}:");
+    let max = series.iter().fold(1e-12_f64, |acc, (_, v)| acc.max(*v));
+    for (t, v) in series {
+        let bars = ((v / max) * 50.0).max(0.0) as usize;
+        println!("  t={t:6.2}s {v:8.1}  |{}", "#".repeat(bars));
+    }
+    println!();
+}

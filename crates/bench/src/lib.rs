@@ -1,0 +1,56 @@
+//! # harvsim-bench
+//!
+//! Benchmark harness that regenerates every table and figure of the paper's
+//! evaluation (Section IV) plus the ablation studies listed in DESIGN.md:
+//!
+//! * Criterion micro/meso benchmarks live in `benches/` (one file per
+//!   experiment).
+//! * The `repro` binary (`cargo run --release -p harvsim-bench --bin repro`)
+//!   runs the full experiments once and prints paper-style tables; its output
+//!   is the source of the numbers recorded in `EXPERIMENTS.md`.
+//!
+//! Shared experiment plumbing (scenario construction and result formatting)
+//! lives in this library so the benches and the binary stay consistent.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use harvsim_core::scenario::ScenarioConfig;
+
+/// Scenario 1 (70 → 71 Hz) trimmed to `duration_s` seconds for benchmarking.
+pub fn scenario1(duration_s: f64) -> ScenarioConfig {
+    let mut scenario = ScenarioConfig::scenario1();
+    scenario.duration_s = duration_s;
+    scenario.frequency_step_time_s = (duration_s * 0.2).max(0.05);
+    scenario
+}
+
+/// Scenario 2 (70 → 84 Hz) trimmed to `duration_s` seconds for benchmarking.
+pub fn scenario2(duration_s: f64) -> ScenarioConfig {
+    let mut scenario = ScenarioConfig::scenario2();
+    scenario.duration_s = duration_s;
+    scenario.frequency_step_time_s = (duration_s * 0.2).max(0.05);
+    scenario.initial_supercap_voltage = 2.6;
+    scenario
+}
+
+/// Formats a duration as seconds with millisecond resolution.
+pub fn seconds(duration: std::time::Duration) -> String {
+    format!("{:.3}", duration.as_secs_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenario_helpers_scale_the_span() {
+        let s1 = scenario1(2.0);
+        assert_eq!(s1.duration_s, 2.0);
+        assert!(s1.frequency_step_time_s < 2.0);
+        let s2 = scenario2(3.0);
+        assert_eq!(s2.duration_s, 3.0);
+        assert_eq!(s2.scenario.frequency_shift_hz(), 14.0);
+        assert_eq!(seconds(std::time::Duration::from_millis(1500)), "1.500");
+    }
+}

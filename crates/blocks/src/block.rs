@@ -1,0 +1,237 @@
+//! The state-space block abstraction (Fig. 3 / Eqs. 1–2 of the paper).
+//!
+//! Each analogue component block is described locally by
+//!
+//! ```text
+//! ẋ_b = A_b·x_b + B_b·y_b + e_b          (state equations)
+//! 0   = C_b·x_b + D_b·y_b + g_b          (algebraic / terminal constraints)
+//! ```
+//!
+//! where `x_b` are the block's state variables (energy-storage quantities:
+//! displacement, velocity, inductor current, capacitor voltages) and `y_b` are
+//! the terminal variables it shares with its neighbours (port voltages and
+//! currents). For nonlinear blocks the matrices are the Jacobians of the
+//! block's equations at the current operating point — the *local
+//! linearisation* of Eq. 2 — and the affine terms `e_b`, `g_b` absorb the
+//! excitations and the piecewise-linear companion sources.
+//!
+//! The assembler in `harvsim-core` stacks the per-block matrices into the
+//! global system of Eq. 2, eliminates the terminal variables by solving the
+//! algebraic part (Eq. 4) and hands the resulting explicit ODE to the
+//! Adams–Bashforth march-in-time loop (Eq. 5).
+
+use std::fmt;
+
+use harvsim_linalg::{DMatrix, DVector};
+
+/// Errors produced while constructing or validating block models.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum BlockError {
+    /// A physical parameter was outside its valid range.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+        /// Human-readable constraint, e.g. "must be positive".
+        constraint: &'static str,
+    },
+    /// A linearisation was requested at an inconsistent state/terminal size.
+    DimensionMismatch {
+        /// Name of the block reporting the problem.
+        block: String,
+        /// Expected (state, terminal) dimensions.
+        expected: (usize, usize),
+        /// Provided (state, terminal) dimensions.
+        provided: (usize, usize),
+    },
+}
+
+impl fmt::Display for BlockError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BlockError::InvalidParameter { name, value, constraint } => {
+                write!(f, "invalid parameter {name} = {value}: {constraint}")
+            }
+            BlockError::DimensionMismatch { block, expected, provided } => write!(
+                f,
+                "block {block}: expected {} states / {} terminals, got {} / {}",
+                expected.0, expected.1, provided.0, provided.1
+            ),
+        }
+    }
+}
+
+impl std::error::Error for BlockError {}
+
+/// The local linearisation of a block at one time point (the per-block slice of
+/// the paper's Eq. 2).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LocalLinearisation {
+    /// `∂f_x/∂x` — state-to-state Jacobian (`n × n`).
+    pub a: DMatrix,
+    /// `∂f_x/∂y` — terminal-to-state Jacobian (`n × m`).
+    pub b: DMatrix,
+    /// Affine term of the state equations (excitations plus companion-model
+    /// current sources), length `n`.
+    pub e: DVector,
+    /// `∂f_y/∂x` — state part of the algebraic constraints (`k × n`).
+    pub c: DMatrix,
+    /// `∂f_y/∂y` — terminal part of the algebraic constraints (`k × m`).
+    pub d: DMatrix,
+    /// Affine term of the algebraic constraints, length `k`.
+    pub g: DVector,
+}
+
+impl LocalLinearisation {
+    /// Number of state variables described by this linearisation.
+    pub fn state_count(&self) -> usize {
+        self.a.rows()
+    }
+
+    /// Number of terminal variables referenced by this linearisation.
+    pub fn terminal_count(&self) -> usize {
+        self.b.cols()
+    }
+
+    /// Number of algebraic constraint rows contributed by the block.
+    pub fn constraint_count(&self) -> usize {
+        self.c.rows()
+    }
+
+    /// Checks that all matrix/vector dimensions are mutually consistent.
+    pub fn is_consistent(&self) -> bool {
+        let n = self.a.rows();
+        let m = self.b.cols();
+        let k = self.c.rows();
+        self.a.cols() == n
+            && self.b.rows() == n
+            && self.e.len() == n
+            && self.c.cols() == n
+            && self.d.rows() == k
+            && self.d.cols() == m
+            && self.g.len() == k
+    }
+
+    /// Evaluates the state derivative `ẋ = A·x + B·y + e` for given local state
+    /// and terminal values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x`/`y` do not match the linearisation dimensions.
+    pub fn state_derivative(&self, x: &DVector, y: &DVector) -> DVector {
+        let mut dx = self.a.mul_vector(x);
+        dx += &self.b.mul_vector(y);
+        dx += &self.e;
+        dx
+    }
+
+    /// Evaluates the constraint residual `C·x + D·y + g` (zero when satisfied).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x`/`y` do not match the linearisation dimensions.
+    pub fn constraint_residual(&self, x: &DVector, y: &DVector) -> DVector {
+        let mut r = self.c.mul_vector(x);
+        r += &self.d.mul_vector(y);
+        r += &self.g;
+        r
+    }
+}
+
+/// An analogue component block described by local state equations and terminal
+/// variables, ready for composition into the complete harvester model.
+pub trait StateSpaceBlock {
+    /// Short, unique, human-readable block name (used in diagnostics).
+    fn name(&self) -> &str;
+
+    /// Number of local state variables.
+    fn state_count(&self) -> usize;
+
+    /// Number of terminal variables the block exposes.
+    fn terminal_count(&self) -> usize;
+
+    /// Number of algebraic constraint equations the block contributes. The
+    /// assembled system is well-posed when the constraint count over all blocks
+    /// equals the number of distinct terminal variables.
+    fn constraint_count(&self) -> usize;
+
+    /// Names of the state variables, in order (for waveform labelling).
+    fn state_names(&self) -> Vec<String>;
+
+    /// Names of the terminal variables, in order. The assembler connects blocks
+    /// by mapping these local terminals onto shared global nets.
+    fn terminal_names(&self) -> Vec<String>;
+
+    /// Initial values of the state variables at `t = 0`.
+    fn initial_state(&self) -> DVector;
+
+    /// Local linearisation (Eq. 2) at time `t`, local state `x` and terminal
+    /// values `y`.
+    ///
+    /// Implementations must return a consistent set of matrices (see
+    /// [`LocalLinearisation::is_consistent`]); `x.len()` equals
+    /// [`StateSpaceBlock::state_count`] and `y.len()` equals
+    /// [`StateSpaceBlock::terminal_count`].
+    fn linearise(&self, t: f64, x: &DVector, y: &DVector) -> LocalLinearisation;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_linearisation() -> LocalLinearisation {
+        LocalLinearisation {
+            a: DMatrix::from_rows(&[&[-1.0, 0.0], &[0.0, -2.0]]).unwrap(),
+            b: DMatrix::from_rows(&[&[1.0], &[0.0]]).unwrap(),
+            e: DVector::from_slice(&[0.5, 0.0]),
+            c: DMatrix::from_rows(&[&[1.0, 0.0]]).unwrap(),
+            d: DMatrix::from_rows(&[&[-1.0]]).unwrap(),
+            g: DVector::from_slice(&[0.0]),
+        }
+    }
+
+    #[test]
+    fn dimension_accessors_and_consistency() {
+        let lin = sample_linearisation();
+        assert_eq!(lin.state_count(), 2);
+        assert_eq!(lin.terminal_count(), 1);
+        assert_eq!(lin.constraint_count(), 1);
+        assert!(lin.is_consistent());
+
+        let mut broken = sample_linearisation();
+        broken.e = DVector::zeros(3);
+        assert!(!broken.is_consistent());
+    }
+
+    #[test]
+    fn derivative_and_residual_evaluation() {
+        let lin = sample_linearisation();
+        let x = DVector::from_slice(&[2.0, 1.0]);
+        let y = DVector::from_slice(&[3.0]);
+        let dx = lin.state_derivative(&x, &y);
+        // dx0 = -1*2 + 1*3 + 0.5 = 1.5 ; dx1 = -2*1 + 0 + 0 = -2
+        assert!((dx[0] - 1.5).abs() < 1e-14);
+        assert!((dx[1] + 2.0).abs() < 1e-14);
+        let r = lin.constraint_residual(&x, &y);
+        // r = x0 - y0 = -1
+        assert!((r[0] + 1.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn error_display() {
+        let err = BlockError::InvalidParameter {
+            name: "proof_mass",
+            value: -1.0,
+            constraint: "must be positive",
+        };
+        assert!(err.to_string().contains("proof_mass"));
+        let err = BlockError::DimensionMismatch {
+            block: "microgenerator".into(),
+            expected: (3, 2),
+            provided: (2, 2),
+        };
+        assert!(err.to_string().contains("microgenerator"));
+    }
+}

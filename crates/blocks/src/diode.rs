@@ -1,0 +1,317 @@
+//! Shockley diode model and its piecewise-linear companion representation.
+//!
+//! The Dickson multiplier's diodes are the only strongly nonlinear devices in
+//! the harvester. Section III-B of the paper linearises the Shockley equation
+//! `Id = Is·(exp(Vd/Vt) − 1)` into a conductance `G` and a companion current
+//! source `J` such that `Id ≈ G·Vd + J` around the operating point, and stores
+//! `G(Vd)` and `J(Vd)` in lookup tables so the march-in-time loop never
+//! evaluates an exponential.
+
+use crate::block::BlockError;
+use crate::pwl::PiecewiseLinearTable;
+
+/// Default minimum conductance added in parallel with every diode (the SPICE
+/// `GMIN` device) so that the algebraic system of Eq. 4 stays non-singular when
+/// all diodes are off.
+pub const DEFAULT_GMIN: f64 = 1e-9;
+
+/// A diode described by the Shockley equation with a piecewise-linear
+/// companion-model lookup table.
+///
+/// # Example
+///
+/// ```
+/// use harvsim_blocks::DiodeModel;
+///
+/// # fn main() -> Result<(), harvsim_blocks::BlockError> {
+/// let diode = DiodeModel::schottky()?;
+/// let (g, j) = diode.companion(0.3);
+/// // The companion model reproduces the current at the linearisation point.
+/// let id = g * 0.3 + j;
+/// assert!((id - diode.current(0.3)).abs() / diode.current(0.3).abs() < 0.05);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct DiodeModel {
+    saturation_current: f64,
+    thermal_voltage: f64,
+    emission_coefficient: f64,
+    gmin: f64,
+    /// Conductance lookup table `G(Vd)`.
+    conductance_table: PiecewiseLinearTable,
+    /// Companion current lookup table `J(Vd)`.
+    companion_table: PiecewiseLinearTable,
+    /// Diode voltage above which the exponential is linearised to avoid
+    /// overflow (standard limiting, ~ breakdown of the model validity).
+    limit_voltage: f64,
+}
+
+impl DiodeModel {
+    /// Creates a diode model.
+    ///
+    /// * `saturation_current` — `Is` in amperes.
+    /// * `thermal_voltage` — `Vt` in volts (≈ 25.85 mV at 300 K).
+    /// * `emission_coefficient` — ideality factor `n` (1–2).
+    /// * `table_range` — the `(v_min, v_max)` span of the lookup tables.
+    /// * `table_segments` — number of piecewise-linear segments.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BlockError::InvalidParameter`] for non-positive physical
+    /// parameters or an empty table range.
+    pub fn new(
+        saturation_current: f64,
+        thermal_voltage: f64,
+        emission_coefficient: f64,
+        table_range: (f64, f64),
+        table_segments: usize,
+    ) -> Result<Self, BlockError> {
+        if !(saturation_current > 0.0) {
+            return Err(BlockError::InvalidParameter {
+                name: "saturation_current",
+                value: saturation_current,
+                constraint: "must be positive",
+            });
+        }
+        if !(thermal_voltage > 0.0) {
+            return Err(BlockError::InvalidParameter {
+                name: "thermal_voltage",
+                value: thermal_voltage,
+                constraint: "must be positive",
+            });
+        }
+        if !(emission_coefficient > 0.0) {
+            return Err(BlockError::InvalidParameter {
+                name: "emission_coefficient",
+                value: emission_coefficient,
+                constraint: "must be positive",
+            });
+        }
+        let nvt = emission_coefficient * thermal_voltage;
+        // Limit the exponential at a current of ~10 A to avoid overflow far
+        // outside the physically relevant region.
+        let limit_voltage = nvt * (10.0 / saturation_current).ln();
+
+        let current = |v: f64| -> f64 {
+            if v > limit_voltage {
+                let i_limit = saturation_current * ((limit_voltage / nvt).exp() - 1.0);
+                let g_limit = saturation_current / nvt * (limit_voltage / nvt).exp();
+                i_limit + g_limit * (v - limit_voltage)
+            } else {
+                saturation_current * ((v / nvt).exp() - 1.0)
+            }
+        };
+        let conductance = |v: f64| -> f64 {
+            if v > limit_voltage {
+                saturation_current / nvt * (limit_voltage / nvt).exp()
+            } else {
+                saturation_current / nvt * (v / nvt).exp()
+            }
+        };
+
+        let gmin = DEFAULT_GMIN;
+        let conductance_table = PiecewiseLinearTable::from_function(
+            table_range.0,
+            table_range.1,
+            table_segments,
+            |v| conductance(v) + gmin,
+        )?;
+        // J(Vd) = Id(Vd) − G(Vd)·Vd : the intercept of the tangent at Vd.
+        let companion_table = PiecewiseLinearTable::from_function(
+            table_range.0,
+            table_range.1,
+            table_segments,
+            |v| (current(v) + gmin * v) - (conductance(v) + gmin) * v,
+        )?;
+
+        Ok(DiodeModel {
+            saturation_current,
+            thermal_voltage,
+            emission_coefficient,
+            gmin,
+            conductance_table,
+            companion_table,
+            limit_voltage,
+        })
+    }
+
+    /// A low-drop Schottky diode typical of energy-harvesting rectifiers
+    /// (`Is = 1 µA`, `n = 1.05`), tabulated over −5 V … +0.6 V with 600 segments.
+    ///
+    /// # Errors
+    ///
+    /// Propagates construction errors (cannot occur for these constants).
+    pub fn schottky() -> Result<Self, BlockError> {
+        DiodeModel::new(1e-6, 0.02585, 1.05, (-5.0, 0.6), 600)
+    }
+
+    /// A standard silicon junction diode (`Is = 10 fA`, `n = 1.0`), tabulated
+    /// over −5 V … +0.9 V.
+    ///
+    /// # Errors
+    ///
+    /// Propagates construction errors (cannot occur for these constants).
+    pub fn silicon() -> Result<Self, BlockError> {
+        DiodeModel::new(1e-14, 0.02585, 1.0, (-5.0, 0.9), 900)
+    }
+
+    /// Rebuilds the model with a different lookup-table granularity (used by the
+    /// PWL-granularity ablation benchmark).
+    ///
+    /// # Errors
+    ///
+    /// Propagates construction errors.
+    pub fn with_table_segments(&self, segments: usize) -> Result<Self, BlockError> {
+        let (lo, hi) = self.conductance_table.domain();
+        DiodeModel::new(
+            self.saturation_current,
+            self.thermal_voltage,
+            self.emission_coefficient,
+            (lo, hi),
+            segments,
+        )
+    }
+
+    /// Saturation current `Is` in amperes.
+    pub fn saturation_current(&self) -> f64 {
+        self.saturation_current
+    }
+
+    /// Thermal voltage `Vt` in volts.
+    pub fn thermal_voltage(&self) -> f64 {
+        self.thermal_voltage
+    }
+
+    /// Ideality (emission) coefficient `n`.
+    pub fn emission_coefficient(&self) -> f64 {
+        self.emission_coefficient
+    }
+
+    /// Minimum parallel conductance (`GMIN`).
+    pub fn gmin(&self) -> f64 {
+        self.gmin
+    }
+
+    /// Number of segments in the lookup tables.
+    pub fn table_segments(&self) -> usize {
+        self.conductance_table.len() - 1
+    }
+
+    /// Exact Shockley current at diode voltage `vd` (including `GMIN` and the
+    /// high-voltage limiting), used by tests and by the Newton–Raphson baseline.
+    pub fn current(&self, vd: f64) -> f64 {
+        let nvt = self.emission_coefficient * self.thermal_voltage;
+        let exp_part = if vd > self.limit_voltage {
+            let i_limit = self.saturation_current * ((self.limit_voltage / nvt).exp() - 1.0);
+            let g_limit = self.saturation_current / nvt * (self.limit_voltage / nvt).exp();
+            i_limit + g_limit * (vd - self.limit_voltage)
+        } else {
+            self.saturation_current * ((vd / nvt).exp() - 1.0)
+        };
+        exp_part + self.gmin * vd
+    }
+
+    /// Exact small-signal conductance `dId/dVd` at `vd` (including `GMIN`).
+    pub fn conductance(&self, vd: f64) -> f64 {
+        let nvt = self.emission_coefficient * self.thermal_voltage;
+        let g = if vd > self.limit_voltage {
+            self.saturation_current / nvt * (self.limit_voltage / nvt).exp()
+        } else {
+            self.saturation_current / nvt * (vd / nvt).exp()
+        };
+        g + self.gmin
+    }
+
+    /// Companion-model pair `(G, J)` from the lookup tables, such that
+    /// `Id ≈ G·Vd + J` near the linearisation voltage `vd`.
+    pub fn companion(&self, vd: f64) -> (f64, f64) {
+        (self.conductance_table.value(vd), self.companion_table.value(vd))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parameter_validation() {
+        assert!(DiodeModel::new(-1.0, 0.025, 1.0, (-1.0, 0.6), 10).is_err());
+        assert!(DiodeModel::new(1e-9, 0.0, 1.0, (-1.0, 0.6), 10).is_err());
+        assert!(DiodeModel::new(1e-9, 0.025, 0.0, (-1.0, 0.6), 10).is_err());
+        assert!(DiodeModel::new(1e-9, 0.025, 1.0, (0.6, -1.0), 10).is_err());
+        let d = DiodeModel::schottky().unwrap();
+        assert!(d.saturation_current() > 0.0);
+        assert!(d.thermal_voltage() > 0.0);
+        assert!(d.emission_coefficient() >= 1.0);
+        assert_eq!(d.gmin(), DEFAULT_GMIN);
+        assert_eq!(d.table_segments(), 600);
+    }
+
+    #[test]
+    fn shockley_limits() {
+        let d = DiodeModel::silicon().unwrap();
+        // Strong reverse bias: current ≈ -Is (plus the tiny gmin term).
+        assert!((d.current(-2.0) - (-1e-14 + DEFAULT_GMIN * -2.0)).abs() < 1e-12);
+        // Zero bias: zero current.
+        assert!(d.current(0.0).abs() < 1e-18);
+        // Forward bias: large positive current and conductance.
+        assert!(d.current(0.7) > 1e-3);
+        assert!(d.conductance(0.7) > d.conductance(0.2));
+    }
+
+    #[test]
+    fn companion_model_reproduces_current_near_linearisation_point() {
+        let d = DiodeModel::schottky().unwrap();
+        for vd in [-1.0, -0.1, 0.0, 0.1, 0.2, 0.3, 0.4] {
+            let (g, j) = d.companion(vd);
+            let approx = g * vd + j;
+            let exact = d.current(vd);
+            let tolerance = 1e-7 + 0.05 * exact.abs();
+            assert!(
+                (approx - exact).abs() < tolerance,
+                "vd = {vd}: companion {approx} vs exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn companion_conductance_is_positive_and_monotonic() {
+        let d = DiodeModel::schottky().unwrap();
+        let mut prev = 0.0;
+        for k in 0..40 {
+            let vd = -2.0 + 2.5 * (k as f64) / 39.0;
+            let (g, _) = d.companion(vd);
+            assert!(g >= DEFAULT_GMIN * 0.99, "gmin floor violated at {vd}");
+            assert!(g + 1e-15 >= prev, "conductance must not decrease with vd");
+            prev = g;
+        }
+    }
+
+    #[test]
+    fn high_voltage_limiting_prevents_overflow() {
+        let d = DiodeModel::silicon().unwrap();
+        let huge = d.current(10.0);
+        assert!(huge.is_finite());
+        assert!(d.conductance(10.0).is_finite());
+    }
+
+    #[test]
+    fn finer_tables_reduce_companion_error() {
+        let coarse = DiodeModel::schottky().unwrap().with_table_segments(20).unwrap();
+        let fine = DiodeModel::schottky().unwrap().with_table_segments(2000).unwrap();
+        let mut err_coarse: f64 = 0.0;
+        let mut err_fine: f64 = 0.0;
+        for k in 0..200 {
+            let vd = -0.5 + 1.0 * (k as f64) / 199.0;
+            let exact = DiodeModel::schottky().unwrap().current(vd);
+            let (gc, jc) = coarse.companion(vd);
+            let (gf, jf) = fine.companion(vd);
+            err_coarse = err_coarse.max((gc * vd + jc - exact).abs());
+            err_fine = err_fine.max((gf * vd + jf - exact).abs());
+        }
+        assert!(err_fine < err_coarse, "fine {err_fine} vs coarse {err_coarse}");
+        assert_eq!(coarse.table_segments(), 20);
+        assert_eq!(fine.table_segments(), 2000);
+    }
+}

@@ -1,0 +1,588 @@
+//! Composition of component blocks into the global linearised system (Eq. 2)
+//! and elimination of the terminal variables (Eq. 4).
+//!
+//! Each block contributes local state equations and algebraic (terminal)
+//! constraints; the assembler
+//!
+//! * concatenates the block state vectors into the global state `x`,
+//! * maps every block terminal onto a shared *net* (the global non-state
+//!   variables `y` — e.g. the generator output `Vm`/`Im` net is shared between
+//!   the microgenerator and the multiplier),
+//! * stacks the per-block Jacobians into the global `Jxx`, `Jxy`, `Jyx`, `Jyy`
+//!   blocks of Eq. 2, and
+//! * checks well-posedness: the total number of constraint rows must equal the
+//!   number of nets, so that `Jyy` is square and Eq. 4 has a unique solution.
+
+use harvsim_blocks::StateSpaceBlock;
+use harvsim_linalg::{DMatrix, DVector};
+
+use crate::CoreError;
+
+/// The global linearisation of the complete analogue model at one time point —
+/// the matrices of the paper's Eq. 2.
+#[derive(Debug, Clone)]
+pub struct GlobalLinearisation {
+    /// `∂f_x/∂x` over the global state vector.
+    pub jxx: DMatrix,
+    /// `∂f_x/∂y` over the global nets.
+    pub jxy: DMatrix,
+    /// Affine term of the state equations (excitations + companion sources).
+    pub ex: DVector,
+    /// `∂f_y/∂x` of the stacked algebraic constraints.
+    pub jyx: DMatrix,
+    /// `∂f_y/∂y` of the stacked algebraic constraints.
+    pub jyy: DMatrix,
+    /// Affine term of the algebraic constraints.
+    pub gy: DVector,
+}
+
+impl GlobalLinearisation {
+    /// Eliminates the non-state variables by solving the algebraic part of
+    /// Eq. 2 (the paper's Eq. 4 extended with the affine companion terms):
+    /// `Jyy·y = −(Jyx·x + g)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::IllPosedSystem`] if `Jyy` is singular (for example
+    /// a floating net with no constraint that references it).
+    pub fn solve_terminals(&self, x: &DVector) -> Result<DVector, CoreError> {
+        let mut rhs = self.jyx.mul_vector(x);
+        rhs += &self.gy;
+        let lu = self.jyy.lu().map_err(|err| {
+            CoreError::IllPosedSystem(format!("terminal elimination failed: {err}"))
+        })?;
+        Ok(lu.solve(&(-&rhs))?)
+    }
+
+    /// Evaluates the state derivative `ẋ = Jxx·x + Jxy·y + e` for already-known
+    /// terminal values.
+    pub fn state_derivative(&self, x: &DVector, y: &DVector) -> DVector {
+        let mut dx = self.jxx.mul_vector(x);
+        dx += &self.jxy.mul_vector(y);
+        dx += &self.ex;
+        dx
+    }
+
+    /// The point total-step matrix `A = Jxx − Jxy·Jyy⁻¹·Jyx` that governs the
+    /// explicit-integration stability condition of Eq. 7 (this is the Jacobian
+    /// of the reduced system after terminal elimination).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::IllPosedSystem`] if `Jyy` is singular.
+    pub fn total_step_matrix(&self) -> Result<DMatrix, CoreError> {
+        let lu = self.jyy.lu().map_err(|err| {
+            CoreError::IllPosedSystem(format!("terminal elimination failed: {err}"))
+        })?;
+        let yy_inv_yx = lu.solve_matrix(&self.jyx)?;
+        let correction = self.jxy.mul_matrix(&yy_inv_yx)?;
+        Ok(&self.jxx - &correction)
+    }
+
+    /// Largest relative change of any Jacobian entry with respect to a previous
+    /// linearisation, used as the paper's local-linearisation-error monitor
+    /// ("the LLE can be controlled by monitoring the changes in the Jacobian
+    /// elements").
+    ///
+    /// # Errors
+    ///
+    /// Returns a dimension-mismatch error if the two linearisations describe
+    /// differently sized systems.
+    pub fn jacobian_change(&self, previous: &GlobalLinearisation) -> Result<f64, CoreError> {
+        let scale = self
+            .jxx
+            .max_abs()
+            .max(self.jxy.max_abs())
+            .max(self.jyx.max_abs())
+            .max(self.jyy.max_abs())
+            .max(1e-30);
+        let change = self
+            .jxx
+            .max_abs_diff(&previous.jxx)?
+            .max(self.jxy.max_abs_diff(&previous.jxy)?)
+            .max(self.jyx.max_abs_diff(&previous.jyx)?)
+            .max(self.jyy.max_abs_diff(&previous.jyy)?);
+        Ok(change / scale)
+    }
+}
+
+/// A complete analogue model that can be linearised at any time point — the
+/// interface the march-in-time solver and the Newton–Raphson baseline operate
+/// on. [`crate::TunableHarvester`] is the principal implementation.
+pub trait AnalogueSystem {
+    /// Number of global state variables.
+    fn state_count(&self) -> usize;
+
+    /// Number of global nets (non-state / terminal variables).
+    fn net_count(&self) -> usize;
+
+    /// Names of the global state variables.
+    fn state_names(&self) -> Vec<String>;
+
+    /// Names of the global nets.
+    fn net_names(&self) -> Vec<String>;
+
+    /// Global linearisation (Eq. 2) at time `t`, state `x` and net values `y`.
+    ///
+    /// # Errors
+    ///
+    /// Implementations may report ill-posed configurations.
+    fn linearise_global(&self, t: f64, x: &DVector, y: &DVector)
+        -> Result<GlobalLinearisation, CoreError>;
+}
+
+/// Placement bookkeeping for one block inside the assembled system.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct BlockSlot {
+    name: String,
+    state_offset: usize,
+    state_count: usize,
+    constraint_offset: usize,
+    constraint_count: usize,
+    /// Local terminal index → global net index.
+    terminal_nets: Vec<usize>,
+}
+
+/// Builder that wires blocks together net by net.
+#[derive(Debug, Default)]
+pub struct AssemblyBuilder {
+    slots: Vec<BlockSlot>,
+    net_names: Vec<String>,
+    state_names: Vec<String>,
+    state_count: usize,
+    constraint_count: usize,
+}
+
+impl AssemblyBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers `block`, connecting its terminals (in declaration order) to the
+    /// global nets named in `nets`. Nets are created on first use; two blocks
+    /// naming the same net share the corresponding terminal variable.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfiguration`] if the net list length does
+    /// not match the block's terminal count.
+    pub fn add_block(
+        &mut self,
+        block: &dyn StateSpaceBlock,
+        nets: &[&str],
+    ) -> Result<usize, CoreError> {
+        if nets.len() != block.terminal_count() {
+            return Err(CoreError::InvalidConfiguration(format!(
+                "block {} has {} terminals but {} nets were supplied",
+                block.name(),
+                block.terminal_count(),
+                nets.len()
+            )));
+        }
+        let mut terminal_nets = Vec::with_capacity(nets.len());
+        for net in nets {
+            let index = match self.net_names.iter().position(|existing| existing == net) {
+                Some(index) => index,
+                None => {
+                    self.net_names.push((*net).to_string());
+                    self.net_names.len() - 1
+                }
+            };
+            terminal_nets.push(index);
+        }
+        let slot = BlockSlot {
+            name: block.name().to_string(),
+            state_offset: self.state_count,
+            state_count: block.state_count(),
+            constraint_offset: self.constraint_count,
+            constraint_count: block.constraint_count(),
+            terminal_nets,
+        };
+        for state_name in block.state_names() {
+            self.state_names.push(format!("{}.{}", block.name(), state_name));
+        }
+        self.state_count += block.state_count();
+        self.constraint_count += block.constraint_count();
+        self.slots.push(slot);
+        Ok(self.slots.len() - 1)
+    }
+
+    /// Finalises the assembly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::IllPosedSystem`] if the total constraint count does
+    /// not equal the number of nets (the algebraic system of Eq. 4 would not be
+    /// square) or no blocks were added.
+    pub fn build(self) -> Result<Assembly, CoreError> {
+        if self.slots.is_empty() {
+            return Err(CoreError::IllPosedSystem("no blocks were added".to_string()));
+        }
+        if self.constraint_count != self.net_names.len() {
+            return Err(CoreError::IllPosedSystem(format!(
+                "{} algebraic constraints for {} nets: the terminal-variable system is not square",
+                self.constraint_count,
+                self.net_names.len()
+            )));
+        }
+        Ok(Assembly {
+            slots: self.slots,
+            net_names: self.net_names,
+            state_names: self.state_names,
+            state_count: self.state_count,
+            constraint_count: self.constraint_count,
+        })
+    }
+}
+
+/// The immutable wiring plan of the assembled system.
+#[derive(Debug, Clone)]
+pub struct Assembly {
+    slots: Vec<BlockSlot>,
+    net_names: Vec<String>,
+    state_names: Vec<String>,
+    state_count: usize,
+    constraint_count: usize,
+}
+
+impl Assembly {
+    /// Starts building an assembly.
+    pub fn builder() -> AssemblyBuilder {
+        AssemblyBuilder::new()
+    }
+
+    /// Total number of global state variables.
+    pub fn state_count(&self) -> usize {
+        self.state_count
+    }
+
+    /// Number of global nets (terminal variables).
+    pub fn net_count(&self) -> usize {
+        self.net_names.len()
+    }
+
+    /// Number of blocks in the assembly.
+    pub fn block_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Names of the global state variables (`block.state`).
+    pub fn state_names(&self) -> &[String] {
+        &self.state_names
+    }
+
+    /// Names of the global nets.
+    pub fn net_names(&self) -> &[String] {
+        &self.net_names
+    }
+
+    /// Index of the net with the given name.
+    pub fn net_index(&self, name: &str) -> Option<usize> {
+        self.net_names.iter().position(|n| n == name)
+    }
+
+    /// Offset of block `block_index`'s states within the global state vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block_index` is out of range.
+    pub fn state_offset(&self, block_index: usize) -> usize {
+        self.slots[block_index].state_offset
+    }
+
+    /// Builds the global initial state by concatenating the blocks' initial
+    /// states (in registration order).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfiguration`] if the provided blocks do not
+    /// match the registered slots.
+    pub fn initial_state(&self, blocks: &[&dyn StateSpaceBlock]) -> Result<DVector, CoreError> {
+        self.check_blocks(blocks)?;
+        let mut x = DVector::zeros(self.state_count);
+        for (slot, block) in self.slots.iter().zip(blocks) {
+            x.set_segment(slot.state_offset, &block.initial_state());
+        }
+        Ok(x)
+    }
+
+    fn check_blocks(&self, blocks: &[&dyn StateSpaceBlock]) -> Result<(), CoreError> {
+        if blocks.len() != self.slots.len() {
+            return Err(CoreError::InvalidConfiguration(format!(
+                "assembly has {} blocks but {} were provided",
+                self.slots.len(),
+                blocks.len()
+            )));
+        }
+        for (slot, block) in self.slots.iter().zip(blocks) {
+            if slot.state_count != block.state_count()
+                || slot.terminal_nets.len() != block.terminal_count()
+                || slot.constraint_count != block.constraint_count()
+            {
+                return Err(CoreError::InvalidConfiguration(format!(
+                    "block {} no longer matches its registered dimensions",
+                    block.name()
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Assembles the global linearisation (Eq. 2) at time `t`, global state `x`
+    /// and net values `y`, by calling every block's local linearisation and
+    /// scattering it into the global matrices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfiguration`] if the blocks or vector
+    /// dimensions do not match the assembly.
+    pub fn linearise_global(
+        &self,
+        blocks: &[&dyn StateSpaceBlock],
+        t: f64,
+        x: &DVector,
+        y: &DVector,
+    ) -> Result<GlobalLinearisation, CoreError> {
+        self.check_blocks(blocks)?;
+        if x.len() != self.state_count || y.len() != self.net_count() {
+            return Err(CoreError::InvalidConfiguration(format!(
+                "state/net vector sizes ({}, {}) do not match the assembly ({}, {})",
+                x.len(),
+                y.len(),
+                self.state_count,
+                self.net_count()
+            )));
+        }
+        let n = self.state_count;
+        let m = self.net_count();
+        let k = self.constraint_count;
+        let mut jxx = DMatrix::zeros(n, n);
+        let mut jxy = DMatrix::zeros(n, m);
+        let mut ex = DVector::zeros(n);
+        let mut jyx = DMatrix::zeros(k, n);
+        let mut jyy = DMatrix::zeros(k, m);
+        let mut gy = DVector::zeros(k);
+
+        for (slot, block) in self.slots.iter().zip(blocks) {
+            let local_x = x.segment(slot.state_offset, slot.state_count);
+            let local_y = DVector::from_fn(slot.terminal_nets.len(), |i| y[slot.terminal_nets[i]]);
+            let lin = block.linearise(t, &local_x, &local_y);
+            debug_assert!(lin.is_consistent(), "block {} returned inconsistent matrices", slot.name);
+
+            // State equations.
+            jxx.add_block(slot.state_offset, slot.state_offset, &lin.a);
+            for (local_terminal, &net) in slot.terminal_nets.iter().enumerate() {
+                for row in 0..slot.state_count {
+                    jxy.add_to(slot.state_offset + row, net, lin.b[(row, local_terminal)]);
+                }
+            }
+            for row in 0..slot.state_count {
+                ex[slot.state_offset + row] += lin.e[row];
+            }
+
+            // Algebraic constraints.
+            for row in 0..slot.constraint_count {
+                let global_row = slot.constraint_offset + row;
+                for col in 0..slot.state_count {
+                    jyx.add_to(global_row, slot.state_offset + col, lin.c[(row, col)]);
+                }
+                for (local_terminal, &net) in slot.terminal_nets.iter().enumerate() {
+                    jyy.add_to(global_row, net, lin.d[(row, local_terminal)]);
+                }
+                gy[global_row] += lin.g[row];
+            }
+        }
+
+        Ok(GlobalLinearisation { jxx, jxy, ex, jyx, jyy, gy })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use harvsim_blocks::block::LocalLinearisation;
+
+    /// A one-state RC block: ẋ = (V_port − x)/(R·C), constraint I_port = (V_port − x)/R.
+    struct RcBlock {
+        name: String,
+        r: f64,
+        c: f64,
+    }
+
+    impl StateSpaceBlock for RcBlock {
+        fn name(&self) -> &str {
+            &self.name
+        }
+        fn state_count(&self) -> usize {
+            1
+        }
+        fn terminal_count(&self) -> usize {
+            2
+        }
+        fn constraint_count(&self) -> usize {
+            1
+        }
+        fn state_names(&self) -> Vec<String> {
+            vec!["v_cap".to_string()]
+        }
+        fn terminal_names(&self) -> Vec<String> {
+            vec!["V".to_string(), "I".to_string()]
+        }
+        fn initial_state(&self) -> DVector {
+            DVector::zeros(1)
+        }
+        fn linearise(&self, _t: f64, _x: &DVector, _y: &DVector) -> LocalLinearisation {
+            LocalLinearisation {
+                a: DMatrix::from_rows(&[&[-1.0 / (self.r * self.c)]]).unwrap(),
+                b: DMatrix::from_rows(&[&[1.0 / (self.r * self.c), 0.0]]).unwrap(),
+                e: DVector::zeros(1),
+                // I - (V - x)/R = 0
+                c: DMatrix::from_rows(&[&[1.0 / self.r]]).unwrap(),
+                d: DMatrix::from_rows(&[&[-1.0 / self.r, 1.0]]).unwrap(),
+                g: DVector::zeros(1),
+            }
+        }
+    }
+
+    /// A source block: fixes its port voltage to a constant and contributes the
+    /// constraint V_port − v0 = 0.
+    struct SourceBlock {
+        v0: f64,
+    }
+
+    impl StateSpaceBlock for SourceBlock {
+        fn name(&self) -> &str {
+            "source"
+        }
+        fn state_count(&self) -> usize {
+            0
+        }
+        fn terminal_count(&self) -> usize {
+            2
+        }
+        fn constraint_count(&self) -> usize {
+            1
+        }
+        fn state_names(&self) -> Vec<String> {
+            Vec::new()
+        }
+        fn terminal_names(&self) -> Vec<String> {
+            vec!["V".to_string(), "I".to_string()]
+        }
+        fn initial_state(&self) -> DVector {
+            DVector::zeros(0)
+        }
+        fn linearise(&self, _t: f64, _x: &DVector, _y: &DVector) -> LocalLinearisation {
+            LocalLinearisation {
+                a: DMatrix::zeros(0, 0),
+                b: DMatrix::zeros(0, 2),
+                e: DVector::zeros(0),
+                c: DMatrix::zeros(1, 0),
+                d: DMatrix::from_rows(&[&[1.0, 0.0]]).unwrap(),
+                g: DVector::from_slice(&[-self.v0]),
+            }
+        }
+    }
+
+    fn rc_assembly() -> (Assembly, SourceBlock, RcBlock) {
+        let source = SourceBlock { v0: 5.0 };
+        let rc = RcBlock { name: "rc".to_string(), r: 1000.0, c: 1e-6 };
+        let mut builder = Assembly::builder();
+        builder.add_block(&source, &["vin", "iin"]).unwrap();
+        builder.add_block(&rc, &["vin", "iin"]).unwrap();
+        let assembly = builder.build().unwrap();
+        (assembly, source, rc)
+    }
+
+    #[test]
+    fn builder_tracks_dimensions_and_names() {
+        let (assembly, ..) = rc_assembly();
+        assert_eq!(assembly.state_count(), 1);
+        assert_eq!(assembly.net_count(), 2);
+        assert_eq!(assembly.block_count(), 2);
+        assert_eq!(assembly.net_index("vin"), Some(0));
+        assert_eq!(assembly.net_index("iin"), Some(1));
+        assert_eq!(assembly.net_index("missing"), None);
+        assert_eq!(assembly.state_names(), &["rc.v_cap".to_string()]);
+        assert_eq!(assembly.state_offset(1), 0);
+    }
+
+    #[test]
+    fn builder_rejects_bad_wiring() {
+        let source = SourceBlock { v0: 1.0 };
+        let mut builder = Assembly::builder();
+        assert!(builder.add_block(&source, &["only-one"]).is_err());
+        // Constraint/net mismatch: one block with 2 nets but only 1 constraint.
+        let mut builder = Assembly::builder();
+        builder.add_block(&source, &["a", "b"]).unwrap();
+        assert!(builder.build().is_err());
+        // Empty assembly.
+        assert!(Assembly::builder().build().is_err());
+    }
+
+    #[test]
+    fn terminal_elimination_solves_the_rc_divider() {
+        let (assembly, source, rc) = rc_assembly();
+        let blocks: [&dyn StateSpaceBlock; 2] = [&source, &rc];
+        let x = assembly.initial_state(&blocks).unwrap();
+        let y0 = DVector::zeros(2);
+        let lin = assembly.linearise_global(&blocks, 0.0, &x, &y0).unwrap();
+        // Solve Eq. 4: the port voltage must equal the source value and the
+        // current must be (V - x)/R = 5 mA at x = 0.
+        let y = lin.solve_terminals(&x).unwrap();
+        let v = y[assembly.net_index("vin").unwrap()];
+        let i = y[assembly.net_index("iin").unwrap()];
+        assert!((v - 5.0).abs() < 1e-9);
+        assert!((i - 5.0e-3).abs() < 1e-9);
+        // State derivative: dx/dt = (5 - 0)/(RC) = 5000 V/s.
+        let dx = lin.state_derivative(&x, &y);
+        assert!((dx[0] - 5000.0).abs() < 1e-6);
+        // Total-step matrix equals -1/(RC) for this single-state system.
+        let a = lin.total_step_matrix().unwrap();
+        assert!((a[(0, 0)] + 1000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn jacobian_change_monitor() {
+        let (assembly, source, rc) = rc_assembly();
+        let blocks: [&dyn StateSpaceBlock; 2] = [&source, &rc];
+        let x = assembly.initial_state(&blocks).unwrap();
+        let y = DVector::zeros(2);
+        let lin1 = assembly.linearise_global(&blocks, 0.0, &x, &y).unwrap();
+        let lin2 = assembly.linearise_global(&blocks, 1.0, &x, &y).unwrap();
+        // The RC system is linear and time-invariant: no Jacobian change at all.
+        assert!(lin1.jacobian_change(&lin2).unwrap() < 1e-15);
+    }
+
+    #[test]
+    fn mismatched_inputs_are_rejected() {
+        let (assembly, source, rc) = rc_assembly();
+        let blocks: [&dyn StateSpaceBlock; 2] = [&source, &rc];
+        let wrong_x = DVector::zeros(3);
+        let y = DVector::zeros(2);
+        assert!(assembly.linearise_global(&blocks, 0.0, &wrong_x, &y).is_err());
+        let x = DVector::zeros(1);
+        let wrong_y = DVector::zeros(1);
+        assert!(assembly.linearise_global(&blocks, 0.0, &x, &wrong_y).is_err());
+        let only_one: [&dyn StateSpaceBlock; 1] = [&source];
+        assert!(assembly.initial_state(&only_one).is_err());
+    }
+
+    #[test]
+    fn singular_terminal_system_is_reported() {
+        // Two source blocks fighting over the same net make Jyy singular
+        // (both constraints involve only the voltage net).
+        let s1 = SourceBlock { v0: 1.0 };
+        let s2 = SourceBlock { v0: 2.0 };
+        let mut builder = Assembly::builder();
+        builder.add_block(&s1, &["v", "i"]).unwrap();
+        builder.add_block(&s2, &["v", "i"]).unwrap();
+        let assembly = builder.build().unwrap();
+        let blocks: [&dyn StateSpaceBlock; 2] = [&s1, &s2];
+        let x = assembly.initial_state(&blocks).unwrap();
+        let y = DVector::zeros(2);
+        let lin = assembly.linearise_global(&blocks, 0.0, &x, &y).unwrap();
+        assert!(matches!(lin.solve_terminals(&x), Err(CoreError::IllPosedSystem(_))));
+    }
+}

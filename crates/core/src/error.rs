@@ -1,0 +1,104 @@
+use std::fmt;
+
+use harvsim_blocks::BlockError;
+use harvsim_digital::KernelError;
+use harvsim_linalg::LinalgError;
+use harvsim_ode::OdeError;
+
+/// Errors produced by the simulation engine.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// A configuration value was outside its accepted range.
+    InvalidConfiguration(String),
+    /// The assembled system is not well-posed (e.g. the number of algebraic
+    /// constraints does not match the number of terminal nets, or `Jyy` is
+    /// singular so the terminal variables cannot be eliminated).
+    IllPosedSystem(String),
+    /// An underlying block-model error.
+    Block(BlockError),
+    /// An underlying linear-algebra error.
+    Linalg(LinalgError),
+    /// An underlying ODE-integration error.
+    Ode(OdeError),
+    /// An underlying digital-kernel error.
+    Kernel(KernelError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InvalidConfiguration(msg) => write!(f, "invalid configuration: {msg}"),
+            CoreError::IllPosedSystem(msg) => write!(f, "ill-posed system: {msg}"),
+            CoreError::Block(err) => write!(f, "block model error: {err}"),
+            CoreError::Linalg(err) => write!(f, "linear algebra error: {err}"),
+            CoreError::Ode(err) => write!(f, "integration error: {err}"),
+            CoreError::Kernel(err) => write!(f, "digital kernel error: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Block(err) => Some(err),
+            CoreError::Linalg(err) => Some(err),
+            CoreError::Ode(err) => Some(err),
+            CoreError::Kernel(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<BlockError> for CoreError {
+    fn from(err: BlockError) -> Self {
+        CoreError::Block(err)
+    }
+}
+
+impl From<LinalgError> for CoreError {
+    fn from(err: LinalgError) -> Self {
+        CoreError::Linalg(err)
+    }
+}
+
+impl From<OdeError> for CoreError {
+    fn from(err: OdeError) -> Self {
+        CoreError::Ode(err)
+    }
+}
+
+impl From<KernelError> for CoreError {
+    fn from(err: KernelError) -> Self {
+        CoreError::Kernel(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversions() {
+        let err: CoreError = LinalgError::NotSquare { rows: 1, cols: 2 }.into();
+        assert!(err.to_string().contains("linear algebra"));
+        let err: CoreError = OdeError::InvalidParameter("x".into()).into();
+        assert!(err.to_string().contains("integration"));
+        let err: CoreError = BlockError::InvalidParameter {
+            name: "m",
+            value: 0.0,
+            constraint: "positive",
+        }
+        .into();
+        assert!(err.to_string().contains("block"));
+        let err: CoreError = KernelError::TargetInThePast {
+            target: harvsim_digital::SimTime::ZERO,
+            now: harvsim_digital::SimTime::from_secs(1),
+        }
+        .into();
+        assert!(err.to_string().contains("kernel"));
+        assert!(CoreError::InvalidConfiguration("bad".into()).to_string().contains("bad"));
+        assert!(CoreError::IllPosedSystem("why".into()).to_string().contains("why"));
+        assert!(std::error::Error::source(&err).is_some());
+    }
+}

@@ -1,0 +1,354 @@
+//! Mixed analogue/digital co-simulation of the complete harvester.
+//!
+//! The analogue part (microgenerator, multiplier, supercapacitor) is solved by
+//! the linearised state-space engine (or by the Newton–Raphson baseline); the
+//! digital part (watchdog + microcontroller of Fig. 7) runs on the event-driven
+//! kernel of `harvsim-digital`. The two sides meet only at the digital event
+//! times: the analogue solver integrates up to the next scheduled event, the
+//! kernel then executes the due processes against a snapshot of the analogue
+//! quantities, and any control actions (load-mode switch, resonance retune) are
+//! applied to the blocks before the next analogue segment starts. Because the
+//! analogue solution is obtained in a single feed-forward sweep there is never
+//! any need to backtrack across a digital event — the property the paper
+//! highlights as making the technique easy to couple with a digital kernel.
+
+use harvsim_blocks::{ControllerConfig, HarvesterEnvironment, LoadMode, MicroController};
+use harvsim_digital::{Kernel, SimTime};
+use harvsim_linalg::DVector;
+use harvsim_ode::solution::Trajectory;
+
+use crate::baseline::{BaselineOptions, BaselineStats, NewtonRaphsonBaseline};
+use crate::harvester::TunableHarvester;
+use crate::solver::{SolverOptions, SolverStats, StateSpaceSolver};
+use crate::CoreError;
+
+/// Which analogue engine drives the co-simulation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SimulationEngine {
+    /// The proposed linearised state-space technique (explicit Adams–Bashforth).
+    StateSpace(SolverOptions),
+    /// The Newton–Raphson implicit baseline (stand-in for the commercial tools).
+    NewtonRaphson(BaselineOptions),
+}
+
+impl SimulationEngine {
+    /// Human-readable name used in reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SimulationEngine::StateSpace(_) => "linearised-state-space",
+            SimulationEngine::NewtonRaphson(_) => "newton-raphson-baseline",
+        }
+    }
+}
+
+/// Analogue work statistics of a mixed-signal run (one of the two variants is
+/// populated depending on the engine).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct EngineStats {
+    /// Statistics of the state-space engine (zeroed for baseline runs).
+    pub state_space: SolverStats,
+    /// Statistics of the Newton–Raphson baseline (zeroed for state-space runs).
+    pub baseline: BaselineStats,
+}
+
+/// A record of one digital control action applied during the run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ControlEvent {
+    /// Simulation time of the action, in seconds.
+    pub time_s: f64,
+    /// Load mode in force after the action.
+    pub load_mode: LoadMode,
+    /// Resonant frequency in force after the action, in hertz.
+    pub resonant_frequency_hz: f64,
+}
+
+/// Result of a mixed-signal co-simulation.
+#[derive(Debug, Clone)]
+pub struct MixedSignalResult {
+    /// Sampled global state trajectory.
+    pub states: Trajectory,
+    /// Sampled terminal (net) trajectory on the same grid.
+    pub terminals: Trajectory,
+    /// Final state.
+    pub final_state: DVector,
+    /// Analogue-engine work statistics.
+    pub engine_stats: EngineStats,
+    /// Digital events processed by the kernel.
+    pub digital_events: u64,
+    /// Control actions applied during the run.
+    pub control_events: Vec<ControlEvent>,
+}
+
+/// Snapshot/mailbox through which the digital controller observes and commands
+/// the analogue model. Reads are filled in from the analogue state before every
+/// kernel activation; writes are collected and applied to the blocks afterwards.
+#[derive(Debug, Clone, Default)]
+struct ControlMailbox {
+    supercap_voltage: f64,
+    ambient_hz: f64,
+    resonant_hz: f64,
+    requested_load_mode: Option<LoadMode>,
+    requested_resonance_hz: Option<f64>,
+}
+
+impl HarvesterEnvironment for ControlMailbox {
+    fn supercapacitor_voltage(&self) -> f64 {
+        self.supercap_voltage
+    }
+    fn ambient_frequency_hz(&self) -> f64 {
+        self.ambient_hz
+    }
+    fn resonant_frequency_hz(&self) -> f64 {
+        self.requested_resonance_hz.unwrap_or(self.resonant_hz)
+    }
+    fn set_load_mode(&mut self, mode: LoadMode) {
+        self.requested_load_mode = Some(mode);
+    }
+    fn set_resonant_frequency(&mut self, frequency_hz: f64) {
+        self.requested_resonance_hz = Some(frequency_hz);
+    }
+}
+
+/// The mixed analogue/digital co-simulation driver.
+#[derive(Debug)]
+pub struct MixedSignalSimulation {
+    engine: SimulationEngine,
+}
+
+impl MixedSignalSimulation {
+    /// Creates a co-simulation using the given analogue engine.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine option validation failures.
+    pub fn new(engine: SimulationEngine) -> Result<Self, CoreError> {
+        match &engine {
+            SimulationEngine::StateSpace(options) => options.validate()?,
+            SimulationEngine::NewtonRaphson(options) => options.validate()?,
+        }
+        Ok(MixedSignalSimulation { engine })
+    }
+
+    /// The configured engine.
+    pub fn engine(&self) -> &SimulationEngine {
+        &self.engine
+    }
+
+    /// Runs the complete mixed-technology simulation from `t = 0` to
+    /// `duration_s`, starting with the supercapacitor pre-charged to
+    /// `initial_supercap_voltage` and the microcontroller asleep until its
+    /// first watchdog wake-up.
+    ///
+    /// # Errors
+    ///
+    /// Propagates analogue-engine and kernel failures.
+    pub fn run(
+        &self,
+        harvester: &mut TunableHarvester,
+        controller_config: ControllerConfig,
+        duration_s: f64,
+        initial_supercap_voltage: f64,
+    ) -> Result<MixedSignalResult, CoreError> {
+        if !(duration_s > 0.0) {
+            return Err(CoreError::InvalidConfiguration(format!(
+                "simulation duration must be positive, got {duration_s}"
+            )));
+        }
+        let controller = MicroController::new(controller_config, harvester.resonant_frequency_hz())?;
+
+        let mut kernel: Kernel<ControlMailbox> = Kernel::new();
+        kernel.spawn_at(SimTime::from_secs_f64(controller_config.watchdog_period_s), controller);
+
+        let mut states = Trajectory::new();
+        let mut terminals = Trajectory::new();
+        let mut engine_stats = EngineStats::default();
+        let mut control_events = Vec::new();
+
+        let mut t = 0.0_f64;
+        let mut x = harvester.initial_state(initial_supercap_voltage)?;
+
+        while t < duration_s - 1e-9 {
+            // The next synchronisation point: the earliest pending digital event
+            // or the end of the run, whichever comes first.
+            let next_event = kernel
+                .next_event_time()
+                .map(|time| time.as_secs_f64())
+                .unwrap_or(duration_s)
+                .min(duration_s);
+            let segment_end = next_event.max(t + 1e-9);
+
+            // Analogue segment.
+            if segment_end > t + 1e-12 {
+                match &self.engine {
+                    SimulationEngine::StateSpace(options) => {
+                        let solver = StateSpaceSolver::new(*options)?;
+                        let (x_end, stats) = solver.solve_into(
+                            harvester,
+                            t,
+                            segment_end,
+                            &x,
+                            &mut states,
+                            &mut terminals,
+                        )?;
+                        x = x_end;
+                        engine_stats.state_space.absorb(&stats);
+                    }
+                    SimulationEngine::NewtonRaphson(options) => {
+                        let solver = NewtonRaphsonBaseline::new(*options)?;
+                        let (x_end, stats) = solver.solve_into(
+                            harvester,
+                            t,
+                            segment_end,
+                            &x,
+                            &mut states,
+                            &mut terminals,
+                        )?;
+                        x = x_end;
+                        engine_stats.baseline.absorb(&stats);
+                    }
+                }
+                t = segment_end;
+            }
+
+            // Digital events due at the synchronisation point.
+            if kernel.next_event_time().map(|time| time.as_secs_f64() <= t + 1e-12).unwrap_or(false)
+            {
+                let mut mailbox = ControlMailbox {
+                    supercap_voltage: harvester.supercapacitor_voltage(&x),
+                    ambient_hz: harvester.ambient_frequency_hz(t),
+                    resonant_hz: harvester.resonant_frequency_hz(),
+                    requested_load_mode: None,
+                    requested_resonance_hz: None,
+                };
+                kernel.run_until(SimTime::from_secs_f64(t), &mut mailbox)?;
+                let mut acted = false;
+                if let Some(mode) = mailbox.requested_load_mode {
+                    harvester.set_load_mode(mode);
+                    acted = true;
+                }
+                if let Some(frequency) = mailbox.requested_resonance_hz {
+                    harvester.set_resonant_frequency(frequency);
+                    acted = true;
+                }
+                if acted {
+                    control_events.push(ControlEvent {
+                        time_s: t,
+                        load_mode: harvester.load_mode(),
+                        resonant_frequency_hz: harvester.resonant_frequency_hz(),
+                    });
+                }
+            }
+        }
+
+        Ok(MixedSignalResult {
+            states,
+            terminals,
+            final_state: x,
+            engine_stats,
+            digital_events: kernel.events_processed(),
+            control_events,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use harvsim_blocks::{FrequencyProfile, HarvesterParameters, VibrationExcitation};
+
+    fn quick_solver_options() -> SolverOptions {
+        SolverOptions { record_interval: 2e-3, ..Default::default() }
+    }
+
+    fn harvester(step_to_hz: f64, step_at: f64) -> TunableHarvester {
+        let params = HarvesterParameters::practical_device();
+        let excitation = VibrationExcitation::new(
+            params.acceleration_amplitude,
+            FrequencyProfile::Step { initial_hz: 70.0, final_hz: step_to_hz, step_time_s: step_at },
+        )
+        .unwrap();
+        TunableHarvester::new(params, excitation).unwrap()
+    }
+
+    fn quick_controller_config() -> ControllerConfig {
+        ControllerConfig {
+            watchdog_period_s: 0.4,
+            energy_threshold_v: 2.0,
+            frequency_tolerance_hz: 0.25,
+            measurement_duration_s: 0.05,
+            tuning_rate_hz_per_s: 10.0,
+            tuning_update_interval_s: 0.02,
+        }
+    }
+
+    #[test]
+    fn engine_names_and_validation() {
+        assert_eq!(
+            SimulationEngine::StateSpace(SolverOptions::default()).name(),
+            "linearised-state-space"
+        );
+        assert_eq!(
+            SimulationEngine::NewtonRaphson(BaselineOptions::default()).name(),
+            "newton-raphson-baseline"
+        );
+        let bad = SolverOptions { ab_order: 0, ..Default::default() };
+        assert!(MixedSignalSimulation::new(SimulationEngine::StateSpace(bad)).is_err());
+        let sim =
+            MixedSignalSimulation::new(SimulationEngine::StateSpace(SolverOptions::default()))
+                .unwrap();
+        assert_eq!(sim.engine().name(), "linearised-state-space");
+    }
+
+    #[test]
+    fn rejects_non_positive_duration() {
+        let sim =
+            MixedSignalSimulation::new(SimulationEngine::StateSpace(quick_solver_options()))
+                .unwrap();
+        let mut h = harvester(71.0, 0.1);
+        assert!(sim.run(&mut h, quick_controller_config(), 0.0, 2.4).is_err());
+    }
+
+    /// A short but complete closed-loop run: the ambient frequency steps from
+    /// 70 Hz to 71 Hz, the controller wakes on its watchdog, finds enough energy
+    /// and retunes the resonance to follow the ambient frequency.
+    #[test]
+    fn controller_retunes_the_resonance_in_closed_loop() {
+        let sim =
+            MixedSignalSimulation::new(SimulationEngine::StateSpace(quick_solver_options()))
+                .unwrap();
+        let mut h = harvester(71.0, 0.05);
+        let result = sim.run(&mut h, quick_controller_config(), 1.6, 2.6).unwrap();
+        // The resonance must have followed the ambient frequency.
+        assert!(
+            (h.resonant_frequency_hz() - 71.0).abs() < 0.2,
+            "resonance ended at {}",
+            h.resonant_frequency_hz()
+        );
+        // Control events were recorded and the kernel processed activity.
+        assert!(!result.control_events.is_empty());
+        assert!(result.digital_events > 0);
+        assert!(result.engine_stats.state_space.steps > 100);
+        // The run ends with the load back in sleep mode (tuning finished).
+        assert_eq!(h.load_mode(), LoadMode::Sleep);
+        // Trajectories cover the whole span on a common grid.
+        assert!((result.states.last_time() - 1.6).abs() < 1e-6);
+        assert_eq!(result.states.len(), result.terminals.len());
+        assert!(result.final_state.is_finite());
+    }
+
+    #[test]
+    fn low_energy_prevents_tuning() {
+        let sim =
+            MixedSignalSimulation::new(SimulationEngine::StateSpace(quick_solver_options()))
+                .unwrap();
+        let mut h = harvester(71.0, 0.05);
+        // Start with the supercapacitor nearly empty: the controller must skip tuning.
+        let result = sim.run(&mut h, quick_controller_config(), 1.0, 0.5).unwrap();
+        assert!((h.resonant_frequency_hz() - 70.0).abs() < 1e-9);
+        // The only control action (if any) is the load returning to sleep.
+        assert!(result
+            .control_events
+            .iter()
+            .all(|event| event.load_mode == LoadMode::Sleep));
+    }
+}

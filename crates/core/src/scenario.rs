@@ -1,0 +1,250 @@
+//! The paper's evaluation scenarios (Section IV).
+//!
+//! * **Scenario 1** — narrow tuning: the ambient frequency steps from 70 Hz to
+//!   71 Hz and the harvester retunes by 1 Hz.
+//! * **Scenario 2** — wide tuning: the ambient frequency steps by 14 Hz (the
+//!   maximum tuning range of the design, 70 → 84 Hz).
+//!
+//! A [`ScenarioConfig`] bundles the parameter set, the excitation profile, the
+//! controller configuration and the analogue engine; [`ScenarioConfig::run`]
+//! executes the closed-loop mixed-signal simulation and returns the recorded
+//! waveforms. `run_experimental_surrogate` produces the stand-in for the
+//! paper's measured curves (see DESIGN.md §3): the same scenario re-simulated
+//! with parasitic losses and small parameter perturbations that the nominal
+//! model does not include, mimicking the systematic differences between the
+//! HDL model and the physical device that the paper itself points out.
+
+use harvsim_blocks::{
+    ControllerConfig, FrequencyProfile, HarvesterParameters, Scenario, VibrationExcitation,
+};
+
+use crate::mixed::{MixedSignalResult, MixedSignalSimulation, SimulationEngine};
+use crate::solver::SolverOptions;
+use crate::{CoreError, TunableHarvester};
+
+/// A complete, runnable description of one evaluation scenario.
+#[derive(Debug, Clone)]
+pub struct ScenarioConfig {
+    /// Which of the paper's two scenarios this is.
+    pub scenario: Scenario,
+    /// Total simulated time, in seconds. The paper simulates long
+    /// supercapacitor-charging spans; the default here is shortened so the
+    /// examples and benches run in seconds — the waveform shapes and the
+    /// relative CPU-time comparison are unaffected (see DESIGN.md §4).
+    pub duration_s: f64,
+    /// Time at which the ambient frequency steps, in seconds.
+    pub frequency_step_time_s: f64,
+    /// Initial supercapacitor voltage, in volts.
+    pub initial_supercap_voltage: f64,
+    /// Harvester parameter set.
+    pub parameters: HarvesterParameters,
+    /// Controller configuration (watchdog period, thresholds, actuator rate).
+    pub controller: ControllerConfig,
+    /// Analogue engine used for the run.
+    pub engine: SimulationEngine,
+}
+
+impl ScenarioConfig {
+    fn base(scenario: Scenario) -> Self {
+        let parameters = HarvesterParameters::practical_device();
+        let controller = ControllerConfig {
+            watchdog_period_s: 2.0,
+            energy_threshold_v: 2.2,
+            frequency_tolerance_hz: 0.25,
+            measurement_duration_s: 0.2,
+            tuning_rate_hz_per_s: 2.0,
+            tuning_update_interval_s: 0.05,
+        };
+        ScenarioConfig {
+            scenario,
+            duration_s: 12.0,
+            frequency_step_time_s: 1.0,
+            initial_supercap_voltage: 2.5,
+            parameters,
+            controller,
+            engine: SimulationEngine::StateSpace(SolverOptions::default()),
+        }
+    }
+
+    /// Scenario 1 (70 → 71 Hz) with default, quick-running settings.
+    pub fn scenario1() -> Self {
+        Self::base(Scenario::NarrowTuning)
+    }
+
+    /// Scenario 2 (70 → 84 Hz) with default, quick-running settings. The wider
+    /// retune takes the actuator 7 s at the default 2 Hz/s rate, so the default
+    /// duration is longer than Scenario 1's.
+    pub fn scenario2() -> Self {
+        let mut config = Self::base(Scenario::WideTuning);
+        config.duration_s = 16.0;
+        config
+    }
+
+    /// Switches the analogue engine.
+    pub fn with_engine(mut self, engine: SimulationEngine) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfiguration`] for inconsistent values.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        if !(self.duration_s > 0.0) {
+            return Err(CoreError::InvalidConfiguration("duration must be positive".into()));
+        }
+        if !(self.frequency_step_time_s >= 0.0 && self.frequency_step_time_s < self.duration_s) {
+            return Err(CoreError::InvalidConfiguration(
+                "the frequency step must occur inside the simulated span".into(),
+            ));
+        }
+        if self.initial_supercap_voltage < 0.0 {
+            return Err(CoreError::InvalidConfiguration(
+                "initial supercapacitor voltage must be non-negative".into(),
+            ));
+        }
+        self.parameters.validate()?;
+        self.controller.validate()?;
+        Ok(())
+    }
+
+    /// Builds the harvester model for this scenario (step excitation profile).
+    ///
+    /// # Errors
+    ///
+    /// Propagates parameter and assembly failures.
+    pub fn build_harvester(&self) -> Result<TunableHarvester, CoreError> {
+        let excitation = VibrationExcitation::new(
+            self.parameters.acceleration_amplitude,
+            FrequencyProfile::Step {
+                initial_hz: self.scenario.initial_frequency_hz(),
+                final_hz: self.scenario.target_frequency_hz(),
+                step_time_s: self.frequency_step_time_s,
+            },
+        )?;
+        TunableHarvester::new(self.parameters.clone(), excitation)
+    }
+
+    /// Runs the closed-loop mixed-signal simulation of the scenario.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration, solver and kernel failures.
+    pub fn run(&self) -> Result<ScenarioResult, CoreError> {
+        self.validate()?;
+        let mut harvester = self.build_harvester()?;
+        let simulation = MixedSignalSimulation::new(self.engine)?;
+        let result = simulation.run(
+            &mut harvester,
+            self.controller,
+            self.duration_s,
+            self.initial_supercap_voltage,
+        )?;
+        Ok(ScenarioResult { config: self.clone(), harvester, result })
+    }
+
+    /// Runs the "experimental" surrogate of the scenario: the same run with
+    /// parasitic leakage across the store (a 20 kΩ sleep-mode load instead of
+    /// 1 GΩ), 10 % extra mechanical damping and 3 % weaker transduction —
+    /// loss mechanisms the nominal HDL-style model omits, exactly the kind of
+    /// discrepancy the paper attributes its simulation/measurement differences
+    /// to. The surrogate acts as the measured curve in the Fig. 8(b)/Fig. 9
+    /// reproductions.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the same failures as [`ScenarioConfig::run`].
+    pub fn run_experimental_surrogate(&self) -> Result<ScenarioResult, CoreError> {
+        let mut surrogate = self.clone();
+        surrogate.parameters.load_sleep_ohms = 2.0e4;
+        surrogate.parameters.parasitic_damping *= 1.10;
+        surrogate.parameters.flux_linkage *= 0.97;
+        surrogate.run()
+    }
+}
+
+/// The outcome of a scenario run: the configuration, the (possibly retuned)
+/// harvester and the recorded waveforms.
+#[derive(Debug)]
+pub struct ScenarioResult {
+    /// The configuration that produced this result.
+    pub config: ScenarioConfig,
+    /// The harvester in its final state (retuned resonance, final load mode).
+    pub harvester: TunableHarvester,
+    /// The recorded waveforms and statistics.
+    pub result: MixedSignalResult,
+}
+
+impl ScenarioResult {
+    /// Convenience accessor for the recorded state trajectory.
+    pub fn states(&self) -> &harvsim_ode::Trajectory {
+        &self.result.states
+    }
+
+    /// Convenience accessor for the recorded terminal trajectory.
+    pub fn terminals(&self) -> &harvsim_ode::Trajectory {
+        &self.result.terminals
+    }
+}
+
+impl std::ops::Deref for ScenarioResult {
+    type Target = MixedSignalResult;
+    fn deref(&self) -> &MixedSignalResult {
+        &self.result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_configurations_are_valid_and_match_the_paper() {
+        let s1 = ScenarioConfig::scenario1();
+        assert!(s1.validate().is_ok());
+        assert_eq!(s1.scenario.frequency_shift_hz(), 1.0);
+        let s2 = ScenarioConfig::scenario2();
+        assert!(s2.validate().is_ok());
+        assert_eq!(s2.scenario.frequency_shift_hz(), 14.0);
+        assert!(s2.duration_s > s1.duration_s);
+    }
+
+    #[test]
+    fn validation_catches_inconsistencies() {
+        let mut config = ScenarioConfig::scenario1();
+        config.duration_s = 0.0;
+        assert!(config.validate().is_err());
+        let mut config = ScenarioConfig::scenario1();
+        config.frequency_step_time_s = 100.0;
+        assert!(config.validate().is_err());
+        let mut config = ScenarioConfig::scenario1();
+        config.initial_supercap_voltage = -1.0;
+        assert!(config.validate().is_err());
+    }
+
+    #[test]
+    fn build_harvester_uses_the_step_profile() {
+        let config = ScenarioConfig::scenario2();
+        let harvester = config.build_harvester().unwrap();
+        assert_eq!(harvester.ambient_frequency_hz(0.0), 70.0);
+        assert_eq!(harvester.ambient_frequency_hz(config.frequency_step_time_s + 1.0), 84.0);
+    }
+
+    #[test]
+    fn short_scenario_run_produces_waveforms() {
+        let mut config = ScenarioConfig::scenario1();
+        config.duration_s = 0.3;
+        config.frequency_step_time_s = 0.1;
+        let result = config.run().unwrap();
+        assert!(result.states().len() > 10);
+        assert!((result.states().last_time() - 0.3).abs() < 1e-6);
+        assert!(result.final_state.is_finite());
+        // The surrogate drains faster (leakage) but still runs.
+        let surrogate = config.run_experimental_surrogate().unwrap();
+        assert!(surrogate.states().len() > 10);
+        assert_eq!(ScenarioConfig::scenario1().with_engine(config.engine).engine.name(),
+            "linearised-state-space");
+    }
+}

@@ -1,0 +1,417 @@
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::fmt;
+
+use crate::SimTime;
+
+/// Identifier of a process registered with a [`Kernel`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ProcessId(usize);
+
+impl ProcessId {
+    /// The numeric index of the process (stable for the kernel's lifetime).
+    pub fn index(&self) -> usize {
+        self.0
+    }
+}
+
+/// Errors reported by the digital kernel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum KernelError {
+    /// A process requested a wake-up earlier than the current simulation time.
+    WakeUpInThePast {
+        /// The offending process.
+        process: ProcessId,
+        /// The requested wake-up time.
+        requested: SimTime,
+        /// The kernel's current time.
+        now: SimTime,
+    },
+    /// `run_until` was asked to run to a time before the current time.
+    TargetInThePast {
+        /// The requested target time.
+        target: SimTime,
+        /// The kernel's current time.
+        now: SimTime,
+    },
+}
+
+impl fmt::Display for KernelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KernelError::WakeUpInThePast { process, requested, now } => write!(
+                f,
+                "process {} requested a wake-up at {requested} which is before the current time {now}",
+                process.index()
+            ),
+            KernelError::TargetInThePast { target, now } => {
+                write!(f, "cannot run to {target}: the kernel is already at {now}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for KernelError {}
+
+/// A discrete process driven by the [`Kernel`].
+///
+/// The environment type `E` is whatever shared state the digital side needs to
+/// observe and influence — in the complete harvester it is the analogue model
+/// interface (supercapacitor voltage, load mode, actuator position). Keeping it
+/// generic lets the kernel be tested in isolation and reused for other
+/// mixed-technology systems.
+pub trait Process<E> {
+    /// Human-readable name used in traces and error messages.
+    fn name(&self) -> &str;
+
+    /// Called when the process' scheduled wake-up time arrives. The process
+    /// inspects/updates the environment and returns the absolute time of its
+    /// next wake-up, or `None` to terminate.
+    fn resume(&mut self, now: SimTime, env: &mut E) -> Option<SimTime>;
+}
+
+struct ScheduledEvent {
+    time: SimTime,
+    sequence: u64,
+    process: usize,
+}
+
+impl PartialEq for ScheduledEvent {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.sequence == other.sequence
+    }
+}
+impl Eq for ScheduledEvent {}
+impl PartialOrd for ScheduledEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for ScheduledEvent {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Order by time, then insertion order for determinism.
+        (self.time, self.sequence).cmp(&(other.time, other.sequence))
+    }
+}
+
+/// The event-driven scheduler.
+///
+/// Processes are registered with [`Kernel::spawn_at`]; the kernel keeps a
+/// time-ordered queue of wake-ups and [`Kernel::run_until`] executes every
+/// event with a timestamp not later than the target, advancing the kernel
+/// clock as it goes. Between events the clock jumps directly — there is no
+/// polling — which is what makes the digital side essentially free compared to
+/// the analogue integration.
+pub struct Kernel<E> {
+    processes: Vec<Box<dyn Process<E>>>,
+    queue: BinaryHeap<Reverse<ScheduledEvent>>,
+    now: SimTime,
+    sequence: u64,
+    events_processed: u64,
+}
+
+impl<E> Default for Kernel<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Kernel<E> {
+    /// Creates an empty kernel at time zero.
+    pub fn new() -> Self {
+        Kernel {
+            processes: Vec::new(),
+            queue: BinaryHeap::new(),
+            now: SimTime::ZERO,
+            sequence: 0,
+            events_processed: 0,
+        }
+    }
+
+    /// Current simulation time of the digital kernel.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Total number of process activations executed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Number of registered processes (running or finished).
+    pub fn process_count(&self) -> usize {
+        self.processes.len()
+    }
+
+    /// Registers a process and schedules its first wake-up at `start`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start` is before the current kernel time.
+    pub fn spawn_at<P>(&mut self, start: SimTime, process: P) -> ProcessId
+    where
+        P: Process<E> + 'static,
+    {
+        assert!(start >= self.now, "cannot schedule a process start in the past");
+        let id = ProcessId(self.processes.len());
+        self.processes.push(Box::new(process));
+        self.schedule(id.0, start);
+        id
+    }
+
+    fn schedule(&mut self, process: usize, time: SimTime) {
+        self.queue.push(Reverse(ScheduledEvent { time, sequence: self.sequence, process }));
+        self.sequence += 1;
+    }
+
+    /// Time of the next pending event, if any.
+    pub fn next_event_time(&self) -> Option<SimTime> {
+        self.queue.peek().map(|Reverse(ev)| ev.time)
+    }
+
+    /// Returns `true` if no events remain in the queue.
+    pub fn is_idle(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Executes every event scheduled at or before `target`, then sets the
+    /// kernel clock to `target`.
+    ///
+    /// # Errors
+    ///
+    /// * [`KernelError::TargetInThePast`] if `target < self.now()`.
+    /// * [`KernelError::WakeUpInThePast`] if a process asks to be woken before
+    ///   the time at which it was resumed.
+    pub fn run_until(&mut self, target: SimTime, env: &mut E) -> Result<(), KernelError> {
+        if target < self.now {
+            return Err(KernelError::TargetInThePast { target, now: self.now });
+        }
+        while let Some(Reverse(event)) = self.queue.peek() {
+            if event.time > target {
+                break;
+            }
+            let Reverse(event) = self.queue.pop().expect("peeked event exists");
+            self.now = event.time;
+            self.events_processed += 1;
+            let process_index = event.process;
+            let next = self.processes[process_index].resume(self.now, env);
+            if let Some(next_time) = next {
+                if next_time < self.now {
+                    return Err(KernelError::WakeUpInThePast {
+                        process: ProcessId(process_index),
+                        requested: next_time,
+                        now: self.now,
+                    });
+                }
+                self.schedule(process_index, next_time);
+            }
+        }
+        self.now = target;
+        Ok(())
+    }
+
+    /// Runs events one at a time until the queue is empty or `max_events` have
+    /// been processed, whichever comes first. Mostly useful in tests and for
+    /// purely digital simulations with a natural end.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`Kernel::run_until`].
+    pub fn run_to_completion(&mut self, env: &mut E, max_events: u64) -> Result<(), KernelError> {
+        let mut executed = 0;
+        while let Some(next) = self.next_event_time() {
+            if executed >= max_events {
+                break;
+            }
+            self.run_until(next, env)?;
+            executed += 1;
+        }
+        Ok(())
+    }
+}
+
+impl<E> fmt::Debug for Kernel<E> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Kernel")
+            .field("now", &self.now)
+            .field("processes", &self.processes.len())
+            .field("pending_events", &self.queue.len())
+            .field("events_processed", &self.events_processed)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Test environment: a log of (time, label) activations.
+    #[derive(Default)]
+    struct Log {
+        entries: Vec<(SimTime, String)>,
+    }
+
+    struct Periodic {
+        label: String,
+        period: SimTime,
+        remaining: usize,
+    }
+
+    impl Process<Log> for Periodic {
+        fn name(&self) -> &str {
+            &self.label
+        }
+        fn resume(&mut self, now: SimTime, env: &mut Log) -> Option<SimTime> {
+            env.entries.push((now, self.label.clone()));
+            if self.remaining == 0 {
+                return None;
+            }
+            self.remaining -= 1;
+            Some(now + self.period)
+        }
+    }
+
+    #[test]
+    fn processes_run_in_time_order() {
+        let mut kernel: Kernel<Log> = Kernel::new();
+        kernel.spawn_at(
+            SimTime::from_millis(10),
+            Periodic { label: "slow".into(), period: SimTime::from_millis(10), remaining: 2 },
+        );
+        kernel.spawn_at(
+            SimTime::from_millis(4),
+            Periodic { label: "fast".into(), period: SimTime::from_millis(4), remaining: 5 },
+        );
+        let mut log = Log::default();
+        kernel.run_until(SimTime::from_millis(20), &mut log).unwrap();
+        // Events: fast at 4, 8, 12, 16, 20; slow at 10, 20.
+        let times: Vec<u64> = log.entries.iter().map(|(t, _)| t.as_nanos() / 1_000_000).collect();
+        let mut sorted = times.clone();
+        sorted.sort_unstable();
+        assert_eq!(times, sorted, "activations must be in chronological order");
+        assert_eq!(kernel.now(), SimTime::from_millis(20));
+        assert!(kernel.events_processed() >= 7);
+    }
+
+    #[test]
+    fn simultaneous_events_preserve_spawn_order() {
+        let mut kernel: Kernel<Log> = Kernel::new();
+        kernel.spawn_at(
+            SimTime::from_millis(5),
+            Periodic { label: "first".into(), period: SimTime::from_millis(5), remaining: 0 },
+        );
+        kernel.spawn_at(
+            SimTime::from_millis(5),
+            Periodic { label: "second".into(), period: SimTime::from_millis(5), remaining: 0 },
+        );
+        let mut log = Log::default();
+        kernel.run_until(SimTime::from_millis(5), &mut log).unwrap();
+        assert_eq!(log.entries[0].1, "first");
+        assert_eq!(log.entries[1].1, "second");
+    }
+
+    #[test]
+    fn finished_processes_are_not_rescheduled() {
+        let mut kernel: Kernel<Log> = Kernel::new();
+        kernel.spawn_at(
+            SimTime::ZERO,
+            Periodic { label: "one-shot".into(), period: SimTime::from_millis(1), remaining: 0 },
+        );
+        let mut log = Log::default();
+        kernel.run_until(SimTime::from_secs(1), &mut log).unwrap();
+        assert_eq!(log.entries.len(), 1);
+        assert!(kernel.is_idle());
+    }
+
+    #[test]
+    fn run_until_does_not_execute_future_events() {
+        let mut kernel: Kernel<Log> = Kernel::new();
+        kernel.spawn_at(
+            SimTime::from_secs(10),
+            Periodic { label: "late".into(), period: SimTime::from_secs(1), remaining: 0 },
+        );
+        let mut log = Log::default();
+        kernel.run_until(SimTime::from_secs(5), &mut log).unwrap();
+        assert!(log.entries.is_empty());
+        assert_eq!(kernel.next_event_time(), Some(SimTime::from_secs(10)));
+        assert_eq!(kernel.now(), SimTime::from_secs(5));
+    }
+
+    #[test]
+    fn target_in_the_past_is_rejected() {
+        let mut kernel: Kernel<Log> = Kernel::new();
+        let mut log = Log::default();
+        kernel.run_until(SimTime::from_secs(5), &mut log).unwrap();
+        let err = kernel.run_until(SimTime::from_secs(1), &mut log).unwrap_err();
+        assert!(matches!(err, KernelError::TargetInThePast { .. }));
+        assert!(err.to_string().contains("already"));
+    }
+
+    struct TimeTraveller;
+    impl Process<Log> for TimeTraveller {
+        fn name(&self) -> &str {
+            "time-traveller"
+        }
+        fn resume(&mut self, _now: SimTime, _env: &mut Log) -> Option<SimTime> {
+            Some(SimTime::ZERO)
+        }
+    }
+
+    #[test]
+    fn wake_up_in_the_past_is_rejected() {
+        let mut kernel: Kernel<Log> = Kernel::new();
+        kernel.spawn_at(SimTime::from_secs(1), TimeTraveller);
+        let mut log = Log::default();
+        let err = kernel.run_until(SimTime::from_secs(2), &mut log).unwrap_err();
+        assert!(matches!(err, KernelError::WakeUpInThePast { .. }));
+        assert!(err.to_string().contains("wake-up"));
+    }
+
+    #[test]
+    fn run_to_completion_drains_the_queue() {
+        let mut kernel: Kernel<Log> = Kernel::new();
+        kernel.spawn_at(
+            SimTime::ZERO,
+            Periodic { label: "p".into(), period: SimTime::from_millis(1), remaining: 9 },
+        );
+        let mut log = Log::default();
+        kernel.run_to_completion(&mut log, 1_000).unwrap();
+        assert_eq!(log.entries.len(), 10);
+        assert!(kernel.is_idle());
+        assert_eq!(kernel.process_count(), 1);
+    }
+
+    #[test]
+    fn run_to_completion_respects_event_budget() {
+        let mut kernel: Kernel<Log> = Kernel::new();
+        kernel.spawn_at(
+            SimTime::ZERO,
+            Periodic { label: "p".into(), period: SimTime::from_millis(1), remaining: 100 },
+        );
+        let mut log = Log::default();
+        kernel.run_to_completion(&mut log, 5).unwrap();
+        assert_eq!(log.entries.len(), 5);
+        assert!(!kernel.is_idle());
+    }
+
+    #[test]
+    #[should_panic(expected = "in the past")]
+    fn spawn_in_the_past_panics() {
+        let mut kernel: Kernel<Log> = Kernel::new();
+        let mut log = Log::default();
+        kernel.run_until(SimTime::from_secs(1), &mut log).unwrap();
+        kernel.spawn_at(
+            SimTime::ZERO,
+            Periodic { label: "late".into(), period: SimTime::from_millis(1), remaining: 0 },
+        );
+    }
+
+    #[test]
+    fn debug_formatting_mentions_state() {
+        let kernel: Kernel<Log> = Kernel::new();
+        let s = format!("{kernel:?}");
+        assert!(s.contains("Kernel"));
+        assert!(s.contains("processes"));
+    }
+}

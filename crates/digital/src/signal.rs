@@ -1,0 +1,139 @@
+use std::fmt;
+
+/// Transition kind observed on a [`Signal`] update.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Edge {
+    /// The value did not change.
+    None,
+    /// The value changed (generic edge for non-boolean signals).
+    Changed,
+    /// A boolean signal went from `false` to `true`.
+    Rising,
+    /// A boolean signal went from `true` to `false`.
+    Falling,
+}
+
+/// A simulation signal: a value with change detection, mirroring the role of
+/// `sc_signal` in the SystemC model of the paper's microcontroller.
+///
+/// Signals are written by one process and read by others; `update` reports the
+/// kind of transition so edge-sensitive behaviour (e.g. "start tuning when the
+/// energy-ok flag rises") is easy to express.
+///
+/// # Example
+///
+/// ```
+/// use harvsim_digital::{Edge, Signal};
+///
+/// let mut energy_ok = Signal::new(false);
+/// assert_eq!(energy_ok.update(true), Edge::Rising);
+/// assert_eq!(energy_ok.update(true), Edge::None);
+/// assert_eq!(energy_ok.update(false), Edge::Falling);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Signal<T> {
+    value: T,
+    events: usize,
+}
+
+impl<T: Clone + PartialEq> Signal<T> {
+    /// Creates a signal with an initial value.
+    pub fn new(initial: T) -> Self {
+        Signal { value: initial, events: 0 }
+    }
+
+    /// Current value of the signal.
+    pub fn value(&self) -> &T {
+        &self.value
+    }
+
+    /// Number of value-changing updates seen so far.
+    pub fn event_count(&self) -> usize {
+        self.events
+    }
+
+    /// Writes a new value and reports whether it changed.
+    pub fn update(&mut self, new_value: T) -> Edge
+    where
+        T: SignalEdge,
+    {
+        if new_value == self.value {
+            Edge::None
+        } else {
+            let edge = T::edge(&self.value, &new_value);
+            self.value = new_value;
+            self.events += 1;
+            edge
+        }
+    }
+}
+
+impl<T: fmt::Display> fmt::Display for Signal<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.value)
+    }
+}
+
+/// Determines the [`Edge`] kind produced when a signal of this type changes.
+///
+/// Boolean signals distinguish rising and falling edges; every other type
+/// reports a generic [`Edge::Changed`].
+pub trait SignalEdge: PartialEq + Sized {
+    /// Classifies the transition from `old` to `new` (which are known to differ).
+    fn edge(old: &Self, new: &Self) -> Edge;
+}
+
+impl SignalEdge for bool {
+    fn edge(old: &Self, new: &Self) -> Edge {
+        match (old, new) {
+            (false, true) => Edge::Rising,
+            (true, false) => Edge::Falling,
+            _ => Edge::None,
+        }
+    }
+}
+
+macro_rules! impl_generic_edge {
+    ($($t:ty),*) => {
+        $(impl SignalEdge for $t {
+            fn edge(_old: &Self, _new: &Self) -> Edge {
+                Edge::Changed
+            }
+        })*
+    };
+}
+
+impl_generic_edge!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64, char, String);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boolean_edges() {
+        let mut s = Signal::new(false);
+        assert_eq!(*s.value(), false);
+        assert_eq!(s.update(true), Edge::Rising);
+        assert_eq!(s.update(false), Edge::Falling);
+        assert_eq!(s.update(false), Edge::None);
+        assert_eq!(s.event_count(), 2);
+    }
+
+    #[test]
+    fn numeric_signals_report_generic_change() {
+        let mut s = Signal::new(0u32);
+        assert_eq!(s.update(5), Edge::Changed);
+        assert_eq!(s.update(5), Edge::None);
+        assert_eq!(s.event_count(), 1);
+
+        let mut f = Signal::new(1.5f64);
+        assert_eq!(f.update(2.5), Edge::Changed);
+    }
+
+    #[test]
+    fn string_signal_and_display() {
+        let mut s = Signal::new("sleep".to_string());
+        assert_eq!(s.update("tuning".to_string()), Edge::Changed);
+        assert_eq!(format!("{s}"), "tuning");
+    }
+}

@@ -1,0 +1,107 @@
+use crate::SimTime;
+
+/// A periodic watchdog timer.
+///
+/// In the paper's microcontroller flow (Fig. 7) "a watchdog timer wakes the
+/// microcontroller periodically"; the controller then checks stored energy and
+/// the frequency mismatch. `WatchdogTimer` encapsulates that periodic wake-up
+/// pattern so the controller process only has to express its decision logic.
+///
+/// # Example
+///
+/// ```
+/// use harvsim_digital::{SimTime, WatchdogTimer};
+///
+/// let mut watchdog = WatchdogTimer::new(SimTime::from_secs(30));
+/// let first = watchdog.first_wakeup(SimTime::ZERO);
+/// assert_eq!(first, SimTime::from_secs(30));
+/// assert_eq!(watchdog.next_wakeup(first), SimTime::from_secs(60));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WatchdogTimer {
+    period: SimTime,
+    expirations: u64,
+}
+
+impl WatchdogTimer {
+    /// Creates a watchdog with the given period.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the period is zero (the kernel would livelock).
+    pub fn new(period: SimTime) -> Self {
+        assert!(period > SimTime::ZERO, "watchdog period must be positive");
+        WatchdogTimer { period, expirations: 0 }
+    }
+
+    /// The configured period.
+    pub fn period(&self) -> SimTime {
+        self.period
+    }
+
+    /// Number of expirations generated so far.
+    pub fn expirations(&self) -> u64 {
+        self.expirations
+    }
+
+    /// First wake-up time when the timer is armed at `now`.
+    pub fn first_wakeup(&mut self, now: SimTime) -> SimTime {
+        self.expirations += 1;
+        now.saturating_add(self.period)
+    }
+
+    /// Next wake-up time after an expiration at `now`.
+    pub fn next_wakeup(&mut self, now: SimTime) -> SimTime {
+        self.expirations += 1;
+        now.saturating_add(self.period)
+    }
+
+    /// Changes the period (takes effect from the next wake-up request).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the new period is zero.
+    pub fn set_period(&mut self, period: SimTime) {
+        assert!(period > SimTime::ZERO, "watchdog period must be positive");
+        self.period = period;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn periodic_expirations() {
+        let mut w = WatchdogTimer::new(SimTime::from_secs(30));
+        assert_eq!(w.period(), SimTime::from_secs(30));
+        let t1 = w.first_wakeup(SimTime::ZERO);
+        let t2 = w.next_wakeup(t1);
+        let t3 = w.next_wakeup(t2);
+        assert_eq!(t1, SimTime::from_secs(30));
+        assert_eq!(t2, SimTime::from_secs(60));
+        assert_eq!(t3, SimTime::from_secs(90));
+        assert_eq!(w.expirations(), 3);
+    }
+
+    #[test]
+    fn period_can_change_at_runtime() {
+        let mut w = WatchdogTimer::new(SimTime::from_secs(10));
+        let t1 = w.first_wakeup(SimTime::ZERO);
+        w.set_period(SimTime::from_secs(1));
+        assert_eq!(w.next_wakeup(t1), SimTime::from_secs(11));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_period_rejected() {
+        let _ = WatchdogTimer::new(SimTime::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_period_rejected_on_update() {
+        let mut w = WatchdogTimer::new(SimTime::from_secs(1));
+        w.set_period(SimTime::ZERO);
+    }
+}

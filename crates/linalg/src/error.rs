@@ -1,0 +1,106 @@
+use std::fmt;
+
+/// Errors produced by linear-algebra operations in this crate.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum LinalgError {
+    /// Two operands have incompatible dimensions for the requested operation.
+    DimensionMismatch {
+        /// Human-readable description of the operation that failed.
+        operation: &'static str,
+        /// Dimensions of the left-hand operand, `(rows, cols)`.
+        left: (usize, usize),
+        /// Dimensions of the right-hand operand, `(rows, cols)`.
+        right: (usize, usize),
+    },
+    /// The requested operation needs a square matrix but the operand is not square.
+    NotSquare {
+        /// Number of rows of the offending matrix.
+        rows: usize,
+        /// Number of columns of the offending matrix.
+        cols: usize,
+    },
+    /// A factorisation or solve encountered a (numerically) singular matrix.
+    Singular {
+        /// Index of the pivot at which singularity was detected.
+        pivot: usize,
+        /// Magnitude of the offending pivot element.
+        value: f64,
+    },
+    /// An iterative algorithm failed to converge within its iteration budget.
+    NoConvergence {
+        /// Name of the algorithm.
+        algorithm: &'static str,
+        /// Number of iterations performed before giving up.
+        iterations: usize,
+    },
+    /// An argument was outside the domain accepted by the operation.
+    InvalidArgument(String),
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::DimensionMismatch { operation, left, right } => write!(
+                f,
+                "dimension mismatch in {operation}: left is {}x{}, right is {}x{}",
+                left.0, left.1, right.0, right.1
+            ),
+            LinalgError::NotSquare { rows, cols } => {
+                write!(f, "matrix is not square ({rows}x{cols})")
+            }
+            LinalgError::Singular { pivot, value } => {
+                write!(f, "matrix is singular at pivot {pivot} (|pivot| = {value:.3e})")
+            }
+            LinalgError::NoConvergence { algorithm, iterations } => {
+                write!(f, "{algorithm} did not converge after {iterations} iterations")
+            }
+            LinalgError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_dimension_mismatch() {
+        let err = LinalgError::DimensionMismatch {
+            operation: "matrix multiply",
+            left: (2, 3),
+            right: (4, 5),
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("matrix multiply"));
+        assert!(msg.contains("2x3"));
+        assert!(msg.contains("4x5"));
+    }
+
+    #[test]
+    fn display_singular() {
+        let err = LinalgError::Singular { pivot: 3, value: 1e-20 };
+        assert!(err.to_string().contains("pivot 3"));
+    }
+
+    #[test]
+    fn display_not_square() {
+        let err = LinalgError::NotSquare { rows: 3, cols: 4 };
+        assert!(err.to_string().contains("3x4"));
+    }
+
+    #[test]
+    fn display_no_convergence() {
+        let err = LinalgError::NoConvergence { algorithm: "power iteration", iterations: 100 };
+        assert!(err.to_string().contains("power iteration"));
+        assert!(err.to_string().contains("100"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<LinalgError>();
+    }
+}

@@ -1,0 +1,358 @@
+//! LU factorisation with partial pivoting.
+//!
+//! The linearised state-space technique eliminates the non-state (terminal)
+//! variables at every accepted time point by solving the algebraic system
+//! `Jyy · y = −Jyx · x` (Eq. 4 of the paper). `Jyy` is small and changes only
+//! when the piecewise-linear device models switch segment, so an LU
+//! factorisation that can be cached and re-used for many right-hand sides is
+//! the natural tool. The same factorisation backs the Newton–Raphson iterations
+//! of the baseline (implicit) solvers.
+
+use crate::{DMatrix, DVector, LinalgError};
+
+/// LU factorisation of a square matrix with partial (row) pivoting.
+///
+/// The factorisation satisfies `P · A = L · U` where `P` is a permutation,
+/// `L` is unit lower triangular and `U` is upper triangular. Both factors are
+/// stored compactly in a single matrix.
+///
+/// # Example
+///
+/// ```
+/// use harvsim_linalg::{DMatrix, DVector};
+///
+/// # fn main() -> Result<(), harvsim_linalg::LinalgError> {
+/// let a = DMatrix::from_rows(&[&[0.0, 2.0], &[1.0, 1.0]])?; // needs pivoting
+/// let lu = a.lu()?;
+/// let x = lu.solve(&DVector::from_slice(&[2.0, 2.0]))?;
+/// assert!((x[0] - 1.0).abs() < 1e-12 && (x[1] - 1.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct LuDecomposition {
+    /// Combined storage: strictly-lower part holds `L` (unit diagonal implied),
+    /// upper part (including diagonal) holds `U`.
+    lu: DMatrix,
+    /// Row permutation: row `i` of the factorised matrix came from row `perm[i]`
+    /// of the original.
+    perm: Vec<usize>,
+    /// Sign of the permutation (+1.0 or -1.0), needed for the determinant.
+    perm_sign: f64,
+    /// Threshold below which a pivot is considered numerically zero.
+    pivot_tolerance: f64,
+}
+
+impl LuDecomposition {
+    /// Factorises `a` using partial pivoting and the default pivot tolerance
+    /// ([`crate::DEFAULT_EPS`] scaled by the matrix magnitude).
+    ///
+    /// # Errors
+    ///
+    /// * [`LinalgError::NotSquare`] if `a` is not square.
+    /// * [`LinalgError::Singular`] if a pivot smaller than the tolerance is found.
+    pub fn new(a: &DMatrix) -> Result<Self, LinalgError> {
+        let scale = a.max_abs().max(1.0);
+        Self::with_tolerance(a, crate::DEFAULT_EPS * scale)
+    }
+
+    /// Factorises `a` with an explicit absolute pivot tolerance.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`LuDecomposition::new`].
+    pub fn with_tolerance(a: &DMatrix, pivot_tolerance: f64) -> Result<Self, LinalgError> {
+        if !a.is_square() {
+            return Err(LinalgError::NotSquare { rows: a.rows(), cols: a.cols() });
+        }
+        let n = a.rows();
+        let mut lu = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut perm_sign = 1.0;
+
+        for k in 0..n {
+            // Find the pivot row: largest magnitude in column k at or below row k.
+            let mut pivot_row = k;
+            let mut pivot_val = lu[(k, k)].abs();
+            for r in (k + 1)..n {
+                let v = lu[(r, k)].abs();
+                if v > pivot_val {
+                    pivot_val = v;
+                    pivot_row = r;
+                }
+            }
+            if pivot_val <= pivot_tolerance {
+                return Err(LinalgError::Singular { pivot: k, value: pivot_val });
+            }
+            if pivot_row != k {
+                for c in 0..n {
+                    let tmp = lu[(k, c)];
+                    lu[(k, c)] = lu[(pivot_row, c)];
+                    lu[(pivot_row, c)] = tmp;
+                }
+                perm.swap(k, pivot_row);
+                perm_sign = -perm_sign;
+            }
+            // Eliminate below the pivot.
+            let pivot = lu[(k, k)];
+            for r in (k + 1)..n {
+                let factor = lu[(r, k)] / pivot;
+                lu[(r, k)] = factor;
+                for c in (k + 1)..n {
+                    let u = lu[(k, c)];
+                    lu[(r, c)] -= factor * u;
+                }
+            }
+        }
+
+        Ok(LuDecomposition { lu, perm, perm_sign, pivot_tolerance })
+    }
+
+    /// Dimension of the factorised matrix.
+    pub fn dim(&self) -> usize {
+        self.lu.rows()
+    }
+
+    /// The pivot tolerance used during factorisation.
+    pub fn pivot_tolerance(&self) -> f64 {
+        self.pivot_tolerance
+    }
+
+    /// Solves `A · x = b` using the stored factorisation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `b.len() != self.dim()`.
+    pub fn solve(&self, b: &DVector) -> Result<DVector, LinalgError> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(LinalgError::DimensionMismatch {
+                operation: "LU solve",
+                left: (n, n),
+                right: (b.len(), 1),
+            });
+        }
+        // Apply the permutation: y = P b.
+        let mut x = DVector::from_fn(n, |i| b[self.perm[i]]);
+        // Forward substitution with the unit lower factor.
+        for i in 0..n {
+            let mut acc = x[i];
+            for j in 0..i {
+                acc -= self.lu[(i, j)] * x[j];
+            }
+            x[i] = acc;
+        }
+        // Back substitution with the upper factor.
+        for i in (0..n).rev() {
+            let mut acc = x[i];
+            for j in (i + 1)..n {
+                acc -= self.lu[(i, j)] * x[j];
+            }
+            x[i] = acc / self.lu[(i, i)];
+        }
+        Ok(x)
+    }
+
+    /// Solves `A · X = B` column by column.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `B.rows() != self.dim()`.
+    pub fn solve_matrix(&self, b: &DMatrix) -> Result<DMatrix, LinalgError> {
+        let n = self.dim();
+        if b.rows() != n {
+            return Err(LinalgError::DimensionMismatch {
+                operation: "LU matrix solve",
+                left: (n, n),
+                right: b.shape(),
+            });
+        }
+        let mut out = DMatrix::zeros(n, b.cols());
+        for c in 0..b.cols() {
+            let col = self.solve(&b.column(c))?;
+            for r in 0..n {
+                out[(r, c)] = col[r];
+            }
+        }
+        Ok(out)
+    }
+
+    /// Determinant of the original matrix.
+    pub fn determinant(&self) -> f64 {
+        let mut det = self.perm_sign;
+        for i in 0..self.dim() {
+            det *= self.lu[(i, i)];
+        }
+        det
+    }
+
+    /// Inverse of the original matrix.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solve errors (which cannot occur for a successfully
+    /// factorised matrix of matching dimension).
+    pub fn inverse(&self) -> Result<DMatrix, LinalgError> {
+        self.solve_matrix(&DMatrix::identity(self.dim()))
+    }
+
+    /// Cheap estimate of the reciprocal condition number based on the ratio of
+    /// the smallest to the largest pivot magnitude. A value close to zero warns
+    /// that solutions of Eq. 4 may be inaccurate (e.g. an almost-floating
+    /// terminal node in the assembled model).
+    pub fn rcond_estimate(&self) -> f64 {
+        let n = self.dim();
+        if n == 0 {
+            return 1.0;
+        }
+        let mut min = f64::INFINITY;
+        let mut max: f64 = 0.0;
+        for i in 0..n {
+            let p = self.lu[(i, i)].abs();
+            min = min.min(p);
+            max = max.max(p);
+        }
+        if max == 0.0 {
+            0.0
+        } else {
+            min / max
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd_matrix() -> DMatrix {
+        DMatrix::from_rows(&[&[4.0, 1.0, 0.0], &[1.0, 3.0, 1.0], &[0.0, 1.0, 2.0]]).unwrap()
+    }
+
+    #[test]
+    fn solve_recovers_known_solution() {
+        let a = spd_matrix();
+        let x_true = DVector::from_slice(&[1.0, -2.0, 3.0]);
+        let b = a.mul_vector(&x_true);
+        let x = a.lu().unwrap().solve(&b).unwrap();
+        assert!(x.max_abs_diff(&x_true).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        let a = DMatrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]).unwrap();
+        let x = a.lu().unwrap().solve(&DVector::from_slice(&[2.0, 3.0])).unwrap();
+        assert_eq!(x.as_slice(), &[3.0, 2.0]);
+    }
+
+    #[test]
+    fn singular_matrix_is_detected() {
+        let a = DMatrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]).unwrap();
+        assert!(matches!(a.lu(), Err(LinalgError::Singular { .. })));
+    }
+
+    #[test]
+    fn non_square_rejected() {
+        let a = DMatrix::zeros(2, 3);
+        assert!(matches!(LuDecomposition::new(&a), Err(LinalgError::NotSquare { .. })));
+    }
+
+    #[test]
+    fn determinant_matches_cofactor_expansion() {
+        let a = DMatrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+        assert!((a.lu().unwrap().determinant() - (-2.0)).abs() < 1e-14);
+        // Permutation sign is accounted for.
+        let b = DMatrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]).unwrap();
+        assert!((b.lu().unwrap().determinant() - (-1.0)).abs() < 1e-14);
+    }
+
+    #[test]
+    fn inverse_multiplies_to_identity() {
+        let a = spd_matrix();
+        let inv = a.lu().unwrap().inverse().unwrap();
+        let prod = a.mul_matrix(&inv).unwrap();
+        assert!(prod.max_abs_diff(&DMatrix::identity(3)).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn solve_matrix_right_hand_sides() {
+        let a = spd_matrix();
+        let b = DMatrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 1.0]]).unwrap();
+        let x = a.lu().unwrap().solve_matrix(&b).unwrap();
+        let back = a.mul_matrix(&x).unwrap();
+        assert!(back.max_abs_diff(&b).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn dimension_mismatch_errors() {
+        let lu = spd_matrix().lu().unwrap();
+        assert!(lu.solve(&DVector::zeros(2)).is_err());
+        assert!(lu.solve_matrix(&DMatrix::zeros(2, 2)).is_err());
+    }
+
+    #[test]
+    fn rcond_estimate_flags_near_singularity() {
+        let good = spd_matrix().lu().unwrap();
+        assert!(good.rcond_estimate() > 0.1);
+        let bad = DMatrix::from_rows(&[&[1.0, 0.0], &[0.0, 1e-9]]).unwrap().lu().unwrap();
+        assert!(bad.rcond_estimate() < 1e-8);
+    }
+
+    #[test]
+    fn tolerance_is_recorded() {
+        let lu = LuDecomposition::with_tolerance(&spd_matrix(), 1e-6).unwrap();
+        assert_eq!(lu.pivot_tolerance(), 1e-6);
+        assert_eq!(lu.dim(), 3);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Strategy: well-conditioned matrices built as `D + R` with a dominant diagonal.
+    fn diag_dominant_matrix(n: usize) -> impl Strategy<Value = DMatrix> {
+        prop::collection::vec(-1.0f64..1.0, n * n).prop_map(move |vals| {
+            let mut m = DMatrix::from_row_major(n, n, vals).expect("size matches");
+            for i in 0..n {
+                let row_sum: f64 = m.row(i).iter().map(|x| x.abs()).sum();
+                m[(i, i)] = row_sum + 1.0;
+            }
+            m
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn lu_solve_residual_is_small(
+            m in diag_dominant_matrix(5),
+            b in prop::collection::vec(-10.0f64..10.0, 5),
+        ) {
+            let b = DVector::from_vec(b);
+            let x = m.lu().unwrap().solve(&b).unwrap();
+            let residual = (m.mul_vector(&x) - &b).norm_inf();
+            prop_assert!(residual < 1e-9, "residual {residual}");
+        }
+
+        #[test]
+        fn determinant_of_product_is_product_of_determinants(
+            a in diag_dominant_matrix(4),
+            b in diag_dominant_matrix(4),
+        ) {
+            let da = a.lu().unwrap().determinant();
+            let db = b.lu().unwrap().determinant();
+            let dab = a.mul_matrix(&b).unwrap().lu().unwrap().determinant();
+            let scale = da.abs().max(db.abs()).max(1.0);
+            prop_assert!((dab - da * db).abs() / (scale * scale) < 1e-9);
+        }
+
+        #[test]
+        fn inverse_roundtrip(a in diag_dominant_matrix(4)) {
+            let inv = a.inverse().unwrap();
+            let prod = a.mul_matrix(&inv).unwrap();
+            prop_assert!(prod.max_abs_diff(&DMatrix::identity(4)).unwrap() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,630 @@
+use std::fmt;
+use std::ops::{Add, AddAssign, Index, IndexMut, Mul, Neg, Sub, SubAssign};
+
+use crate::lu::LuDecomposition;
+use crate::{DVector, LinalgError};
+
+/// A dense, row-major matrix of `f64` values.
+///
+/// `DMatrix` stores the Jacobian blocks `Jxx`, `Jxy`, `Jyx`, `Jyy` of the
+/// linearised model (Eq. 2 of the paper) as well as the assembled point
+/// total-step matrix `A` whose stability governs the explicit integration step
+/// size (Eq. 7). Matrices in this problem domain are small (tens of rows), so
+/// all operations are straightforward dense loops.
+///
+/// # Example
+///
+/// ```
+/// use harvsim_linalg::{DMatrix, DVector};
+///
+/// # fn main() -> Result<(), harvsim_linalg::LinalgError> {
+/// let a = DMatrix::identity(3).scaled(2.0);
+/// let x = DVector::from_slice(&[1.0, 2.0, 3.0]);
+/// assert_eq!(a.mul_vector(&x).as_slice(), &[2.0, 4.0, 6.0]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct DMatrix {
+    rows: usize,
+    cols: usize,
+    /// Row-major storage: element `(r, c)` lives at `r * cols + c`.
+    data: Vec<f64>,
+}
+
+impl DMatrix {
+    /// Creates a `rows × cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        DMatrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = DMatrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Creates a diagonal matrix from the entries of `diag`.
+    pub fn from_diagonal(diag: &DVector) -> Self {
+        let n = diag.len();
+        let mut m = DMatrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = diag[i];
+        }
+        m
+    }
+
+    /// Creates a matrix from row slices. All rows must have the same length.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::InvalidArgument`] if the rows have differing lengths.
+    pub fn from_rows(rows: &[&[f64]]) -> Result<Self, LinalgError> {
+        if rows.is_empty() {
+            return Ok(DMatrix::zeros(0, 0));
+        }
+        let cols = rows[0].len();
+        if rows.iter().any(|r| r.len() != cols) {
+            return Err(LinalgError::InvalidArgument(
+                "all rows must have the same number of columns".to_string(),
+            ));
+        }
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for row in rows {
+            data.extend_from_slice(row);
+        }
+        Ok(DMatrix { rows: rows.len(), cols, data })
+    }
+
+    /// Creates a `rows × cols` matrix whose `(r, c)` entry is `f(r, c)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut m = DMatrix::zeros(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                m[(r, c)] = f(r, c);
+            }
+        }
+        m
+    }
+
+    /// Creates a matrix from a row-major data vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::InvalidArgument`] if `data.len() != rows * cols`.
+    pub fn from_row_major(rows: usize, cols: usize, data: Vec<f64>) -> Result<Self, LinalgError> {
+        if data.len() != rows * cols {
+            return Err(LinalgError::InvalidArgument(format!(
+                "expected {} elements for a {}x{} matrix, got {}",
+                rows * cols,
+                rows,
+                cols,
+                data.len()
+            )));
+        }
+        Ok(DMatrix { rows, cols, data })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Returns `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Returns `true` if the matrix is square.
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Returns `true` if the matrix has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Borrow the underlying row-major storage.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Returns element `(r, c)`, or `None` if out of bounds.
+    pub fn get(&self, r: usize, c: usize) -> Option<f64> {
+        if r < self.rows && c < self.cols {
+            Some(self.data[r * self.cols + c])
+        } else {
+            None
+        }
+    }
+
+    /// Sets element `(r, c)` to `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of bounds.
+    pub fn set(&mut self, r: usize, c: usize, value: f64) {
+        assert!(r < self.rows && c < self.cols, "matrix index out of bounds");
+        self.data[r * self.cols + c] = value;
+    }
+
+    /// Adds `value` to element `(r, c)` (the "stamping" primitive used by MNA
+    /// assembly and block composition).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of bounds.
+    pub fn add_to(&mut self, r: usize, c: usize, value: f64) {
+        assert!(r < self.rows && c < self.cols, "matrix index out of bounds");
+        self.data[r * self.cols + c] += value;
+    }
+
+    /// Borrow row `r` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of bounds.
+    pub fn row(&self, r: usize) -> &[f64] {
+        assert!(r < self.rows, "row index out of bounds");
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Copies column `c` into a new vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is out of bounds.
+    pub fn column(&self, c: usize) -> DVector {
+        assert!(c < self.cols, "column index out of bounds");
+        DVector::from_fn(self.rows, |r| self[(r, c)])
+    }
+
+    /// Copies the main diagonal into a vector (length `min(rows, cols)`).
+    pub fn diagonal(&self) -> DVector {
+        let n = self.rows.min(self.cols);
+        DVector::from_fn(n, |i| self[(i, i)])
+    }
+
+    /// Returns the transposed matrix.
+    pub fn transpose(&self) -> DMatrix {
+        DMatrix::from_fn(self.cols, self.rows, |r, c| self[(c, r)])
+    }
+
+    /// Returns the matrix scaled by `alpha`.
+    pub fn scaled(&self, alpha: f64) -> DMatrix {
+        DMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|x| alpha * x).collect(),
+        }
+    }
+
+    /// Scales the matrix in place by `alpha`.
+    pub fn scale_mut(&mut self, alpha: f64) {
+        self.data.iter_mut().for_each(|x| *x *= alpha);
+    }
+
+    /// Matrix–vector product `A · x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.cols()`.
+    pub fn mul_vector(&self, x: &DVector) -> DVector {
+        assert_eq!(x.len(), self.cols, "matrix-vector dimension mismatch");
+        let mut out = DVector::zeros(self.rows);
+        for r in 0..self.rows {
+            let row = self.row(r);
+            let mut acc = 0.0;
+            for (a, b) in row.iter().zip(x.iter()) {
+                acc += a * b;
+            }
+            out[r] = acc;
+        }
+        out
+    }
+
+    /// Matrix–matrix product `A · B`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `self.cols() != other.rows()`.
+    pub fn mul_matrix(&self, other: &DMatrix) -> Result<DMatrix, LinalgError> {
+        if self.cols != other.rows {
+            return Err(LinalgError::DimensionMismatch {
+                operation: "matrix multiply",
+                left: self.shape(),
+                right: other.shape(),
+            });
+        }
+        let mut out = DMatrix::zeros(self.rows, other.cols);
+        for r in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(r, k)];
+                if a == 0.0 {
+                    continue;
+                }
+                for c in 0..other.cols {
+                    out[(r, c)] += a * other[(k, c)];
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Copies `block` into this matrix with its top-left corner at `(row, col)`.
+    ///
+    /// This is the primitive the state-space assembler uses to place per-block
+    /// Jacobians into the global system matrices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block does not fit.
+    pub fn set_block(&mut self, row: usize, col: usize, block: &DMatrix) {
+        assert!(
+            row + block.rows <= self.rows && col + block.cols <= self.cols,
+            "block does not fit at the requested position"
+        );
+        for r in 0..block.rows {
+            for c in 0..block.cols {
+                self[(row + r, col + c)] = block[(r, c)];
+            }
+        }
+    }
+
+    /// Adds `block` into this matrix with its top-left corner at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block does not fit.
+    pub fn add_block(&mut self, row: usize, col: usize, block: &DMatrix) {
+        assert!(
+            row + block.rows <= self.rows && col + block.cols <= self.cols,
+            "block does not fit at the requested position"
+        );
+        for r in 0..block.rows {
+            for c in 0..block.cols {
+                self[(row + r, col + c)] += block[(r, c)];
+            }
+        }
+    }
+
+    /// Extracts the `height × width` sub-matrix whose top-left corner is `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the requested block extends past the matrix bounds.
+    pub fn block(&self, row: usize, col: usize, height: usize, width: usize) -> DMatrix {
+        assert!(
+            row + height <= self.rows && col + width <= self.cols,
+            "requested block extends past the matrix bounds"
+        );
+        DMatrix::from_fn(height, width, |r, c| self[(row + r, col + c)])
+    }
+
+    /// Frobenius norm (square root of the sum of squared entries).
+    pub fn norm_frobenius(&self) -> f64 {
+        self.data.iter().map(|x| x * x).sum::<f64>().sqrt()
+    }
+
+    /// Infinity norm (maximum absolute row sum).
+    pub fn norm_inf(&self) -> f64 {
+        (0..self.rows)
+            .map(|r| self.row(r).iter().map(|x| x.abs()).sum::<f64>())
+            .fold(0.0, f64::max)
+    }
+
+    /// Largest absolute entry of the matrix.
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().fold(0.0, |acc: f64, x| acc.max(x.abs()))
+    }
+
+    /// Largest absolute element-wise difference to another matrix.
+    ///
+    /// Used by the linearisation-error monitor, which watches how much the
+    /// Jacobian entries move between consecutive time points (Eq. 3 discussion).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if the shapes differ.
+    pub fn max_abs_diff(&self, other: &DMatrix) -> Result<f64, LinalgError> {
+        if self.shape() != other.shape() {
+            return Err(LinalgError::DimensionMismatch {
+                operation: "max_abs_diff",
+                left: self.shape(),
+                right: other.shape(),
+            });
+        }
+        Ok(self
+            .data
+            .iter()
+            .zip(&other.data)
+            .fold(0.0, |acc, (a, b)| acc.max((a - b).abs())))
+    }
+
+    /// Returns `true` if every entry is finite.
+    pub fn is_finite(&self) -> bool {
+        self.data.iter().all(|x| x.is_finite())
+    }
+
+    /// LU-factorises the matrix with partial pivoting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::NotSquare`] for non-square matrices and
+    /// [`LinalgError::Singular`] when a pivot is numerically zero.
+    pub fn lu(&self) -> Result<LuDecomposition, LinalgError> {
+        LuDecomposition::new(self)
+    }
+
+    /// Solves `A · x = b` for `x` via LU factorisation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from [`DMatrix::lu`] and from the solve
+    /// (dimension mismatch between `A` and `b`).
+    pub fn solve(&self, b: &DVector) -> Result<DVector, LinalgError> {
+        self.lu()?.solve(b)
+    }
+
+    /// Computes the matrix inverse via LU factorisation.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`DMatrix::lu`].
+    pub fn inverse(&self) -> Result<DMatrix, LinalgError> {
+        self.lu()?.inverse()
+    }
+}
+
+impl Index<(usize, usize)> for DMatrix {
+    type Output = f64;
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        assert!(r < self.rows && c < self.cols, "matrix index out of bounds");
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl IndexMut<(usize, usize)> for DMatrix {
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        assert!(r < self.rows && c < self.cols, "matrix index out of bounds");
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+impl fmt::Display for DMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "DMatrix {}x{} [", self.rows, self.cols)?;
+        for r in 0..self.rows {
+            write!(f, "  ")?;
+            for c in 0..self.cols {
+                write!(f, "{:>12.4e} ", self[(r, c)])?;
+            }
+            writeln!(f)?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl Add<&DMatrix> for &DMatrix {
+    type Output = DMatrix;
+    fn add(self, rhs: &DMatrix) -> DMatrix {
+        assert_eq!(self.shape(), rhs.shape(), "shape mismatch in matrix addition");
+        DMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().zip(&rhs.data).map(|(a, b)| a + b).collect(),
+        }
+    }
+}
+
+impl Sub<&DMatrix> for &DMatrix {
+    type Output = DMatrix;
+    fn sub(self, rhs: &DMatrix) -> DMatrix {
+        assert_eq!(self.shape(), rhs.shape(), "shape mismatch in matrix subtraction");
+        DMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().zip(&rhs.data).map(|(a, b)| a - b).collect(),
+        }
+    }
+}
+
+impl AddAssign<&DMatrix> for DMatrix {
+    fn add_assign(&mut self, rhs: &DMatrix) {
+        assert_eq!(self.shape(), rhs.shape(), "shape mismatch in matrix +=");
+        for (a, b) in self.data.iter_mut().zip(&rhs.data) {
+            *a += b;
+        }
+    }
+}
+
+impl SubAssign<&DMatrix> for DMatrix {
+    fn sub_assign(&mut self, rhs: &DMatrix) {
+        assert_eq!(self.shape(), rhs.shape(), "shape mismatch in matrix -=");
+        for (a, b) in self.data.iter_mut().zip(&rhs.data) {
+            *a -= b;
+        }
+    }
+}
+
+impl Mul<f64> for &DMatrix {
+    type Output = DMatrix;
+    fn mul(self, rhs: f64) -> DMatrix {
+        self.scaled(rhs)
+    }
+}
+
+impl Mul<&DMatrix> for f64 {
+    type Output = DMatrix;
+    fn mul(self, rhs: &DMatrix) -> DMatrix {
+        rhs.scaled(self)
+    }
+}
+
+impl Mul<&DVector> for &DMatrix {
+    type Output = DVector;
+    fn mul(self, rhs: &DVector) -> DVector {
+        self.mul_vector(rhs)
+    }
+}
+
+impl Mul<&DMatrix> for &DMatrix {
+    type Output = DMatrix;
+    fn mul(self, rhs: &DMatrix) -> DMatrix {
+        self.mul_matrix(rhs).expect("matrix multiply dimension mismatch")
+    }
+}
+
+impl Neg for &DMatrix {
+    type Output = DMatrix;
+    fn neg(self) -> DMatrix {
+        self.scaled(-1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> DMatrix {
+        DMatrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap()
+    }
+
+    #[test]
+    fn constructors_and_shape() {
+        let z = DMatrix::zeros(2, 3);
+        assert_eq!(z.shape(), (2, 3));
+        assert!(!z.is_square());
+        assert!(DMatrix::identity(3).is_square());
+        assert_eq!(DMatrix::identity(2)[(0, 0)], 1.0);
+        assert_eq!(DMatrix::identity(2)[(0, 1)], 0.0);
+
+        let d = DMatrix::from_diagonal(&DVector::from_slice(&[1.0, 2.0]));
+        assert_eq!(d[(1, 1)], 2.0);
+        assert_eq!(d[(1, 0)], 0.0);
+
+        let f = DMatrix::from_fn(2, 2, |r, c| (r * 10 + c) as f64);
+        assert_eq!(f[(1, 1)], 11.0);
+
+        assert!(DMatrix::from_rows(&[&[1.0], &[1.0, 2.0]]).is_err());
+        assert!(DMatrix::from_row_major(2, 2, vec![1.0]).is_err());
+        assert!(DMatrix::from_row_major(1, 2, vec![1.0, 2.0]).is_ok());
+        assert!(DMatrix::zeros(0, 0).is_empty());
+    }
+
+    #[test]
+    fn indexing_rows_columns_diagonal() {
+        let m = sample();
+        assert_eq!(m[(0, 1)], 2.0);
+        assert_eq!(m.get(1, 0), Some(3.0));
+        assert_eq!(m.get(2, 0), None);
+        assert_eq!(m.row(1), &[3.0, 4.0]);
+        assert_eq!(m.column(0).as_slice(), &[1.0, 3.0]);
+        assert_eq!(m.diagonal().as_slice(), &[1.0, 4.0]);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let m = sample();
+        assert_eq!(m.transpose().transpose(), m);
+        assert_eq!(m.transpose()[(0, 1)], 3.0);
+    }
+
+    #[test]
+    fn matvec_and_matmul() {
+        let m = sample();
+        let x = DVector::from_slice(&[1.0, 1.0]);
+        assert_eq!(m.mul_vector(&x).as_slice(), &[3.0, 7.0]);
+
+        let i = DMatrix::identity(2);
+        assert_eq!(m.mul_matrix(&i).unwrap(), m);
+        let p = m.mul_matrix(&m).unwrap();
+        assert_eq!(p[(0, 0)], 7.0);
+        assert_eq!(p[(1, 1)], 22.0);
+        assert!(m.mul_matrix(&DMatrix::zeros(3, 3)).is_err());
+    }
+
+    #[test]
+    fn blocks_and_stamping() {
+        let mut m = DMatrix::zeros(3, 3);
+        m.set_block(1, 1, &sample());
+        assert_eq!(m[(1, 1)], 1.0);
+        assert_eq!(m[(2, 2)], 4.0);
+        m.add_block(1, 1, &DMatrix::identity(2));
+        assert_eq!(m[(1, 1)], 2.0);
+        assert_eq!(m.block(1, 1, 2, 2)[(1, 1)], 5.0);
+        m.add_to(0, 0, 2.5);
+        assert_eq!(m[(0, 0)], 2.5);
+    }
+
+    #[test]
+    fn norms() {
+        let m = sample();
+        assert!((m.norm_frobenius() - (30.0f64).sqrt()).abs() < 1e-14);
+        assert_eq!(m.norm_inf(), 7.0);
+        assert_eq!(m.max_abs(), 4.0);
+        let other = DMatrix::zeros(2, 2);
+        assert_eq!(m.max_abs_diff(&other).unwrap(), 4.0);
+        assert!(m.max_abs_diff(&DMatrix::zeros(3, 3)).is_err());
+    }
+
+    #[test]
+    fn arithmetic() {
+        let m = sample();
+        let i = DMatrix::identity(2);
+        assert_eq!((&m + &i)[(0, 0)], 2.0);
+        assert_eq!((&m - &i)[(1, 1)], 3.0);
+        assert_eq!((2.0 * &m)[(1, 0)], 6.0);
+        assert_eq!((&m * 0.5)[(0, 1)], 1.0);
+        assert_eq!((-&m)[(0, 0)], -1.0);
+        let mut a = m.clone();
+        a += &i;
+        assert_eq!(a[(0, 0)], 2.0);
+        a -= &i;
+        assert_eq!(a[(0, 0)], 1.0);
+        let v = DVector::from_slice(&[1.0, 0.0]);
+        assert_eq!((&m * &v).as_slice(), &[1.0, 3.0]);
+        assert_eq!((&m * &i), m);
+    }
+
+    #[test]
+    fn finiteness() {
+        let mut m = sample();
+        assert!(m.is_finite());
+        m[(0, 0)] = f64::NAN;
+        assert!(!m.is_finite());
+    }
+
+    #[test]
+    fn solve_and_inverse_small_system() {
+        let a = DMatrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]).unwrap();
+        let b = DVector::from_slice(&[3.0, 5.0]);
+        let x = a.solve(&b).unwrap();
+        assert!((a.mul_vector(&x) - &b).norm_inf() < 1e-12);
+        let inv = a.inverse().unwrap();
+        let prod = a.mul_matrix(&inv).unwrap();
+        assert!(prod.max_abs_diff(&DMatrix::identity(2)).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn display_contains_dimensions() {
+        let s = format!("{}", sample());
+        assert!(s.contains("2x2"));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_index_panics() {
+        let m = sample();
+        let _ = m[(5, 0)];
+    }
+}

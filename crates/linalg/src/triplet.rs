@@ -1,0 +1,145 @@
+use crate::{DMatrix, LinalgError};
+
+/// Coordinate-format ("triplet") accumulator for building matrices by stamping.
+///
+/// The modified-nodal-analysis baseline simulator and the state-space assembler
+/// both construct their system matrices by adding many small contributions
+/// ("stamps") at (row, column) positions — exactly the access pattern a SPICE
+/// engine uses. `TripletBuilder` collects those contributions and materialises
+/// the dense matrix once at the end, summing duplicate coordinates.
+///
+/// # Example
+///
+/// ```
+/// use harvsim_linalg::TripletBuilder;
+///
+/// let mut builder = TripletBuilder::new(2, 2);
+/// builder.add(0, 0, 1.0);
+/// builder.add(0, 0, 2.0); // duplicates accumulate
+/// builder.add(1, 1, 5.0);
+/// let m = builder.build().expect("entries are in range");
+/// assert_eq!(m[(0, 0)], 3.0);
+/// assert_eq!(m[(1, 1)], 5.0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TripletBuilder {
+    rows: usize,
+    cols: usize,
+    entries: Vec<(usize, usize, f64)>,
+}
+
+impl TripletBuilder {
+    /// Creates an empty builder for a `rows × cols` matrix.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        TripletBuilder { rows, cols, entries: Vec::new() }
+    }
+
+    /// Creates an empty builder with capacity reserved for `capacity` stamps.
+    pub fn with_capacity(rows: usize, cols: usize, capacity: usize) -> Self {
+        TripletBuilder { rows, cols, entries: Vec::with_capacity(capacity) }
+    }
+
+    /// Target matrix shape `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Number of stamps recorded so far (duplicates counted individually).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if no stamps have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Records the stamp `value` at `(row, col)`. Out-of-range coordinates are
+    /// only reported when [`TripletBuilder::build`] is called, so stamping loops
+    /// do not need per-call error handling.
+    pub fn add(&mut self, row: usize, col: usize, value: f64) {
+        self.entries.push((row, col, value));
+    }
+
+    /// Removes all recorded stamps, keeping the target shape.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Materialises the dense matrix, summing duplicate coordinates.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::InvalidArgument`] if any stamp lies outside the
+    /// target shape or is non-finite.
+    pub fn build(&self) -> Result<DMatrix, LinalgError> {
+        let mut m = DMatrix::zeros(self.rows, self.cols);
+        for &(r, c, v) in &self.entries {
+            if r >= self.rows || c >= self.cols {
+                return Err(LinalgError::InvalidArgument(format!(
+                    "stamp at ({r}, {c}) is outside the {}x{} target matrix",
+                    self.rows, self.cols
+                )));
+            }
+            if !v.is_finite() {
+                return Err(LinalgError::InvalidArgument(format!(
+                    "stamp at ({r}, {c}) is not finite ({v})"
+                )));
+            }
+            m.add_to(r, c, v);
+        }
+        Ok(m)
+    }
+}
+
+impl Extend<(usize, usize, f64)> for TripletBuilder {
+    fn extend<I: IntoIterator<Item = (usize, usize, f64)>>(&mut self, iter: I) {
+        self.entries.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_duplicates() {
+        let mut b = TripletBuilder::new(3, 3);
+        b.add(1, 1, 2.0);
+        b.add(1, 1, 3.0);
+        b.add(0, 2, -1.0);
+        let m = b.build().unwrap();
+        assert_eq!(m[(1, 1)], 5.0);
+        assert_eq!(m[(0, 2)], -1.0);
+        assert_eq!(m[(2, 2)], 0.0);
+    }
+
+    #[test]
+    fn rejects_out_of_range_and_non_finite() {
+        let mut b = TripletBuilder::new(2, 2);
+        b.add(2, 0, 1.0);
+        assert!(b.build().is_err());
+        b.clear();
+        b.add(0, 0, f64::NAN);
+        assert!(b.build().is_err());
+    }
+
+    #[test]
+    fn metadata_and_extend() {
+        let mut b = TripletBuilder::with_capacity(2, 4, 8);
+        assert_eq!(b.shape(), (2, 4));
+        assert!(b.is_empty());
+        b.extend([(0, 0, 1.0), (1, 3, 2.0)]);
+        assert_eq!(b.len(), 2);
+        let m = b.build().unwrap();
+        assert_eq!(m[(1, 3)], 2.0);
+        b.clear();
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn empty_builder_builds_zero_matrix() {
+        let m = TripletBuilder::new(2, 2).build().unwrap();
+        assert_eq!(m, DMatrix::zeros(2, 2));
+    }
+}

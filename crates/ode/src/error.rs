@@ -1,0 +1,92 @@
+use std::fmt;
+
+use harvsim_linalg::LinalgError;
+
+/// Errors produced by the ODE integration machinery.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum OdeError {
+    /// A parameter was outside the accepted domain (negative step size,
+    /// unsupported method order, empty time span, …).
+    InvalidParameter(String),
+    /// The Newton–Raphson iteration of an implicit method failed to converge.
+    NewtonDidNotConverge {
+        /// Number of iterations performed.
+        iterations: usize,
+        /// Residual norm at the last iterate.
+        residual: f64,
+    },
+    /// The integration produced a non-finite state (overflow / instability).
+    NonFiniteState {
+        /// Simulation time at which the non-finite value appeared.
+        time: f64,
+    },
+    /// The adaptive step controller could not find an acceptable step size.
+    StepSizeUnderflow {
+        /// Simulation time at which the controller gave up.
+        time: f64,
+        /// The rejected step size.
+        step: f64,
+    },
+    /// An underlying linear-algebra operation failed.
+    Linalg(LinalgError),
+}
+
+impl fmt::Display for OdeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OdeError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            OdeError::NewtonDidNotConverge { iterations, residual } => write!(
+                f,
+                "newton iteration did not converge after {iterations} iterations (residual {residual:.3e})"
+            ),
+            OdeError::NonFiniteState { time } => {
+                write!(f, "integration produced a non-finite state at t = {time:.6e} s")
+            }
+            OdeError::StepSizeUnderflow { time, step } => write!(
+                f,
+                "step size underflow at t = {time:.6e} s (rejected step {step:.3e} s)"
+            ),
+            OdeError::Linalg(err) => write!(f, "linear algebra error: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for OdeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            OdeError::Linalg(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<LinalgError> for OdeError {
+    fn from(err: LinalgError) -> Self {
+        OdeError::Linalg(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(OdeError::InvalidParameter("bad".into()).to_string().contains("bad"));
+        assert!(OdeError::NewtonDidNotConverge { iterations: 7, residual: 1.0 }
+            .to_string()
+            .contains('7'));
+        assert!(OdeError::NonFiniteState { time: 1.0 }.to_string().contains("non-finite"));
+        assert!(OdeError::StepSizeUnderflow { time: 1.0, step: 1e-18 }
+            .to_string()
+            .contains("underflow"));
+    }
+
+    #[test]
+    fn linalg_errors_convert_and_chain() {
+        let err: OdeError = LinalgError::NotSquare { rows: 2, cols: 3 }.into();
+        assert!(err.to_string().contains("linear algebra"));
+        assert!(std::error::Error::source(&err).is_some());
+    }
+}

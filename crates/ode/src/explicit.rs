@@ -1,0 +1,610 @@
+//! Explicit integration methods.
+//!
+//! The heart of the paper's acceleration is the replacement of the per-step
+//! Newton–Raphson solve with an *explicit* multi-step formula: once the model
+//! has been linearised and the terminal variables eliminated, the state update
+//! of Eq. 5 is a handful of matrix–vector products. This module provides the
+//! classic single-step methods (Forward Euler, Heun, RK4) and the
+//! variable-step [`AdamsBashforth`] family of orders 1–4 that the paper uses,
+//! together with the standalone [`adams_bashforth_coefficients`] routine that
+//! the `harvsim-core` march-in-time engine calls directly (it manages its own
+//! loop because it re-linearises the model and adapts the step at every point).
+
+use harvsim_linalg::DVector;
+
+use crate::problem::OdeSystem;
+use crate::solution::Trajectory;
+use crate::OdeError;
+
+/// Common interface of the explicit fixed-grid integrators in this module.
+pub trait ExplicitIntegrator {
+    /// Human-readable name of the method (used in benchmark reports).
+    fn name(&self) -> &'static str;
+
+    /// Formal order of accuracy of the method.
+    fn order(&self) -> usize;
+
+    /// Integrates `system` from `t0` to `t_end` starting at `x0`, using a
+    /// nominal step `h` (the final step is shortened to land exactly on
+    /// `t_end`). Returns the full trajectory including the initial state.
+    ///
+    /// # Errors
+    ///
+    /// * [`OdeError::InvalidParameter`] for a non-positive step or empty span.
+    /// * [`OdeError::NonFiniteState`] if the solution blows up (e.g. an
+    ///   unstable explicit step).
+    fn integrate(
+        &mut self,
+        system: &dyn OdeSystem,
+        x0: &DVector,
+        t0: f64,
+        t_end: f64,
+        h: f64,
+    ) -> Result<Trajectory, OdeError>;
+}
+
+fn validate_span(x0: &DVector, system: &dyn OdeSystem, t0: f64, t_end: f64, h: f64) -> Result<(), OdeError> {
+    if x0.len() != system.dimension() {
+        return Err(OdeError::InvalidParameter(format!(
+            "initial state has {} entries but the system dimension is {}",
+            x0.len(),
+            system.dimension()
+        )));
+    }
+    if !(h > 0.0) || !h.is_finite() {
+        return Err(OdeError::InvalidParameter(format!("step size must be positive, got {h}")));
+    }
+    if !(t_end > t0) {
+        return Err(OdeError::InvalidParameter(format!(
+            "integration span must be non-empty (t0 = {t0}, t_end = {t_end})"
+        )));
+    }
+    Ok(())
+}
+
+fn check_finite(x: &DVector, t: f64) -> Result<(), OdeError> {
+    if x.is_finite() {
+        Ok(())
+    } else {
+        Err(OdeError::NonFiniteState { time: t })
+    }
+}
+
+/// First-order Forward Euler method: `x_{n+1} = x_n + h·f(t_n, x_n)`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ForwardEuler;
+
+impl ForwardEuler {
+    /// Creates a Forward Euler integrator.
+    pub fn new() -> Self {
+        ForwardEuler
+    }
+}
+
+impl ExplicitIntegrator for ForwardEuler {
+    fn name(&self) -> &'static str {
+        "forward-euler"
+    }
+
+    fn order(&self) -> usize {
+        1
+    }
+
+    fn integrate(
+        &mut self,
+        system: &dyn OdeSystem,
+        x0: &DVector,
+        t0: f64,
+        t_end: f64,
+        h: f64,
+    ) -> Result<Trajectory, OdeError> {
+        validate_span(x0, system, t0, t_end, h)?;
+        let n = system.dimension();
+        let mut trajectory = Trajectory::new();
+        let mut x = x0.clone();
+        let mut t = t0;
+        let mut dx = DVector::zeros(n);
+        trajectory.push(t, x.clone());
+        while t < t_end - 1e-15 * t_end.abs().max(1.0) {
+            let step = h.min(t_end - t);
+            system.eval(t, &x, &mut dx);
+            x.axpy(step, &dx)?;
+            t += step;
+            check_finite(&x, t)?;
+            trajectory.push(t, x.clone());
+        }
+        Ok(trajectory)
+    }
+}
+
+/// Second-order Heun (explicit trapezoidal / improved Euler) method.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Heun;
+
+impl Heun {
+    /// Creates a Heun integrator.
+    pub fn new() -> Self {
+        Heun
+    }
+}
+
+impl ExplicitIntegrator for Heun {
+    fn name(&self) -> &'static str {
+        "heun"
+    }
+
+    fn order(&self) -> usize {
+        2
+    }
+
+    fn integrate(
+        &mut self,
+        system: &dyn OdeSystem,
+        x0: &DVector,
+        t0: f64,
+        t_end: f64,
+        h: f64,
+    ) -> Result<Trajectory, OdeError> {
+        validate_span(x0, system, t0, t_end, h)?;
+        let n = system.dimension();
+        let mut trajectory = Trajectory::new();
+        let mut x = x0.clone();
+        let mut t = t0;
+        let mut k1 = DVector::zeros(n);
+        let mut k2 = DVector::zeros(n);
+        trajectory.push(t, x.clone());
+        while t < t_end - 1e-15 * t_end.abs().max(1.0) {
+            let step = h.min(t_end - t);
+            system.eval(t, &x, &mut k1);
+            let mut predictor = x.clone();
+            predictor.axpy(step, &k1)?;
+            system.eval(t + step, &predictor, &mut k2);
+            x.axpy(step / 2.0, &k1)?;
+            x.axpy(step / 2.0, &k2)?;
+            t += step;
+            check_finite(&x, t)?;
+            trajectory.push(t, x.clone());
+        }
+        Ok(trajectory)
+    }
+}
+
+/// Classic fourth-order Runge–Kutta method.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RungeKutta4;
+
+impl RungeKutta4 {
+    /// Creates an RK4 integrator.
+    pub fn new() -> Self {
+        RungeKutta4
+    }
+
+    /// Performs a single RK4 step of size `h` from `(t, x)` and returns the new state.
+    pub fn step(system: &dyn OdeSystem, t: f64, x: &DVector, h: f64) -> DVector {
+        let n = system.dimension();
+        let mut k1 = DVector::zeros(n);
+        let mut k2 = DVector::zeros(n);
+        let mut k3 = DVector::zeros(n);
+        let mut k4 = DVector::zeros(n);
+        system.eval(t, x, &mut k1);
+        let x2 = DVector::from_fn(n, |i| x[i] + 0.5 * h * k1[i]);
+        system.eval(t + 0.5 * h, &x2, &mut k2);
+        let x3 = DVector::from_fn(n, |i| x[i] + 0.5 * h * k2[i]);
+        system.eval(t + 0.5 * h, &x3, &mut k3);
+        let x4 = DVector::from_fn(n, |i| x[i] + h * k3[i]);
+        system.eval(t + h, &x4, &mut k4);
+        DVector::from_fn(n, |i| x[i] + h / 6.0 * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]))
+    }
+}
+
+impl ExplicitIntegrator for RungeKutta4 {
+    fn name(&self) -> &'static str {
+        "runge-kutta-4"
+    }
+
+    fn order(&self) -> usize {
+        4
+    }
+
+    fn integrate(
+        &mut self,
+        system: &dyn OdeSystem,
+        x0: &DVector,
+        t0: f64,
+        t_end: f64,
+        h: f64,
+    ) -> Result<Trajectory, OdeError> {
+        validate_span(x0, system, t0, t_end, h)?;
+        let mut trajectory = Trajectory::new();
+        let mut x = x0.clone();
+        let mut t = t0;
+        trajectory.push(t, x.clone());
+        while t < t_end - 1e-15 * t_end.abs().max(1.0) {
+            let step = h.min(t_end - t);
+            x = RungeKutta4::step(system, t, &x, step);
+            t += step;
+            check_finite(&x, t)?;
+            trajectory.push(t, x.clone());
+        }
+        Ok(trajectory)
+    }
+}
+
+/// Maximum Adams–Bashforth order supported by this crate.
+pub const MAX_ADAMS_BASHFORTH_ORDER: usize = 4;
+
+/// Computes the variable-step Adams–Bashforth coefficients `β_i` for the update
+///
+/// `x_{n+1} = x_n + Σ_i β_i · f(t_{n-i}, x_{n-i})`
+///
+/// where `history_times = [t_n, t_{n-1}, …, t_{n-k+1}]` are the (strictly
+/// decreasing) times of the `k` most recent derivative evaluations and
+/// `h_next = t_{n+1} − t_n` is the step about to be taken. The coefficients are
+/// the integrals over `[t_n, t_{n+1}]` of the Lagrange basis polynomials through
+/// the history points, evaluated with Gauss–Legendre quadrature that is exact
+/// for the polynomial degrees involved (`k ≤ 4`).
+///
+/// With a uniform history the coefficients reduce to the textbook constants,
+/// e.g. `k = 2` gives `h·[3/2, −1/2]` and `k = 4` gives
+/// `h·[55, −59, 37, −9]/24`.
+///
+/// This is the routine the paper's Eq. 5 needs when the step size varies from
+/// point to point ("whose values are dependent on the varying step-size").
+///
+/// # Errors
+///
+/// Returns [`OdeError::InvalidParameter`] if the history is empty, longer than
+/// [`MAX_ADAMS_BASHFORTH_ORDER`], not strictly decreasing, or `h_next ≤ 0`.
+pub fn adams_bashforth_coefficients(
+    history_times: &[f64],
+    h_next: f64,
+) -> Result<Vec<f64>, OdeError> {
+    let k = history_times.len();
+    if k == 0 || k > MAX_ADAMS_BASHFORTH_ORDER {
+        return Err(OdeError::InvalidParameter(format!(
+            "adams-bashforth history length must be 1..={MAX_ADAMS_BASHFORTH_ORDER}, got {k}"
+        )));
+    }
+    if !(h_next > 0.0) || !h_next.is_finite() {
+        return Err(OdeError::InvalidParameter(format!(
+            "next step size must be positive, got {h_next}"
+        )));
+    }
+    for w in history_times.windows(2) {
+        if !(w[0] > w[1]) {
+            return Err(OdeError::InvalidParameter(
+                "history times must be strictly decreasing (most recent first)".to_string(),
+            ));
+        }
+    }
+    let t_n = history_times[0];
+    let t_next = t_n + h_next;
+
+    // 3-point Gauss–Legendre quadrature on [t_n, t_next]: exact for degree ≤ 5,
+    // more than enough for the degree ≤ 3 Lagrange basis polynomials.
+    let half = 0.5 * (t_next - t_n);
+    let mid = 0.5 * (t_next + t_n);
+    let sqrt35 = (3.0f64 / 5.0).sqrt();
+    let nodes = [mid - half * sqrt35, mid, mid + half * sqrt35];
+    let weights = [5.0 / 9.0 * half, 8.0 / 9.0 * half, 5.0 / 9.0 * half];
+
+    let mut coefficients = vec![0.0; k];
+    for (i, coeff) in coefficients.iter_mut().enumerate() {
+        let mut integral = 0.0;
+        for (node, weight) in nodes.iter().zip(weights.iter()) {
+            // Lagrange basis polynomial L_i evaluated at the quadrature node.
+            let mut basis = 1.0;
+            for (j, &tj) in history_times.iter().enumerate() {
+                if j != i {
+                    basis *= (node - tj) / (history_times[i] - tj);
+                }
+            }
+            integral += weight * basis;
+        }
+        *coeff = integral;
+    }
+    Ok(coefficients)
+}
+
+/// Variable-step Adams–Bashforth integrator of order 1–4.
+///
+/// The first `order − 1` steps are bootstrapped with RK4 (whose order is at
+/// least as high), after which the multi-step formula takes over. On a fixed
+/// grid the method reproduces the classic constant coefficients; the
+/// coefficient computation itself supports arbitrary step-size histories, which
+/// is what the `harvsim-core` engine uses when the stability rule of Eq. 7
+/// changes the step during a run.
+#[derive(Debug, Clone)]
+pub struct AdamsBashforth {
+    order: usize,
+}
+
+impl AdamsBashforth {
+    /// Creates an Adams–Bashforth integrator of the given order (1–4).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OdeError::InvalidParameter`] for orders outside 1–4.
+    pub fn new(order: usize) -> Result<Self, OdeError> {
+        if order == 0 || order > MAX_ADAMS_BASHFORTH_ORDER {
+            return Err(OdeError::InvalidParameter(format!(
+                "adams-bashforth order must be 1..={MAX_ADAMS_BASHFORTH_ORDER}, got {order}"
+            )));
+        }
+        Ok(AdamsBashforth { order })
+    }
+
+    /// The configured order.
+    pub fn configured_order(&self) -> usize {
+        self.order
+    }
+}
+
+impl ExplicitIntegrator for AdamsBashforth {
+    fn name(&self) -> &'static str {
+        "adams-bashforth"
+    }
+
+    fn order(&self) -> usize {
+        self.order
+    }
+
+    fn integrate(
+        &mut self,
+        system: &dyn OdeSystem,
+        x0: &DVector,
+        t0: f64,
+        t_end: f64,
+        h: f64,
+    ) -> Result<Trajectory, OdeError> {
+        validate_span(x0, system, t0, t_end, h)?;
+        let n = system.dimension();
+        let mut trajectory = Trajectory::new();
+        let mut x = x0.clone();
+        let mut t = t0;
+        trajectory.push(t, x.clone());
+
+        // History of (time, derivative) pairs, most recent first.
+        let mut history: Vec<(f64, DVector)> = Vec::with_capacity(self.order);
+
+        while t < t_end - 1e-15 * t_end.abs().max(1.0) {
+            let step = h.min(t_end - t);
+            let mut dx = DVector::zeros(n);
+            system.eval(t, &x, &mut dx);
+            history.insert(0, (t, dx));
+            history.truncate(self.order);
+
+            if history.len() < self.order {
+                // Bootstrap with RK4 until enough history has accumulated.
+                x = RungeKutta4::step(system, t, &x, step);
+            } else {
+                let times: Vec<f64> = history.iter().map(|(ti, _)| *ti).collect();
+                let coefficients = adams_bashforth_coefficients(&times, step)?;
+                for (coefficient, (_, derivative)) in coefficients.iter().zip(history.iter()) {
+                    x.axpy(*coefficient, derivative)?;
+                }
+            }
+            t += step;
+            check_finite(&x, t)?;
+            trajectory.push(t, x.clone());
+        }
+        Ok(trajectory)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::FnOdeSystem;
+
+    fn decay_system() -> FnOdeSystem<impl Fn(f64, &DVector, &mut DVector)> {
+        FnOdeSystem::new(1, |_t, x: &DVector, dx: &mut DVector| dx[0] = -2.0 * x[0])
+    }
+
+    fn oscillator_system() -> FnOdeSystem<impl Fn(f64, &DVector, &mut DVector)> {
+        FnOdeSystem::new(2, |_t, x: &DVector, dx: &mut DVector| {
+            dx[0] = x[1];
+            dx[1] = -x[0];
+        })
+    }
+
+    fn final_error_decay(method: &mut dyn ExplicitIntegrator, h: f64) -> f64 {
+        let system = decay_system();
+        let x0 = DVector::from_slice(&[1.0]);
+        let trajectory = method.integrate(&system, &x0, 0.0, 1.0, h).unwrap();
+        (trajectory.last_state()[0] - (-2.0f64).exp()).abs()
+    }
+
+    #[test]
+    fn forward_euler_converges_first_order() {
+        let coarse = final_error_decay(&mut ForwardEuler::new(), 0.01);
+        let fine = final_error_decay(&mut ForwardEuler::new(), 0.005);
+        let ratio = coarse / fine;
+        assert!(ratio > 1.7 && ratio < 2.3, "order-1 ratio {ratio}");
+    }
+
+    #[test]
+    fn heun_converges_second_order() {
+        let coarse = final_error_decay(&mut Heun::new(), 0.02);
+        let fine = final_error_decay(&mut Heun::new(), 0.01);
+        let ratio = coarse / fine;
+        assert!(ratio > 3.4 && ratio < 4.6, "order-2 ratio {ratio}");
+    }
+
+    #[test]
+    fn rk4_converges_fourth_order() {
+        let coarse = final_error_decay(&mut RungeKutta4::new(), 0.1);
+        let fine = final_error_decay(&mut RungeKutta4::new(), 0.05);
+        let ratio = coarse / fine;
+        assert!(ratio > 12.0 && ratio < 20.0, "order-4 ratio {ratio}");
+    }
+
+    #[test]
+    fn adams_bashforth_orders_converge() {
+        for (order, expected_ratio_min, expected_ratio_max) in
+            [(1usize, 1.6, 2.4), (2, 3.2, 4.8), (3, 6.5, 9.8), (4, 12.0, 20.0)]
+        {
+            let coarse = final_error_decay(&mut AdamsBashforth::new(order).unwrap(), 0.02);
+            let fine = final_error_decay(&mut AdamsBashforth::new(order).unwrap(), 0.01);
+            let ratio = coarse / fine;
+            assert!(
+                ratio > expected_ratio_min && ratio < expected_ratio_max,
+                "AB{order} convergence ratio {ratio}"
+            );
+        }
+    }
+
+    #[test]
+    fn adams_bashforth_rejects_bad_order() {
+        assert!(AdamsBashforth::new(0).is_err());
+        assert!(AdamsBashforth::new(5).is_err());
+        assert_eq!(AdamsBashforth::new(3).unwrap().configured_order(), 3);
+    }
+
+    #[test]
+    fn uniform_coefficients_match_textbook_values() {
+        let h = 0.1;
+        // AB2 on a uniform grid: h * [3/2, -1/2].
+        let c2 = adams_bashforth_coefficients(&[0.0, -h], h).unwrap();
+        assert!((c2[0] - 1.5 * h).abs() < 1e-12);
+        assert!((c2[1] + 0.5 * h).abs() < 1e-12);
+        // AB3: h * [23/12, -16/12, 5/12].
+        let c3 = adams_bashforth_coefficients(&[0.0, -h, -2.0 * h], h).unwrap();
+        assert!((c3[0] - 23.0 / 12.0 * h).abs() < 1e-12);
+        assert!((c3[1] + 16.0 / 12.0 * h).abs() < 1e-12);
+        assert!((c3[2] - 5.0 / 12.0 * h).abs() < 1e-12);
+        // AB4: h * [55, -59, 37, -9] / 24.
+        let c4 = adams_bashforth_coefficients(&[0.0, -h, -2.0 * h, -3.0 * h], h).unwrap();
+        for (computed, expected) in c4.iter().zip([55.0, -59.0, 37.0, -9.0]) {
+            assert!((computed - expected / 24.0 * h).abs() < 1e-12);
+        }
+        // AB1 is forward Euler.
+        let c1 = adams_bashforth_coefficients(&[0.0], h).unwrap();
+        assert!((c1[0] - h).abs() < 1e-14);
+    }
+
+    #[test]
+    fn variable_step_coefficients_sum_to_step() {
+        // Consistency: for f ≡ const the update must advance by exactly h_next.
+        let times = [0.0, -0.13, -0.21, -0.4];
+        let h_next = 0.07;
+        let c = adams_bashforth_coefficients(&times, h_next).unwrap();
+        let sum: f64 = c.iter().sum();
+        assert!((sum - h_next).abs() < 1e-12);
+    }
+
+    #[test]
+    fn coefficient_validation() {
+        assert!(adams_bashforth_coefficients(&[], 0.1).is_err());
+        assert!(adams_bashforth_coefficients(&[0.0, 0.0], 0.1).is_err());
+        assert!(adams_bashforth_coefficients(&[0.0, -0.1], -0.1).is_err());
+        assert!(adams_bashforth_coefficients(&[0.0, -0.1, -0.2, -0.3, -0.4], 0.1).is_err());
+    }
+
+    #[test]
+    fn oscillator_energy_is_approximately_conserved_by_rk4() {
+        let system = oscillator_system();
+        let x0 = DVector::from_slice(&[1.0, 0.0]);
+        let trajectory =
+            RungeKutta4::new().integrate(&system, &x0, 0.0, 10.0, 1e-3).unwrap();
+        let end = trajectory.last_state();
+        let energy = end[0] * end[0] + end[1] * end[1];
+        assert!((energy - 1.0).abs() < 1e-8, "energy drift {energy}");
+    }
+
+    #[test]
+    fn adams_bashforth_tracks_oscillator() {
+        let system = oscillator_system();
+        let x0 = DVector::from_slice(&[1.0, 0.0]);
+        let trajectory = AdamsBashforth::new(4)
+            .unwrap()
+            .integrate(&system, &x0, 0.0, 2.0 * std::f64::consts::PI, 1e-3)
+            .unwrap();
+        let end = trajectory.last_state();
+        assert!((end[0] - 1.0).abs() < 1e-5);
+        assert!(end[1].abs() < 1e-5);
+    }
+
+    #[test]
+    fn invalid_spans_are_rejected() {
+        let system = decay_system();
+        let x0 = DVector::from_slice(&[1.0]);
+        assert!(ForwardEuler::new().integrate(&system, &x0, 0.0, 1.0, -0.1).is_err());
+        assert!(ForwardEuler::new().integrate(&system, &x0, 1.0, 1.0, 0.1).is_err());
+        assert!(ForwardEuler::new()
+            .integrate(&system, &DVector::zeros(2), 0.0, 1.0, 0.1)
+            .is_err());
+    }
+
+    #[test]
+    fn unstable_step_reports_non_finite_state() {
+        // Very stiff decay with a huge explicit step overflows quickly.
+        let system = FnOdeSystem::new(1, |_t, x: &DVector, dx: &mut DVector| dx[0] = -1e8 * x[0]);
+        let x0 = DVector::from_slice(&[1.0]);
+        let result = ForwardEuler::new().integrate(&system, &x0, 0.0, 1000.0, 0.9);
+        assert!(matches!(result, Err(OdeError::NonFiniteState { .. })));
+    }
+
+    #[test]
+    fn final_step_lands_exactly_on_t_end() {
+        let system = decay_system();
+        let x0 = DVector::from_slice(&[1.0]);
+        let trajectory = Heun::new().integrate(&system, &x0, 0.0, 0.25, 0.1).unwrap();
+        assert!((trajectory.last_time() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn names_and_orders_are_reported() {
+        assert_eq!(ForwardEuler::new().name(), "forward-euler");
+        assert_eq!(ForwardEuler::new().order(), 1);
+        assert_eq!(Heun::new().order(), 2);
+        assert_eq!(RungeKutta4::new().order(), 4);
+        assert_eq!(AdamsBashforth::new(2).unwrap().order(), 2);
+        assert_eq!(AdamsBashforth::new(2).unwrap().name(), "adams-bashforth");
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// For any admissible (decreasing) history and positive step, the
+        /// coefficients must integrate the constant function exactly: Σβ = h.
+        #[test]
+        fn ab_coefficients_are_consistent(
+            gaps in prop::collection::vec(1e-4f64..0.5, 1..=3),
+            h_next in 1e-4f64..0.5,
+        ) {
+            let mut times = vec![0.0];
+            for g in &gaps {
+                let last = *times.last().expect("non-empty");
+                times.push(last - g);
+            }
+            let c = adams_bashforth_coefficients(&times, h_next).unwrap();
+            let sum: f64 = c.iter().sum();
+            prop_assert!((sum - h_next).abs() < 1e-10 * h_next.max(1.0));
+        }
+
+        /// The coefficients must also integrate linear functions exactly:
+        /// Σ β_i · t_i = ∫_{t_n}^{t_n + h} t dt  (for history length ≥ 2).
+        #[test]
+        fn ab_coefficients_integrate_linear_functions(
+            gaps in prop::collection::vec(1e-4f64..0.5, 1..=3),
+            h_next in 1e-4f64..0.5,
+        ) {
+            let mut times = vec![0.0];
+            for g in &gaps {
+                let last = *times.last().expect("non-empty");
+                times.push(last - g);
+            }
+            let c = adams_bashforth_coefficients(&times, h_next).unwrap();
+            let weighted: f64 = c.iter().zip(&times).map(|(ci, ti)| ci * ti).sum();
+            let exact = 0.5 * h_next * h_next; // ∫_0^h t dt with t_n = 0
+            prop_assert!((weighted - exact).abs() < 1e-10);
+        }
+    }
+}

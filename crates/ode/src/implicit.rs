@@ -1,0 +1,274 @@
+//! Implicit integration methods with a Newton–Raphson inner loop.
+//!
+//! These integrators reproduce the structure of the simulators the paper uses
+//! as its baseline (SystemVision/VHDL-AMS, OrCAD PSPICE, SystemC-A): at every
+//! time step a nonlinear algebraic system is assembled from an implicit
+//! integration formula and solved by Newton–Raphson iteration, which requires
+//! one or more Jacobian factorisations per step. They are unconditionally
+//! stable (A-stable), so they can take larger steps than the explicit methods —
+//! but each step is far more expensive, which is exactly the trade-off the
+//! paper's Tables I and II quantify.
+
+use harvsim_linalg::{DMatrix, DVector};
+
+use crate::newton::{newton_solve, NewtonOptions};
+use crate::problem::OdeSystem;
+use crate::solution::Trajectory;
+use crate::OdeError;
+
+/// Cumulative work statistics of an implicit integration run, used by the
+/// benchmark harness to report "how much work did the baseline do".
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ImplicitStats {
+    /// Number of accepted time steps.
+    pub steps: usize,
+    /// Total Newton iterations across all steps.
+    pub newton_iterations: usize,
+    /// Total Jacobian factorisations across all steps.
+    pub factorisations: usize,
+}
+
+/// Which implicit formula to apply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ImplicitMethod {
+    /// First-order Backward Euler: `x_{n+1} = x_n + h·f(t_{n+1}, x_{n+1})`.
+    BackwardEuler,
+    /// Second-order trapezoidal rule:
+    /// `x_{n+1} = x_n + h/2·(f(t_n, x_n) + f(t_{n+1}, x_{n+1}))`.
+    Trapezoidal,
+}
+
+impl ImplicitMethod {
+    /// Human-readable name used in benchmark reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ImplicitMethod::BackwardEuler => "backward-euler",
+            ImplicitMethod::Trapezoidal => "trapezoidal",
+        }
+    }
+
+    /// Formal order of accuracy.
+    pub fn order(&self) -> usize {
+        match self {
+            ImplicitMethod::BackwardEuler => 1,
+            ImplicitMethod::Trapezoidal => 2,
+        }
+    }
+}
+
+/// Implicit integrator configuration.
+#[derive(Debug, Clone)]
+pub struct ImplicitIntegrator {
+    method: ImplicitMethod,
+    newton_options: NewtonOptions,
+}
+
+impl ImplicitIntegrator {
+    /// Creates an implicit integrator using the given formula and default
+    /// Newton options.
+    pub fn new(method: ImplicitMethod) -> Self {
+        ImplicitIntegrator { method, newton_options: NewtonOptions::default() }
+    }
+
+    /// Overrides the Newton–Raphson options (tolerance, damping, iteration cap).
+    pub fn with_newton_options(mut self, options: NewtonOptions) -> Self {
+        self.newton_options = options;
+        self
+    }
+
+    /// The configured formula.
+    pub fn method(&self) -> ImplicitMethod {
+        self.method
+    }
+
+    /// Integrates `system` from `t0` to `t_end` on a fixed grid of nominal step
+    /// `h`, returning the trajectory and the accumulated work statistics.
+    ///
+    /// # Errors
+    ///
+    /// * [`OdeError::InvalidParameter`] for a non-positive step or empty span.
+    /// * [`OdeError::NewtonDidNotConverge`] if a step's nonlinear solve fails.
+    /// * [`OdeError::NonFiniteState`] if the solution loses finiteness.
+    pub fn integrate(
+        &self,
+        system: &dyn OdeSystem,
+        x0: &DVector,
+        t0: f64,
+        t_end: f64,
+        h: f64,
+    ) -> Result<(Trajectory, ImplicitStats), OdeError> {
+        if x0.len() != system.dimension() {
+            return Err(OdeError::InvalidParameter(format!(
+                "initial state has {} entries but the system dimension is {}",
+                x0.len(),
+                system.dimension()
+            )));
+        }
+        if !(h > 0.0) || !h.is_finite() {
+            return Err(OdeError::InvalidParameter(format!(
+                "step size must be positive, got {h}"
+            )));
+        }
+        if !(t_end > t0) {
+            return Err(OdeError::InvalidParameter(format!(
+                "integration span must be non-empty (t0 = {t0}, t_end = {t_end})"
+            )));
+        }
+
+        let n = system.dimension();
+        let mut trajectory = Trajectory::new();
+        let mut stats = ImplicitStats::default();
+        let mut x = x0.clone();
+        let mut t = t0;
+        trajectory.push(t, x.clone());
+
+        let mut f_current = DVector::zeros(n);
+
+        while t < t_end - 1e-15 * t_end.abs().max(1.0) {
+            let step = h.min(t_end - t);
+            let t_next = t + step;
+            system.eval(t, &x, &mut f_current);
+
+            // Residual of the implicit formula, F(x_next) = 0.
+            let x_current = x.clone();
+            let f_at_t = f_current.clone();
+            let method = self.method;
+            let residual = |x_next: &DVector| -> DVector {
+                let mut f_next = DVector::zeros(n);
+                system.eval(t_next, x_next, &mut f_next);
+                match method {
+                    ImplicitMethod::BackwardEuler => {
+                        DVector::from_fn(n, |i| x_next[i] - x_current[i] - step * f_next[i])
+                    }
+                    ImplicitMethod::Trapezoidal => DVector::from_fn(n, |i| {
+                        x_next[i] - x_current[i] - 0.5 * step * (f_at_t[i] + f_next[i])
+                    }),
+                }
+            };
+            let jacobian = |x_next: &DVector| -> DMatrix {
+                let jf = system.jacobian(t_next, x_next);
+                let scale = match method {
+                    ImplicitMethod::BackwardEuler => step,
+                    ImplicitMethod::Trapezoidal => 0.5 * step,
+                };
+                // d/dx_next [x_next - ... - scale * f(x_next)] = I - scale * Jf.
+                &DMatrix::identity(n) - &jf.scaled(scale)
+            };
+
+            // The previous state is a good predictor for the Newton iteration.
+            let (x_next, report) = newton_solve(&x, residual, jacobian, &self.newton_options)?;
+            stats.newton_iterations += report.iterations;
+            stats.factorisations += report.factorisations;
+            stats.steps += 1;
+
+            if !x_next.is_finite() {
+                return Err(OdeError::NonFiniteState { time: t_next });
+            }
+            x = x_next;
+            t = t_next;
+            trajectory.push(t, x.clone());
+        }
+        Ok((trajectory, stats))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::FnOdeSystem;
+
+    fn decay() -> FnOdeSystem<impl Fn(f64, &DVector, &mut DVector)> {
+        FnOdeSystem::new(1, |_t, x: &DVector, dx: &mut DVector| dx[0] = -2.0 * x[0])
+    }
+
+    #[test]
+    fn backward_euler_matches_exponential_decay() {
+        let integrator = ImplicitIntegrator::new(ImplicitMethod::BackwardEuler);
+        let (trajectory, stats) = integrator
+            .integrate(&decay(), &DVector::from_slice(&[1.0]), 0.0, 1.0, 1e-3)
+            .unwrap();
+        let end = trajectory.last_state()[0];
+        assert!((end - (-2.0f64).exp()).abs() < 2e-3);
+        assert!(stats.steps >= 999);
+        assert!(stats.newton_iterations >= stats.steps);
+        assert!(stats.factorisations >= stats.steps);
+    }
+
+    #[test]
+    fn trapezoidal_is_more_accurate_than_backward_euler() {
+        let x0 = DVector::from_slice(&[1.0]);
+        let (be, _) = ImplicitIntegrator::new(ImplicitMethod::BackwardEuler)
+            .integrate(&decay(), &x0, 0.0, 1.0, 0.01)
+            .unwrap();
+        let (tr, _) = ImplicitIntegrator::new(ImplicitMethod::Trapezoidal)
+            .integrate(&decay(), &x0, 0.0, 1.0, 0.01)
+            .unwrap();
+        let exact = (-2.0f64).exp();
+        let err_be = (be.last_state()[0] - exact).abs();
+        let err_tr = (tr.last_state()[0] - exact).abs();
+        assert!(err_tr < err_be / 10.0, "trapezoidal {err_tr} vs backward euler {err_be}");
+    }
+
+    #[test]
+    fn stiff_problem_is_stable_with_large_steps() {
+        // λ = -10^5: any explicit method with h = 0.01 would explode;
+        // backward Euler remains stable and accurate at steady state.
+        let stiff =
+            FnOdeSystem::new(1, |_t, x: &DVector, dx: &mut DVector| dx[0] = -1e5 * (x[0] - 1.0));
+        let integrator = ImplicitIntegrator::new(ImplicitMethod::BackwardEuler);
+        let (trajectory, _) = integrator
+            .integrate(&stiff, &DVector::from_slice(&[0.0]), 0.0, 1.0, 0.01)
+            .unwrap();
+        assert!((trajectory.last_state()[0] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn nonlinear_riccati_equation() {
+        // x' = 1 - x^2, x(0) = 0  =>  x(t) = tanh(t).
+        let riccati =
+            FnOdeSystem::new(1, |_t, x: &DVector, dx: &mut DVector| dx[0] = 1.0 - x[0] * x[0]);
+        let integrator = ImplicitIntegrator::new(ImplicitMethod::Trapezoidal);
+        let (trajectory, stats) = integrator
+            .integrate(&riccati, &DVector::from_slice(&[0.0]), 0.0, 2.0, 1e-3)
+            .unwrap();
+        assert!((trajectory.last_state()[0] - 2.0f64.tanh()).abs() < 1e-6);
+        assert!(stats.newton_iterations > 0);
+    }
+
+    #[test]
+    fn work_statistics_scale_with_step_count() {
+        let integrator = ImplicitIntegrator::new(ImplicitMethod::BackwardEuler);
+        let x0 = DVector::from_slice(&[1.0]);
+        let (_, coarse) = integrator.integrate(&decay(), &x0, 0.0, 1.0, 0.1).unwrap();
+        let (_, fine) = integrator.integrate(&decay(), &x0, 0.0, 1.0, 0.01).unwrap();
+        assert!(fine.steps > 5 * coarse.steps);
+        assert!(fine.newton_iterations > 5 * coarse.newton_iterations);
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        let integrator = ImplicitIntegrator::new(ImplicitMethod::BackwardEuler);
+        let x0 = DVector::from_slice(&[1.0]);
+        assert!(integrator.integrate(&decay(), &x0, 0.0, 1.0, 0.0).is_err());
+        assert!(integrator.integrate(&decay(), &x0, 1.0, 0.5, 0.1).is_err());
+        assert!(integrator.integrate(&decay(), &DVector::zeros(2), 0.0, 1.0, 0.1).is_err());
+    }
+
+    #[test]
+    fn method_metadata() {
+        assert_eq!(ImplicitMethod::BackwardEuler.name(), "backward-euler");
+        assert_eq!(ImplicitMethod::Trapezoidal.order(), 2);
+        let integrator = ImplicitIntegrator::new(ImplicitMethod::Trapezoidal)
+            .with_newton_options(NewtonOptions { max_iterations: 10, ..Default::default() });
+        assert_eq!(integrator.method(), ImplicitMethod::Trapezoidal);
+    }
+
+    #[test]
+    fn final_step_lands_on_t_end() {
+        let integrator = ImplicitIntegrator::new(ImplicitMethod::Trapezoidal);
+        let (trajectory, _) = integrator
+            .integrate(&decay(), &DVector::from_slice(&[1.0]), 0.0, 0.35, 0.1)
+            .unwrap();
+        assert!((trajectory.last_time() - 0.35).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,207 @@
+//! Step-size limits for explicit integration stability (Eq. 7 of the paper).
+//!
+//! The paper's explicit march-in-time process is only stable while the spectral
+//! radius of the point total-step matrix `I + h·A` stays inside the unit circle.
+//! Because the analogue blocks of an energy harvester are passive, the paper
+//! enforces this with the cheap sufficient condition of diagonal dominance; the
+//! exact spectral-radius computation is also provided here so the heuristic can
+//! be validated (ablation experiment A2 in DESIGN.md).
+
+use harvsim_linalg::{dominance, eigen, DMatrix};
+
+use crate::OdeError;
+
+/// Strategy used to pick the largest stable explicit step for a given system
+/// matrix.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StabilityRule {
+    /// The paper's heuristic: keep `I + h·A` strictly row-diagonally dominant
+    /// (Gershgorin discs inside the unit circle). Cheap — one pass over the
+    /// matrix — and sufficient for passive systems.
+    DiagonalDominance {
+        /// Safety factor in `(0, 1]` applied to the computed limit.
+        safety: f64,
+    },
+    /// Exact rule: compute the eigenvalues of `A` and pick the largest `h` such
+    /// that every `1 + h·λ` lies inside the unit circle. More expensive
+    /// (O(n³) QR iteration) but never conservative.
+    SpectralRadius {
+        /// Safety factor in `(0, 1]` applied to the computed limit.
+        safety: f64,
+    },
+    /// No stability analysis: always use the caller-provided step.
+    FixedStep,
+}
+
+impl StabilityRule {
+    /// Human-readable name used in benchmark reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            StabilityRule::DiagonalDominance { .. } => "diagonal-dominance",
+            StabilityRule::SpectralRadius { .. } => "spectral-radius",
+            StabilityRule::FixedStep => "fixed-step",
+        }
+    }
+}
+
+impl Default for StabilityRule {
+    fn default() -> Self {
+        StabilityRule::DiagonalDominance { safety: 0.9 }
+    }
+}
+
+/// Largest stable step size for the forward (explicit-Euler-like) update with
+/// system matrix `a`, according to `rule`. Returns `None` when the rule cannot
+/// bound the step (e.g. diagonal dominance on a matrix with a non-negative
+/// diagonal entry, or [`StabilityRule::FixedStep`]); callers then keep their
+/// requested step.
+///
+/// # Errors
+///
+/// Propagates linear-algebra failures (non-square input, QR non-convergence)
+/// and rejects invalid safety factors.
+pub fn max_stable_step(a: &DMatrix, rule: StabilityRule) -> Result<Option<f64>, OdeError> {
+    match rule {
+        StabilityRule::FixedStep => Ok(None),
+        StabilityRule::DiagonalDominance { safety } => {
+            Ok(dominance::max_stable_step(a, safety)?)
+        }
+        StabilityRule::SpectralRadius { safety } => {
+            if !(safety > 0.0 && safety <= 1.0) {
+                return Err(OdeError::InvalidParameter(format!(
+                    "safety factor must be in (0, 1], got {safety}"
+                )));
+            }
+            let eigs = eigen::eigenvalues(a)?;
+            // For eigenvalue λ = α + iβ the forward-Euler region requires
+            // |1 + hλ|² < 1  =>  h < -2α / (α² + β²)  (only meaningful for α < 0).
+            let mut h_max = f64::INFINITY;
+            for eig in eigs {
+                let alpha = eig.re;
+                let beta = eig.im;
+                let magnitude_sq = alpha * alpha + beta * beta;
+                if magnitude_sq == 0.0 {
+                    continue; // zero eigenvalue (pure integrator) does not constrain h
+                }
+                if alpha >= 0.0 {
+                    // Undamped or unstable mode: no explicit step is strictly stable.
+                    return Ok(Some(0.0));
+                }
+                h_max = h_max.min(-2.0 * alpha / magnitude_sq);
+            }
+            if h_max.is_infinite() {
+                Ok(None)
+            } else {
+                Ok(Some(safety * h_max))
+            }
+        }
+    }
+}
+
+/// Verifies the paper's Eq. 7 directly: is `ρ(I + h·A) < 1`?
+///
+/// # Errors
+///
+/// Propagates eigenvalue-computation failures.
+pub fn step_satisfies_eq7(a: &DMatrix, h: f64) -> Result<bool, OdeError> {
+    Ok(eigen::explicit_step_is_stable(a, h)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use harvsim_linalg::DVector;
+
+    fn damped_oscillator(omega: f64, zeta: f64) -> DMatrix {
+        DMatrix::from_rows(&[&[0.0, 1.0], &[-omega * omega, -2.0 * zeta * omega]]).unwrap()
+    }
+
+    #[test]
+    fn fixed_step_returns_none() {
+        let a = DMatrix::identity(2);
+        assert_eq!(max_stable_step(&a, StabilityRule::FixedStep).unwrap(), None);
+        assert_eq!(StabilityRule::FixedStep.name(), "fixed-step");
+    }
+
+    #[test]
+    fn spectral_rule_on_diagonal_decay() {
+        let a = DMatrix::from_diagonal(&DVector::from_slice(&[-100.0, -10.0]));
+        let h = max_stable_step(&a, StabilityRule::SpectralRadius { safety: 1.0 })
+            .unwrap()
+            .unwrap();
+        assert!((h - 0.02).abs() < 1e-9);
+        assert!(step_satisfies_eq7(&a, 0.9 * h).unwrap());
+        assert!(!step_satisfies_eq7(&a, 1.1 * h).unwrap());
+    }
+
+    #[test]
+    fn spectral_rule_on_oscillator() {
+        // 70 Hz, 1% damping: the stability limit is ~2ζ/ω — far below the
+        // period, which is why the paper's fine sub-millisecond steps matter.
+        let omega = 2.0 * std::f64::consts::PI * 70.0;
+        let zeta = 0.01;
+        let a = damped_oscillator(omega, zeta);
+        let h = max_stable_step(&a, StabilityRule::SpectralRadius { safety: 1.0 })
+            .unwrap()
+            .unwrap();
+        let expected = 2.0 * zeta / omega; // -2α/|λ|² with α = -ζω, |λ| = ω
+        assert!((h - expected).abs() < 0.05 * expected, "h = {h}, expected ≈ {expected}");
+        assert!(step_satisfies_eq7(&a, 0.9 * h).unwrap());
+    }
+
+    #[test]
+    fn undamped_mode_gives_zero_step() {
+        let a = damped_oscillator(10.0, 0.0);
+        let h = max_stable_step(&a, StabilityRule::SpectralRadius { safety: 0.9 })
+            .unwrap()
+            .unwrap();
+        assert_eq!(h, 0.0);
+    }
+
+    #[test]
+    fn dominance_rule_delegates_to_linalg() {
+        let a = DMatrix::from_diagonal(&DVector::from_slice(&[-50.0, -200.0]));
+        let h = max_stable_step(&a, StabilityRule::DiagonalDominance { safety: 1.0 })
+            .unwrap()
+            .unwrap();
+        assert!((h - 0.01).abs() < 1e-12);
+        // Oscillator matrix has a zero diagonal entry -> heuristic cannot bound it.
+        let osc = damped_oscillator(10.0, 0.1);
+        assert_eq!(
+            max_stable_step(&osc, StabilityRule::DiagonalDominance { safety: 0.9 }).unwrap(),
+            None
+        );
+    }
+
+    #[test]
+    fn dominance_is_never_less_conservative_than_spectral() {
+        let a = DMatrix::from_rows(&[
+            &[-300.0, 20.0, 0.0],
+            &[10.0, -150.0, 5.0],
+            &[0.0, 2.0, -800.0],
+        ])
+        .unwrap();
+        let dom = max_stable_step(&a, StabilityRule::DiagonalDominance { safety: 1.0 })
+            .unwrap()
+            .unwrap();
+        let spec = max_stable_step(&a, StabilityRule::SpectralRadius { safety: 1.0 })
+            .unwrap()
+            .unwrap();
+        assert!(dom <= spec * (1.0 + 1e-9), "dominance {dom} vs spectral {spec}");
+    }
+
+    #[test]
+    fn invalid_safety_rejected() {
+        let a = DMatrix::identity(2);
+        assert!(max_stable_step(&a, StabilityRule::SpectralRadius { safety: 0.0 }).is_err());
+        assert!(
+            max_stable_step(&a, StabilityRule::DiagonalDominance { safety: 2.0 }).is_err()
+        );
+    }
+
+    #[test]
+    fn default_rule_is_diagonal_dominance() {
+        assert!(matches!(StabilityRule::default(), StabilityRule::DiagonalDominance { .. }));
+        assert_eq!(StabilityRule::default().name(), "diagonal-dominance");
+    }
+}

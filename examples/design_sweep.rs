@@ -1,0 +1,51 @@
+//! Design-space exploration — the use case that motivates the paper's fast
+//! simulation: "development of an automated design approach by which the best
+//! topology and optimal parameters of energy harvester are obtained iteratively
+//! using multiple simulations".
+//!
+//! This example sweeps the number of voltage-multiplier stages and the
+//! supercapacitor energy threshold, running one short closed-loop simulation
+//! per design point, and reports the energy delivered to the store — something
+//! that would be impractical with an hours-per-run commercial simulator.
+//!
+//! ```bash
+//! cargo run --release --example design_sweep
+//! ```
+
+use harvsim::core::measurement;
+use harvsim::{HarvesterParameters, ScenarioConfig};
+
+fn main() -> Result<(), harvsim::CoreError> {
+    println!("== design sweep: multiplier stages x energy threshold ==");
+    println!(
+        "{:>7} {:>12} {:>16} {:>16} {:>14}",
+        "stages", "thresh [V]", "P_rms(70Hz) [uW]", "P_rms(71Hz) [uW]", "dV_store [mV]"
+    );
+
+    for stages in [3usize, 4, 5, 6] {
+        for threshold in [2.2f64, 2.4] {
+            let mut parameters = HarvesterParameters::practical_device();
+            parameters.multiplier_stages = stages;
+            parameters.energy_threshold_v = threshold;
+
+            let mut scenario = ScenarioConfig::scenario1();
+            scenario.parameters = parameters;
+            scenario.controller.energy_threshold_v = threshold;
+            scenario.duration_s = 5.0;
+            scenario.frequency_step_time_s = 1.0;
+
+            let outcome = scenario.run()?;
+            let report = measurement::power_report(&outcome)?;
+            let trace = measurement::supercap_voltage_waveform(&outcome);
+            let dv = (trace.last().expect("samples").1 - trace.first().expect("samples").1) * 1e3;
+            println!(
+                "{:>7} {:>12.1} {:>16.1} {:>16.1} {:>14.2}",
+                stages, threshold, report.rms_before_uw, report.rms_after_uw, dv
+            );
+        }
+    }
+
+    println!("\nEach design point is a full mixed-signal closed-loop simulation;");
+    println!("the sweep finishes in seconds thanks to the linearised state-space engine.");
+    Ok(())
+}

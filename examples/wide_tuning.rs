@@ -1,0 +1,56 @@
+//! Scenario 2 of the paper (wide, 14 Hz tuning — the maximum range of the
+//! design): reproduces the data behind Fig. 9.
+//!
+//! ```bash
+//! cargo run --release --example wide_tuning
+//! ```
+
+use harvsim::core::measurement;
+use harvsim::ScenarioConfig;
+
+fn main() -> Result<(), harvsim::CoreError> {
+    let mut scenario = ScenarioConfig::scenario2();
+    scenario.duration_s = 14.0;
+    scenario.frequency_step_time_s = 2.0;
+    // The wide retune costs more energy, so start with a little more margin.
+    scenario.initial_supercap_voltage = 2.6;
+
+    println!("== Scenario 2: 70 Hz -> 84 Hz (maximum tuning range) ==");
+    let simulation = scenario.run()?;
+
+    println!(
+        "resonance after the run: {:.2} Hz (target {:.2} Hz)",
+        simulation.harvester.resonant_frequency_hz(),
+        scenario.scenario.target_frequency_hz()
+    );
+    let report = measurement::power_report(&simulation)?;
+    println!("RMS generated power before the shift: {:8.1} uW", report.rms_before_uw);
+    println!("RMS generated power after retuning:   {:8.1} uW", report.rms_after_uw);
+    println!("minimum power while detuned by 14 Hz: {:8.1} uW", report.dip_uw);
+
+    println!("\nFig. 9 — supercapacitor voltage, simulation vs experimental surrogate:");
+    let surrogate = scenario.run_experimental_surrogate()?;
+    let comparison = measurement::compare_supercap_voltage(&simulation, &surrogate, 400)?;
+    println!(
+        "  max |simulated - surrogate| = {:.3} V, rms = {:.3} V",
+        comparison.max_deviation, comparison.rms_deviation
+    );
+    let sim_trace = measurement::supercap_voltage_waveform(&simulation);
+    let ref_trace = measurement::supercap_voltage_waveform(&surrogate);
+    println!("\n  t [s]    simulated [V]   surrogate 'measured' [V]");
+    let stride = (sim_trace.len() / 15).max(1);
+    for (sample, reference) in sim_trace.iter().zip(ref_trace.iter()).step_by(stride) {
+        println!("  {:6.2}   {:10.4}      {:10.4}", sample.0, sample.1, reference.1);
+    }
+
+    println!("\ntuning timeline (controller events):");
+    for event in &simulation.result.control_events {
+        println!(
+            "  t = {:6.2} s  load = {:9}  resonance = {:6.2} Hz",
+            event.time_s,
+            event.load_mode.name(),
+            event.resonant_frequency_hz
+        );
+    }
+    Ok(())
+}

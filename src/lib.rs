@@ -1,0 +1,52 @@
+//! # harvsim
+//!
+//! A reproduction of *"Accelerated simulation of tunable vibration energy
+//! harvesting systems using a linearised state-space technique"*
+//! (Wang, Kazmierski, Al-Hashimi, Weddell, Merrett, Ayala Garcia — DATE 2011).
+//!
+//! This umbrella crate re-exports the workspace members so applications can
+//! depend on a single crate:
+//!
+//! * [`linalg`] — dense linear algebra (LU, eigenvalues, diagonal dominance).
+//! * [`ode`] — explicit (Adams–Bashforth) and implicit (Newton–Raphson)
+//!   integrators, stability and step control.
+//! * [`digital`] — the event-driven digital kernel used for the
+//!   microcontroller process.
+//! * [`blocks`] — the harvester component-block models (microgenerator,
+//!   Dickson multiplier, supercapacitor, controller, excitation).
+//! * [`core`] — the linearised state-space engine, the complete harvester
+//!   model, the mixed-signal co-simulation, the evaluation scenarios and the
+//!   Newton–Raphson baseline.
+//!
+//! The most common entry points are re-exported at the top level.
+//!
+//! ```
+//! use harvsim::ScenarioConfig;
+//!
+//! # fn main() -> Result<(), harvsim::CoreError> {
+//! let mut scenario = ScenarioConfig::scenario1();
+//! scenario.duration_s = 0.2;            // keep the doc test fast
+//! scenario.frequency_step_time_s = 0.05;
+//! let outcome = scenario.run()?;
+//! println!("recorded {} samples", outcome.states().len());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use harvsim_blocks as blocks;
+pub use harvsim_core as core;
+pub use harvsim_digital as digital;
+pub use harvsim_linalg as linalg;
+pub use harvsim_ode as ode;
+
+pub use harvsim_blocks::{
+    HarvesterParameters, LoadMode, Scenario, StateSpaceBlock, VibrationExcitation,
+};
+pub use harvsim_core::{
+    BaselineOptions, ComparisonReport, CoreError, MixedSignalSimulation, NewtonRaphsonBaseline,
+    ScenarioConfig, ScenarioResult, SimulationEngine, SolverOptions, SpeedComparison,
+    StateSpaceSolver, TunableHarvester,
+};

@@ -1,0 +1,79 @@
+//! Integration tests of the closed-loop tuning behaviour (microcontroller +
+//! actuator + analogue model) and of the resonance physics of Eq. 12.
+
+use harvsim::blocks::ControllerConfig;
+use harvsim::core::mixed::{MixedSignalSimulation, SimulationEngine};
+use harvsim::{HarvesterParameters, LoadMode, ScenarioConfig, SolverOptions, VibrationExcitation};
+
+#[test]
+fn closed_loop_retunes_to_the_new_ambient_frequency() {
+    // A fast controller so the whole loop fits in a debug-build test.
+    let params = HarvesterParameters::practical_device();
+    let excitation = VibrationExcitation::new(
+        params.acceleration_amplitude,
+        harvsim::blocks::FrequencyProfile::Step {
+            initial_hz: 70.0,
+            final_hz: 71.0,
+            step_time_s: 0.05,
+        },
+    )
+    .expect("excitation");
+    let mut harvester = harvsim::TunableHarvester::new(params, excitation).expect("harvester");
+    let controller = ControllerConfig {
+        watchdog_period_s: 0.3,
+        energy_threshold_v: 2.0,
+        frequency_tolerance_hz: 0.25,
+        measurement_duration_s: 0.05,
+        tuning_rate_hz_per_s: 10.0,
+        tuning_update_interval_s: 0.02,
+    };
+    let sim = MixedSignalSimulation::new(SimulationEngine::StateSpace(SolverOptions {
+        record_interval: 2e-3,
+        ..Default::default()
+    }))
+    .expect("simulation");
+    let result = sim.run(&mut harvester, controller, 1.2, 2.6).expect("run");
+
+    assert!(
+        (harvester.resonant_frequency_hz() - 71.0).abs() < 0.2,
+        "resonance should track the ambient frequency, got {}",
+        harvester.resonant_frequency_hz()
+    );
+    assert_eq!(harvester.load_mode(), LoadMode::Sleep, "the run ends back in sleep mode");
+    assert!(!result.control_events.is_empty());
+    // The recorded control events show the Eq. 16 load modes being exercised.
+    assert!(result
+        .control_events
+        .iter()
+        .any(|event| event.load_mode == LoadMode::Tuning || event.load_mode == LoadMode::Sleep));
+}
+
+#[test]
+fn insufficient_energy_defers_tuning() {
+    let mut scenario = ScenarioConfig::scenario1();
+    scenario.duration_s = 0.5;
+    scenario.frequency_step_time_s = 0.05;
+    scenario.initial_supercap_voltage = 0.8; // well below the 2.2 V threshold
+    scenario.controller.watchdog_period_s = 0.2;
+    let outcome = scenario.run().expect("scenario runs");
+    assert!(
+        (outcome.harvester.resonant_frequency_hz() - 70.0).abs() < 1e-9,
+        "no tuning should happen with an empty store"
+    );
+}
+
+#[test]
+fn eq12_tuning_relation_holds_in_the_model() {
+    let params = HarvesterParameters::practical_device();
+    // Round-trip through Eq. 12 for the paper's maximum 14 Hz shift.
+    let force = params.tuning_force_for_frequency(84.0);
+    assert!(force > 0.0 && force <= params.max_tuning_force);
+    let back = params.tuned_frequency_for_force(force);
+    assert!((back - 84.0).abs() < 1e-9);
+    // The effective stiffness scales with the square of the frequency ratio.
+    let mut harvester =
+        harvsim::TunableHarvester::with_constant_excitation(params.clone(), 70.0).expect("builds");
+    harvester.set_resonant_frequency(77.0);
+    let ratio = harvester.microgenerator().effective_stiffness() / params.spring_stiffness();
+    assert!((ratio - (77.0f64 / 70.0).powi(2)).abs() < 1e-6);
+}
