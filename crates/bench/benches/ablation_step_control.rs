@@ -13,11 +13,9 @@ use harvsim_linalg::DVector;
 use harvsim_ode::stability::{max_stable_step, StabilityRule};
 
 fn bench_step_control(c: &mut Criterion) {
-    let harvester = TunableHarvester::with_constant_excitation(
-        HarvesterParameters::practical_device(),
-        70.0,
-    )
-    .expect("harvester builds");
+    let harvester =
+        TunableHarvester::with_constant_excitation(HarvesterParameters::practical_device(), 70.0)
+            .expect("harvester builds");
     let x = harvester.initial_state(2.5).expect("initial state");
     let y_guess = DVector::zeros(harvester.net_count());
     let lin = harvester.linearise_global(0.0, &x, &y_guess).expect("linearisation");

@@ -9,8 +9,7 @@ fn bench_table2(c: &mut Criterion) {
     let mut group = c.benchmark_group("table2_tuning_scenarios");
     group.sample_size(10);
 
-    for (label, scenario) in
-        [("scenario1_1hz", scenario1(1.0)), ("scenario2_14hz", scenario2(1.5))]
+    for (label, scenario) in [("scenario1_1hz", scenario1(1.0)), ("scenario2_14hz", scenario2(1.5))]
     {
         group.bench_function(format!("{label}_proposed"), |b| {
             let config = scenario.clone();

@@ -53,22 +53,31 @@ fn table1(long: bool) -> Result<(), CoreError> {
     scenario.controller.energy_threshold_v = 10.0;
 
     let baselines = [
-        ("VHDL-AMS-style (trapezoidal + NR)", BaselineOptions {
-            method: harvsim_core::baseline::BaselineMethod::Trapezoidal,
-            step: 5e-5,
-            ..Default::default()
-        }),
-        ("PSPICE-style (backward Euler + NR)", BaselineOptions {
-            method: harvsim_core::baseline::BaselineMethod::BackwardEuler,
-            step: 2.5e-5,
-            ..Default::default()
-        }),
-        ("SystemC-A-style (trapezoidal + NR, tight tol)", BaselineOptions {
-            method: harvsim_core::baseline::BaselineMethod::Trapezoidal,
-            step: 5e-5,
-            newton_tolerance: 1e-11,
-            ..Default::default()
-        }),
+        (
+            "VHDL-AMS-style (trapezoidal + NR)",
+            BaselineOptions {
+                method: harvsim_core::baseline::BaselineMethod::Trapezoidal,
+                step: 5e-5,
+                ..Default::default()
+            },
+        ),
+        (
+            "PSPICE-style (backward Euler + NR)",
+            BaselineOptions {
+                method: harvsim_core::baseline::BaselineMethod::BackwardEuler,
+                step: 2.5e-5,
+                ..Default::default()
+            },
+        ),
+        (
+            "SystemC-A-style (trapezoidal + NR, tight tol)",
+            BaselineOptions {
+                method: harvsim_core::baseline::BaselineMethod::Trapezoidal,
+                step: 5e-5,
+                newton_tolerance: 1e-11,
+                ..Default::default()
+            },
+        ),
     ];
     for (label, options) in baselines {
         let run = scenario.clone().with_engine(SimulationEngine::NewtonRaphson(options)).run()?;
@@ -83,7 +92,9 @@ fn table1(long: bool) -> Result<(), CoreError> {
         seconds(stats.cpu_time),
         stats.steps
     );
-    println!("\n(paper, P4 2 GHz: 4h24m VHDL-AMS, 9h48m PSPICE, 6h40m SystemC-A for a full charge)\n");
+    println!(
+        "\n(paper, P4 2 GHz: 4h24m VHDL-AMS, 9h48m PSPICE, 6h40m SystemC-A for a full charge)\n"
+    );
     Ok(())
 }
 
@@ -119,12 +130,15 @@ fn fig8a(long: bool) -> Result<(), CoreError> {
     let run = scenario.run()?;
     let report = measurement::power_report(&run)?;
     println!("RMS power tuned at 70 Hz: {:8.1} uW   (paper: 118 uW)", report.rms_before_uw);
-    println!("RMS power tuned at 71 Hz: {:8.1} uW   (paper: 117 uW, measured 116 uW)", report.rms_after_uw);
-    println!("minimum power while detuned: {:5.1} uW (power drops then recovers after tuning)", report.dip_uw);
-    print_series(
-        "cycle-averaged generator power [uW]",
-        &averaged_power_series(&run, 40),
+    println!(
+        "RMS power tuned at 71 Hz: {:8.1} uW   (paper: 117 uW, measured 116 uW)",
+        report.rms_after_uw
     );
+    println!(
+        "minimum power while detuned: {:5.1} uW (power drops then recovers after tuning)",
+        report.dip_uw
+    );
+    print_series("cycle-averaged generator power [uW]", &averaged_power_series(&run, 40));
     Ok(())
 }
 

@@ -238,7 +238,8 @@ impl VibrationExcitation {
             // index so the waveform is reproducible and piecewise-constant over
             // 1 ms windows (band-limited well below the vibration frequency).
             let window = (t * 1000.0).floor() as u64;
-            let mut rng = StdRng::seed_from_u64(self.jitter_seed ^ window.wrapping_mul(0x9E37_79B9));
+            let mut rng =
+                StdRng::seed_from_u64(self.jitter_seed ^ window.wrapping_mul(0x9E37_79B9));
             1.0 + self.jitter_fraction * rng.gen_range(-1.0..1.0)
         } else {
             1.0
@@ -309,11 +310,8 @@ mod tests {
 
     #[test]
     fn acceleration_is_sinusoidal_with_correct_amplitude_and_period() {
-        let e = VibrationExcitation::new(
-            0.6,
-            FrequencyProfile::Constant { frequency_hz: 70.0 },
-        )
-        .unwrap();
+        let e = VibrationExcitation::new(0.6, FrequencyProfile::Constant { frequency_hz: 70.0 })
+            .unwrap();
         assert_eq!(e.amplitude(), 0.6);
         assert_eq!(e.frequency_at(0.0), 70.0);
         // Peak near a quarter period.
@@ -365,11 +363,8 @@ mod tests {
 
     #[test]
     fn jitter_is_bounded_and_reproducible() {
-        let base = VibrationExcitation::new(
-            1.0,
-            FrequencyProfile::Constant { frequency_hz: 70.0 },
-        )
-        .unwrap();
+        let base = VibrationExcitation::new(1.0, FrequencyProfile::Constant { frequency_hz: 70.0 })
+            .unwrap();
         let jittered = base.clone().with_amplitude_jitter(0.1, 42).unwrap();
         let again = base.clone().with_amplitude_jitter(0.1, 42).unwrap();
         for k in 0..200 {
@@ -382,12 +377,9 @@ mod tests {
 
     #[test]
     fn initial_phase_offset_shifts_waveform() {
-        let e = VibrationExcitation::new(
-            1.0,
-            FrequencyProfile::Constant { frequency_hz: 70.0 },
-        )
-        .unwrap()
-        .with_initial_phase(std::f64::consts::FRAC_PI_2);
+        let e = VibrationExcitation::new(1.0, FrequencyProfile::Constant { frequency_hz: 70.0 })
+            .unwrap()
+            .with_initial_phase(std::f64::consts::FRAC_PI_2);
         assert!((e.acceleration_at(0.0) - 1.0).abs() < 1e-12);
     }
 }

@@ -228,11 +228,9 @@ mod tests {
     fn construction_rejects_invalid_parameters() {
         let mut params = HarvesterParameters::practical_device();
         params.proof_mass = -1.0;
-        let excitation = VibrationExcitation::new(
-            0.6,
-            FrequencyProfile::Constant { frequency_hz: 70.0 },
-        )
-        .unwrap();
+        let excitation =
+            VibrationExcitation::new(0.6, FrequencyProfile::Constant { frequency_hz: 70.0 })
+                .unwrap();
         assert!(Microgenerator::new(&params, excitation).is_err());
     }
 

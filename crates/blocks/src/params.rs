@@ -115,6 +115,12 @@ pub struct HarvesterParameters {
     pub diode_emission_coefficient: f64,
     /// Number of segments in the diode piecewise-linear lookup tables.
     pub diode_table_segments: usize,
+    /// Shunt capacitance at the multiplier's AC input rail in farads: the coil
+    /// self-capacitance plus the lumped diode junction capacitances. Besides
+    /// being physical, it regularises the port when every diode is off — the
+    /// rail would otherwise be resistively open and the coil-inductance mode
+    /// would become arbitrarily stiff (see DESIGN.md §3.2).
+    pub input_capacitance: f64,
 
     // --- Storage: Zubieta–Bonert supercapacitor, Eq. 15 ---
     /// Immediate-branch resistance `R_i` in ohms.
@@ -174,6 +180,7 @@ impl HarvesterParameters {
             diode_saturation_current: 1e-6,
             diode_emission_coefficient: 1.05,
             diode_table_segments: 600,
+            input_capacitance: 470e-9,
             supercap_ri: 2.5,
             supercap_ci0: 2.2e-3,
             supercap_ci1: 1e-4,
@@ -193,9 +200,10 @@ impl HarvesterParameters {
     }
 
     /// Parameters with a full-size supercapacitor (≈ 0.55 F immediate branch),
-    /// matching the paper's hours-long charging experiments. Used by the
-    /// `--paper-scale` option of the benchmark harness; the default tests use
-    /// [`HarvesterParameters::practical_device`] so they finish quickly.
+    /// matching the paper's hours-long charging experiments. Available for
+    /// paper-scale spans; the default tests and benches use
+    /// [`HarvesterParameters::practical_device`] so they finish quickly
+    /// (DESIGN.md §4).
     pub fn paper_scale_device() -> Self {
         HarvesterParameters {
             supercap_ci0: 0.55,
@@ -254,7 +262,7 @@ impl HarvesterParameters {
     /// Returns [`BlockError::InvalidParameter`] naming the first offending
     /// parameter.
     pub fn validate(&self) -> Result<(), BlockError> {
-        let positives: [(&'static str, f64); 22] = [
+        let positives: [(&'static str, f64); 23] = [
             ("proof_mass", self.proof_mass),
             ("untuned_resonance_hz", self.untuned_resonance_hz),
             ("parasitic_damping", self.parasitic_damping),
@@ -266,6 +274,7 @@ impl HarvesterParameters {
             ("stage_capacitance", self.stage_capacitance),
             ("diode_saturation_current", self.diode_saturation_current),
             ("diode_emission_coefficient", self.diode_emission_coefficient),
+            ("input_capacitance", self.input_capacitance),
             ("supercap_ri", self.supercap_ri),
             ("supercap_ci0", self.supercap_ci0),
             ("supercap_rd", self.supercap_rd),

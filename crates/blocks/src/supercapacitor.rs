@@ -165,12 +165,9 @@ impl StateSpaceBlock for Supercapacitor {
             &[0.0, 0.0, -1.0 / tau_l],
         ])
         .expect("static 3x3 matrix");
-        let b = DMatrix::from_rows(&[
-            &[1.0 / tau_i, 0.0],
-            &[1.0 / tau_d, 0.0],
-            &[1.0 / tau_l, 0.0],
-        ])
-        .expect("static 3x2 matrix");
+        let b =
+            DMatrix::from_rows(&[&[1.0 / tau_i, 0.0], &[1.0 / tau_d, 0.0], &[1.0 / tau_l, 0.0]])
+                .expect("static 3x2 matrix");
         let e = DVector::zeros(3);
 
         // KCL at the terminal node:

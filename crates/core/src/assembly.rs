@@ -127,8 +127,12 @@ pub trait AnalogueSystem {
     /// # Errors
     ///
     /// Implementations may report ill-posed configurations.
-    fn linearise_global(&self, t: f64, x: &DVector, y: &DVector)
-        -> Result<GlobalLinearisation, CoreError>;
+    fn linearise_global(
+        &self,
+        t: f64,
+        x: &DVector,
+        y: &DVector,
+    ) -> Result<GlobalLinearisation, CoreError>;
 }
 
 /// Placement bookkeeping for one block inside the assembled system.
@@ -368,7 +372,11 @@ impl Assembly {
             let local_x = x.segment(slot.state_offset, slot.state_count);
             let local_y = DVector::from_fn(slot.terminal_nets.len(), |i| y[slot.terminal_nets[i]]);
             let lin = block.linearise(t, &local_x, &local_y);
-            debug_assert!(lin.is_consistent(), "block {} returned inconsistent matrices", slot.name);
+            debug_assert!(
+                lin.is_consistent(),
+                "block {} returned inconsistent matrices",
+                slot.name
+            );
 
             // State equations.
             jxx.add_block(slot.state_offset, slot.state_offset, &lin.a);

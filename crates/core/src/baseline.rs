@@ -280,7 +280,9 @@ impl NewtonRaphsonBaseline {
                 jac.set_block(n, n, &lin.jyy);
 
                 let lu = jac.lu().map_err(|err| {
-                    CoreError::IllPosedSystem(format!("baseline Newton Jacobian is singular: {err}"))
+                    CoreError::IllPosedSystem(format!(
+                        "baseline Newton Jacobian is singular: {err}"
+                    ))
                 })?;
                 stats.factorisations += 1;
                 let delta = lu.solve(&(-&residual))?;

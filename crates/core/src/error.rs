@@ -84,12 +84,8 @@ mod tests {
         assert!(err.to_string().contains("linear algebra"));
         let err: CoreError = OdeError::InvalidParameter("x".into()).into();
         assert!(err.to_string().contains("integration"));
-        let err: CoreError = BlockError::InvalidParameter {
-            name: "m",
-            value: 0.0,
-            constraint: "positive",
-        }
-        .into();
+        let err: CoreError =
+            BlockError::InvalidParameter { name: "m", value: 0.0, constraint: "positive" }.into();
         assert!(err.to_string().contains("block"));
         let err: CoreError = KernelError::TargetInThePast {
             target: harvsim_digital::SimTime::ZERO,

@@ -6,8 +6,11 @@
 //! input, the multiplier output with the storage port — and exposes the
 //! resulting model through [`AnalogueSystem`] so the march-in-time solver and
 //! the Newton–Raphson baseline can simulate it. With the default five-stage
-//! multiplier the global model has 11 state variables, matching the "11 by 11
-//! matrix of state equations" reported in the paper.
+//! multiplier the global model has 12 state variables: the 11 of the paper's
+//! "11 by 11 matrix of state equations" (three mechanical/electrical generator
+//! states, five stage voltages, three supercapacitor branches) plus the
+//! multiplier's rail-capacitance state that regularises the generator port
+//! (see DESIGN.md §3.2).
 
 use harvsim_blocks::{
     DicksonMultiplier, FrequencyProfile, HarvesterParameters, LoadMode, Microgenerator,
@@ -53,24 +56,20 @@ impl TunableHarvester {
         let supercapacitor = Supercapacitor::new(&parameters)?;
 
         let mut builder = Assembly::builder();
-        builder.add_block(
-            &microgenerator,
-            &[NET_GENERATOR_VOLTAGE, NET_GENERATOR_CURRENT],
-        )?;
+        builder.add_block(&microgenerator, &[NET_GENERATOR_VOLTAGE, NET_GENERATOR_CURRENT])?;
         builder.add_block(
             &multiplier,
-            &[NET_GENERATOR_VOLTAGE, NET_GENERATOR_CURRENT, NET_STORAGE_VOLTAGE, NET_STORAGE_CURRENT],
+            &[
+                NET_GENERATOR_VOLTAGE,
+                NET_GENERATOR_CURRENT,
+                NET_STORAGE_VOLTAGE,
+                NET_STORAGE_CURRENT,
+            ],
         )?;
         builder.add_block(&supercapacitor, &[NET_STORAGE_VOLTAGE, NET_STORAGE_CURRENT])?;
         let assembly = builder.build()?;
 
-        Ok(TunableHarvester {
-            parameters,
-            microgenerator,
-            multiplier,
-            supercapacitor,
-            assembly,
-        })
+        Ok(TunableHarvester { parameters, microgenerator, multiplier, supercapacitor, assembly })
     }
 
     /// Convenience constructor: a harvester driven at a constant ambient
@@ -256,15 +255,16 @@ mod tests {
     #[test]
     fn dimensions_match_the_paper() {
         let h = harvester();
-        // 3 (microgenerator) + 5 (multiplier) + 3 (supercapacitor) = 11 states,
-        // exactly the 11x11 state matrix quoted in Section III-E.
-        assert_eq!(h.state_count(), 11);
+        // 3 (microgenerator) + 6 (multiplier incl. the rail state) +
+        // 3 (supercapacitor) = 12 states: the paper's 11x11 state matrix of
+        // Section III-E plus the rail-capacitance regularisation state.
+        assert_eq!(h.state_count(), 12);
         assert_eq!(h.net_count(), 4);
-        assert_eq!(h.state_names().len(), 11);
+        assert_eq!(h.state_names().len(), 12);
         assert_eq!(h.net_names().len(), 4);
         assert_eq!(h.assembly().block_count(), 3);
         assert_eq!(h.multiplier_state_offset(), 3);
-        assert_eq!(h.supercap_state_offset(), 8);
+        assert_eq!(h.supercap_state_offset(), 9);
         assert_eq!(h.generator_voltage_net(), 0);
         assert_eq!(h.generator_current_net(), 1);
         assert_eq!(h.storage_voltage_net(), 2);
@@ -277,7 +277,7 @@ mod tests {
     fn initial_state_precharges_the_supercapacitor() {
         let h = harvester();
         let x = h.initial_state(2.4).unwrap();
-        assert_eq!(x.len(), 11);
+        assert_eq!(x.len(), 12);
         assert!((h.supercapacitor_voltage(&x) - 2.4).abs() < 1e-6);
         assert!(h.stored_energy(&x) > 0.0);
         // Mechanical and multiplier states start at rest.
@@ -303,7 +303,7 @@ mod tests {
         // The total-step matrix exists and is finite.
         let a = lin.total_step_matrix().unwrap();
         assert!(a.is_finite());
-        assert_eq!(a.rows(), 11);
+        assert_eq!(a.rows(), 12);
     }
 
     #[test]

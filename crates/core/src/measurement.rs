@@ -119,21 +119,20 @@ pub fn power_report(result: &ScenarioResult) -> Result<PowerReport, CoreError> {
     let after_start = end - (end - step_time) * 0.25;
     let rms_after = rms_power_in_window(result, after_start, end)?;
 
-    // Dip: smallest 50 ms-averaged power between the step and the end.
-    let waveform = output_power_waveform(result);
+    // Dip: smallest 50 ms-averaged power between the step and the end. The
+    // `rms_after` window lies inside the scanned span, so it participates as a
+    // candidate directly — scanning it again from a floating-point-accumulated
+    // start time can include a different boundary sample and come out slightly
+    // above `rms_after`, which would let `dip` exceed both reference windows.
     let window = 0.05;
-    let mut dip = f64::INFINITY;
+    let mut dip = rms_after;
     let mut t = step_time;
-    while t + window <= end {
-        if let Ok(avg) = rms_power_in_window(result, t, t + window) {
+    while t + window <= end + 1e-9 {
+        if let Ok(avg) = rms_power_in_window(result, t, (t + window).min(end)) {
             dip = dip.min(avg);
         }
         t += window;
     }
-    if !dip.is_finite() {
-        dip = rms_after.min(rms_before);
-    }
-    let _ = waveform;
     Ok(PowerReport {
         rms_before_uw: rms_before * 1e6,
         rms_after_uw: rms_after * 1e6,
@@ -228,8 +227,7 @@ mod tests {
     #[test]
     fn identical_runs_compare_equal() {
         let result = quick_result();
-        let comparison =
-            compare_component(result.terminals(), result.terminals(), 0, 50).unwrap();
+        let comparison = compare_component(result.terminals(), result.terminals(), 0, 50).unwrap();
         assert_eq!(comparison.max_deviation, 0.0);
         assert_eq!(comparison.rms_deviation, 0.0);
         assert!(comparison.compared_span_s > 0.0);

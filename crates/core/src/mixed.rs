@@ -154,7 +154,8 @@ impl MixedSignalSimulation {
                 "simulation duration must be positive, got {duration_s}"
             )));
         }
-        let controller = MicroController::new(controller_config, harvester.resonant_frequency_hz())?;
+        let controller =
+            MicroController::new(controller_config, harvester.resonant_frequency_hz())?;
 
         let mut kernel: Kernel<ControlMailbox> = Kernel::new();
         kernel.spawn_at(SimTime::from_secs_f64(controller_config.watchdog_period_s), controller);
@@ -301,9 +302,8 @@ mod tests {
 
     #[test]
     fn rejects_non_positive_duration() {
-        let sim =
-            MixedSignalSimulation::new(SimulationEngine::StateSpace(quick_solver_options()))
-                .unwrap();
+        let sim = MixedSignalSimulation::new(SimulationEngine::StateSpace(quick_solver_options()))
+            .unwrap();
         let mut h = harvester(71.0, 0.1);
         assert!(sim.run(&mut h, quick_controller_config(), 0.0, 2.4).is_err());
     }
@@ -313,9 +313,8 @@ mod tests {
     /// and retunes the resonance to follow the ambient frequency.
     #[test]
     fn controller_retunes_the_resonance_in_closed_loop() {
-        let sim =
-            MixedSignalSimulation::new(SimulationEngine::StateSpace(quick_solver_options()))
-                .unwrap();
+        let sim = MixedSignalSimulation::new(SimulationEngine::StateSpace(quick_solver_options()))
+            .unwrap();
         let mut h = harvester(71.0, 0.05);
         let result = sim.run(&mut h, quick_controller_config(), 1.6, 2.6).unwrap();
         // The resonance must have followed the ambient frequency.
@@ -338,17 +337,13 @@ mod tests {
 
     #[test]
     fn low_energy_prevents_tuning() {
-        let sim =
-            MixedSignalSimulation::new(SimulationEngine::StateSpace(quick_solver_options()))
-                .unwrap();
+        let sim = MixedSignalSimulation::new(SimulationEngine::StateSpace(quick_solver_options()))
+            .unwrap();
         let mut h = harvester(71.0, 0.05);
         // Start with the supercapacitor nearly empty: the controller must skip tuning.
         let result = sim.run(&mut h, quick_controller_config(), 1.0, 0.5).unwrap();
         assert!((h.resonant_frequency_hz() - 70.0).abs() < 1e-9);
         // The only control action (if any) is the load returning to sleep.
-        assert!(result
-            .control_events
-            .iter()
-            .all(|event| event.load_mode == LoadMode::Sleep));
+        assert!(result.control_events.iter().all(|event| event.load_mode == LoadMode::Sleep));
     }
 }

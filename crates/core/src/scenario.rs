@@ -244,7 +244,9 @@ mod tests {
         // The surrogate drains faster (leakage) but still runs.
         let surrogate = config.run_experimental_surrogate().unwrap();
         assert!(surrogate.states().len() > 10);
-        assert_eq!(ScenarioConfig::scenario1().with_engine(config.engine).engine.name(),
-            "linearised-state-space");
+        assert_eq!(
+            ScenarioConfig::scenario1().with_engine(config.engine).engine.name(),
+            "linearised-state-space"
+        );
     }
 }

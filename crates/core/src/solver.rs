@@ -48,6 +48,13 @@ pub struct SolverOptions {
     /// Relative Jacobian change that triggers a stability-limit refresh and is
     /// reported as the local-linearisation-error indicator.
     pub relinearise_threshold: f64,
+    /// Refresh the cached Eq. 7 stability limit at least every this many
+    /// accepted steps, even when the per-step Jacobian change stays below
+    /// [`SolverOptions::relinearise_threshold`]. Without this floor the limit
+    /// can go stale at its most conservative value: small steps make the
+    /// per-step Jacobian change tiny, which suppresses refreshes, which keeps
+    /// the step small (see the solver module docs).
+    pub stability_refresh_steps: usize,
     /// Minimum spacing between recorded trajectory samples, in seconds
     /// (`0.0` records every accepted step).
     pub record_interval: f64,
@@ -62,6 +69,7 @@ impl Default for SolverOptions {
             min_step: 1e-9,
             stability_safety: 0.8,
             relinearise_threshold: 0.05,
+            stability_refresh_steps: 128,
             record_interval: 1e-3,
         }
     }
@@ -80,7 +88,8 @@ impl SolverOptions {
                 self.ab_order
             )));
         }
-        if !(self.min_step > 0.0 && self.initial_step >= self.min_step
+        if !(self.min_step > 0.0
+            && self.initial_step >= self.min_step
             && self.max_step >= self.initial_step)
         {
             return Err(CoreError::InvalidConfiguration(format!(
@@ -97,6 +106,11 @@ impl SolverOptions {
         if self.relinearise_threshold <= 0.0 || self.record_interval < 0.0 {
             return Err(CoreError::InvalidConfiguration(
                 "relinearise threshold must be positive and record interval non-negative".into(),
+            ));
+        }
+        if self.stability_refresh_steps == 0 {
+            return Err(CoreError::InvalidConfiguration(
+                "the stability refresh interval must be at least one step".into(),
             ));
         }
         Ok(())
@@ -248,6 +262,7 @@ impl StateSpaceSolver {
         let mut history: Vec<(f64, DVector)> = Vec::with_capacity(self.options.ab_order);
         let mut previous_linearisation = None;
         let mut stability_limit = self.options.max_step;
+        let mut steps_since_refresh = 0usize;
 
         while t < t_end - 1e-12 {
             // 1. Linearise at the present operating point (Eq. 2).
@@ -256,12 +271,17 @@ impl StateSpaceSolver {
 
             // 2. Monitor the local linearisation error through Jacobian changes
             //    (Eq. 3) and refresh the cached stability limit when needed.
+            //    The periodic floor matters: the per-step Jacobian change scales
+            //    with the step size, so after the limit forces a small step the
+            //    change alone would never trigger again and the limit would
+            //    stick at its most conservative value for the rest of the run.
             let refresh = match &previous_linearisation {
                 None => true,
                 Some(prev) => {
                     let change = lin.jacobian_change(prev)?;
                     stats.max_jacobian_change = stats.max_jacobian_change.max(change);
                     change > self.options.relinearise_threshold
+                        || steps_since_refresh >= self.options.stability_refresh_steps
                 }
             };
             if refresh {
@@ -294,6 +314,7 @@ impl StateSpaceSolver {
                         step: stability_limit,
                     }));
                 }
+                steps_since_refresh = 0;
             }
 
             // 3. Eliminate the terminal variables (Eq. 4).
@@ -311,7 +332,10 @@ impl StateSpaceSolver {
             }
 
             // 5. Choose the step: stability limit, growth limit, span end.
-            h = (h * 1.5).min(stability_limit).min(self.options.max_step).max(self.options.min_step);
+            h = (h * 1.5)
+                .min(stability_limit)
+                .min(self.options.max_step)
+                .max(self.options.min_step);
             let step = h.min(t_end - t);
 
             // 6. Advance with the variable-step Adams–Bashforth formula (Eq. 5).
@@ -324,6 +348,7 @@ impl StateSpaceSolver {
             }
             t += step;
             stats.steps += 1;
+            steps_since_refresh += 1;
 
             if !x.is_finite() {
                 return Err(CoreError::Ode(harvsim_ode::OdeError::NonFiniteState { time: t }));
@@ -408,10 +433,11 @@ mod tests {
         assert!(SolverOptions { ab_order: 7, ..Default::default() }.validate().is_err());
         assert!(SolverOptions { min_step: 0.0, ..Default::default() }.validate().is_err());
         assert!(SolverOptions { max_step: 1e-9, ..Default::default() }.validate().is_err());
-        assert!(
-            SolverOptions { stability_safety: 1.5, ..Default::default() }.validate().is_err()
-        );
+        assert!(SolverOptions { stability_safety: 1.5, ..Default::default() }.validate().is_err());
         assert!(SolverOptions { relinearise_threshold: 0.0, ..Default::default() }
+            .validate()
+            .is_err());
+        assert!(SolverOptions { stability_refresh_steps: 0, ..Default::default() }
             .validate()
             .is_err());
         assert!(StateSpaceSolver::new(SolverOptions::default()).is_ok());
@@ -500,11 +526,9 @@ mod tests {
     fn record_interval_thins_the_output() {
         let system = DrivenRc { tau0: 1e-3, tau1: 1e-3, source: |_t| 1.0 };
         let dense = StateSpaceSolver::new(options_for_test()).unwrap();
-        let sparse = StateSpaceSolver::new(SolverOptions {
-            record_interval: 5e-3,
-            ..options_for_test()
-        })
-        .unwrap();
+        let sparse =
+            StateSpaceSolver::new(SolverOptions { record_interval: 5e-3, ..options_for_test() })
+                .unwrap();
         let x0 = DVector::zeros(2);
         let dense_result = dense.solve(&system, 0.0, 0.05, &x0).unwrap();
         let sparse_result = sparse.solve(&system, 0.0, 0.05, &x0).unwrap();

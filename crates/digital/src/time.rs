@@ -96,9 +96,7 @@ impl AddAssign for SimTime {
 impl Sub for SimTime {
     type Output = SimTime;
     fn sub(self, rhs: SimTime) -> SimTime {
-        SimTime {
-            nanos: self.nanos.checked_sub(rhs.nanos).expect("simulation time went negative"),
-        }
+        SimTime { nanos: self.nanos.checked_sub(rhs.nanos).expect("simulation time went negative") }
     }
 }
 

@@ -56,13 +56,8 @@ pub fn step_is_diagonally_stable(a: &DMatrix, h: f64) -> Result<bool, LinalgErro
     }
     for i in 0..a.rows() {
         let diag = 1.0 + h * a[(i, i)];
-        let off: f64 = a
-            .row(i)
-            .iter()
-            .enumerate()
-            .filter(|(j, _)| *j != i)
-            .map(|(_, x)| h * x.abs())
-            .sum();
+        let off: f64 =
+            a.row(i).iter().enumerate().filter(|(j, _)| *j != i).map(|(_, x)| h * x.abs()).sum();
         if diag.abs() + off >= 1.0 {
             return Ok(false);
         }
@@ -192,12 +187,9 @@ mod tests {
     #[test]
     fn dominance_step_implies_spectral_stability() {
         // The heuristic must be sufficient (never admit an unstable step).
-        let a = DMatrix::from_rows(&[
-            &[-200.0, 30.0, 0.0],
-            &[10.0, -80.0, 20.0],
-            &[0.0, 5.0, -400.0],
-        ])
-        .unwrap();
+        let a =
+            DMatrix::from_rows(&[&[-200.0, 30.0, 0.0], &[10.0, -80.0, 20.0], &[0.0, 5.0, -400.0]])
+                .unwrap();
         let h = max_stable_step(&a, 0.99).unwrap().unwrap();
         let m = &DMatrix::identity(3) + &a.scaled(h);
         assert!(spectral_radius(&m).unwrap() < 1.0 + 1e-9);
@@ -220,10 +212,7 @@ mod proptests {
 
     /// Passive-looking matrices: strictly negative diagonal, modest coupling.
     fn passive_matrix(n: usize) -> impl Strategy<Value = DMatrix> {
-        (
-            prop::collection::vec(1.0f64..500.0, n),
-            prop::collection::vec(-20.0f64..20.0, n * n),
-        )
+        (prop::collection::vec(1.0f64..500.0, n), prop::collection::vec(-20.0f64..20.0, n * n))
             .prop_map(move |(diag, off)| {
                 let mut m = DMatrix::from_row_major(n, n, off).expect("size matches");
                 for i in 0..n {

@@ -189,14 +189,11 @@ pub fn eigenvalues(a: &DMatrix) -> Result<Vec<Complex>, LinalgError> {
             if isolated && (high == 2 || sub <= scale) {
                 let converged_2x2 = high == 2
                     || h[(high - 2, high - 3)].abs()
-                        <= eps * (h[(high - 3, high - 3)].abs() + h[(high - 2, high - 2)].abs()).max(1e-300);
+                        <= eps
+                            * (h[(high - 3, high - 3)].abs() + h[(high - 2, high - 2)].abs())
+                                .max(1e-300);
                 if converged_2x2 && high == 2 {
-                    let (l1, l2) = eig_2x2(
-                        h[(0, 0)],
-                        h[(0, 1)],
-                        h[(1, 0)],
-                        h[(1, 1)],
-                    );
+                    let (l1, l2) = eig_2x2(h[(0, 0)], h[(0, 1)], h[(1, 0)], h[(1, 1)]);
                     eigs.push(l1);
                     eigs.push(l2);
                     high = 0;
@@ -206,8 +203,7 @@ pub fn eigenvalues(a: &DMatrix) -> Result<Vec<Complex>, LinalgError> {
         }
         // Check whether the trailing 2x2 block has converged (sub-diagonal above it ~ 0).
         if high >= 3 {
-            let scale =
-                (h[(high - 3, high - 3)].abs() + h[(high - 2, high - 2)].abs()).max(1e-300);
+            let scale = (h[(high - 3, high - 3)].abs() + h[(high - 2, high - 2)].abs()).max(1e-300);
             if h[(high - 2, high - 3)].abs() <= eps * scale {
                 let (l1, l2) = eig_2x2(
                     h[(high - 2, high - 2)],
@@ -448,8 +444,8 @@ mod tests {
 
     #[test]
     fn gershgorin_bounds_spectral_radius() {
-        let a = DMatrix::from_rows(&[&[2.0, -1.0, 0.0], &[1.0, 3.0, 0.5], &[0.0, 0.2, -1.0]])
-            .unwrap();
+        let a =
+            DMatrix::from_rows(&[&[2.0, -1.0, 0.0], &[1.0, 3.0, 0.5], &[0.0, 0.2, -1.0]]).unwrap();
         let bound = gershgorin_radius_bound(&a).unwrap();
         let exact = spectral_radius(&a).unwrap();
         assert!(bound >= exact - 1e-12, "bound {bound} must dominate exact {exact}");
@@ -458,8 +454,8 @@ mod tests {
 
     #[test]
     fn power_iteration_agrees_with_exact_radius() {
-        let a = DMatrix::from_rows(&[&[0.5, 0.1, 0.0], &[0.0, -0.8, 0.2], &[0.1, 0.0, 0.3]])
-            .unwrap();
+        let a =
+            DMatrix::from_rows(&[&[0.5, 0.1, 0.0], &[0.0, -0.8, 0.2], &[0.1, 0.0, 0.3]]).unwrap();
         let approx = power_iteration_radius(&a, 10_000, 1e-8).unwrap();
         let exact = spectral_radius(&a).unwrap();
         assert!((approx - exact).abs() < 1e-3, "approx {approx}, exact {exact}");

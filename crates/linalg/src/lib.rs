@@ -43,13 +43,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-mod error;
-mod matrix;
-mod vector;
-pub mod lu;
-pub mod eigen;
 pub mod dominance;
+pub mod eigen;
+mod error;
+pub mod lu;
+mod matrix;
 mod triplet;
+mod vector;
 
 pub use error::LinalgError;
 pub use lu::LuDecomposition;

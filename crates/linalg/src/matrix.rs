@@ -317,9 +317,7 @@ impl DMatrix {
 
     /// Infinity norm (maximum absolute row sum).
     pub fn norm_inf(&self) -> f64 {
-        (0..self.rows)
-            .map(|r| self.row(r).iter().map(|x| x.abs()).sum::<f64>())
-            .fold(0.0, f64::max)
+        (0..self.rows).map(|r| self.row(r).iter().map(|x| x.abs()).sum::<f64>()).fold(0.0, f64::max)
     }
 
     /// Largest absolute entry of the matrix.
@@ -343,11 +341,7 @@ impl DMatrix {
                 right: other.shape(),
             });
         }
-        Ok(self
-            .data
-            .iter()
-            .zip(&other.data)
-            .fold(0.0, |acc, (a, b)| acc.max((a - b).abs())))
+        Ok(self.data.iter().zip(&other.data).fold(0.0, |acc, (a, b)| acc.max((a - b).abs())))
     }
 
     /// Returns `true` if every entry is finite.

@@ -188,11 +188,7 @@ impl DVector {
                 right: (other.len(), 1),
             });
         }
-        Ok(self
-            .data
-            .iter()
-            .zip(&other.data)
-            .fold(0.0, |acc, (a, b)| acc.max((a - b).abs())))
+        Ok(self.data.iter().zip(&other.data).fold(0.0, |acc, (a, b)| acc.max((a - b).abs())))
     }
 
     /// Concatenates two vectors, `[self; other]`, used when stacking block state

@@ -43,7 +43,13 @@ pub trait ExplicitIntegrator {
     ) -> Result<Trajectory, OdeError>;
 }
 
-fn validate_span(x0: &DVector, system: &dyn OdeSystem, t0: f64, t_end: f64, h: f64) -> Result<(), OdeError> {
+fn validate_span(
+    x0: &DVector,
+    system: &dyn OdeSystem,
+    t0: f64,
+    t_end: f64,
+    h: f64,
+) -> Result<(), OdeError> {
     if x0.len() != system.dimension() {
         return Err(OdeError::InvalidParameter(format!(
             "initial state has {} entries but the system dimension is {}",
@@ -505,8 +511,7 @@ mod tests {
     fn oscillator_energy_is_approximately_conserved_by_rk4() {
         let system = oscillator_system();
         let x0 = DVector::from_slice(&[1.0, 0.0]);
-        let trajectory =
-            RungeKutta4::new().integrate(&system, &x0, 0.0, 10.0, 1e-3).unwrap();
+        let trajectory = RungeKutta4::new().integrate(&system, &x0, 0.0, 10.0, 1e-3).unwrap();
         let end = trajectory.last_state();
         let energy = end[0] * end[0] + end[1] * end[1];
         assert!((energy - 1.0).abs() < 1e-8, "energy drift {energy}");
@@ -531,9 +536,7 @@ mod tests {
         let x0 = DVector::from_slice(&[1.0]);
         assert!(ForwardEuler::new().integrate(&system, &x0, 0.0, 1.0, -0.1).is_err());
         assert!(ForwardEuler::new().integrate(&system, &x0, 1.0, 1.0, 0.1).is_err());
-        assert!(ForwardEuler::new()
-            .integrate(&system, &DVector::zeros(2), 0.0, 1.0, 0.1)
-            .is_err());
+        assert!(ForwardEuler::new().integrate(&system, &DVector::zeros(2), 0.0, 1.0, 0.1).is_err());
     }
 
     #[test]

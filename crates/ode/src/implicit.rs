@@ -105,9 +105,7 @@ impl ImplicitIntegrator {
             )));
         }
         if !(h > 0.0) || !h.is_finite() {
-            return Err(OdeError::InvalidParameter(format!(
-                "step size must be positive, got {h}"
-            )));
+            return Err(OdeError::InvalidParameter(format!("step size must be positive, got {h}")));
         }
         if !(t_end > t0) {
             return Err(OdeError::InvalidParameter(format!(
@@ -184,9 +182,8 @@ mod tests {
     #[test]
     fn backward_euler_matches_exponential_decay() {
         let integrator = ImplicitIntegrator::new(ImplicitMethod::BackwardEuler);
-        let (trajectory, stats) = integrator
-            .integrate(&decay(), &DVector::from_slice(&[1.0]), 0.0, 1.0, 1e-3)
-            .unwrap();
+        let (trajectory, stats) =
+            integrator.integrate(&decay(), &DVector::from_slice(&[1.0]), 0.0, 1.0, 1e-3).unwrap();
         let end = trajectory.last_state()[0];
         assert!((end - (-2.0f64).exp()).abs() < 2e-3);
         assert!(stats.steps >= 999);
@@ -216,9 +213,8 @@ mod tests {
         let stiff =
             FnOdeSystem::new(1, |_t, x: &DVector, dx: &mut DVector| dx[0] = -1e5 * (x[0] - 1.0));
         let integrator = ImplicitIntegrator::new(ImplicitMethod::BackwardEuler);
-        let (trajectory, _) = integrator
-            .integrate(&stiff, &DVector::from_slice(&[0.0]), 0.0, 1.0, 0.01)
-            .unwrap();
+        let (trajectory, _) =
+            integrator.integrate(&stiff, &DVector::from_slice(&[0.0]), 0.0, 1.0, 0.01).unwrap();
         assert!((trajectory.last_state()[0] - 1.0).abs() < 1e-6);
     }
 
@@ -228,9 +224,8 @@ mod tests {
         let riccati =
             FnOdeSystem::new(1, |_t, x: &DVector, dx: &mut DVector| dx[0] = 1.0 - x[0] * x[0]);
         let integrator = ImplicitIntegrator::new(ImplicitMethod::Trapezoidal);
-        let (trajectory, stats) = integrator
-            .integrate(&riccati, &DVector::from_slice(&[0.0]), 0.0, 2.0, 1e-3)
-            .unwrap();
+        let (trajectory, stats) =
+            integrator.integrate(&riccati, &DVector::from_slice(&[0.0]), 0.0, 2.0, 1e-3).unwrap();
         assert!((trajectory.last_state()[0] - 2.0f64.tanh()).abs() < 1e-6);
         assert!(stats.newton_iterations > 0);
     }
@@ -266,9 +261,8 @@ mod tests {
     #[test]
     fn final_step_lands_on_t_end() {
         let integrator = ImplicitIntegrator::new(ImplicitMethod::Trapezoidal);
-        let (trajectory, _) = integrator
-            .integrate(&decay(), &DVector::from_slice(&[1.0]), 0.0, 0.35, 0.1)
-            .unwrap();
+        let (trajectory, _) =
+            integrator.integrate(&decay(), &DVector::from_slice(&[1.0]), 0.0, 0.35, 0.1).unwrap();
         assert!((trajectory.last_time() - 0.35).abs() < 1e-12);
     }
 }

@@ -124,7 +124,8 @@ impl Trajectory {
             return Ok(self.states.last().expect("non-empty").clone());
         }
         // Binary search for the bracketing interval.
-        let idx = match self.times.binary_search_by(|probe| probe.partial_cmp(&t).expect("finite")) {
+        let idx = match self.times.binary_search_by(|probe| probe.partial_cmp(&t).expect("finite"))
+        {
             Ok(exact) => return Ok(self.states[exact].clone()),
             Err(insertion) => insertion,
         };
@@ -142,7 +143,11 @@ impl Trajectory {
     ///
     /// Returns [`OdeError::InvalidParameter`] if the trajectory is empty or
     /// `samples < 2`.
-    pub fn resample_component(&self, index: usize, samples: usize) -> Result<Vec<(f64, f64)>, OdeError> {
+    pub fn resample_component(
+        &self,
+        index: usize,
+        samples: usize,
+    ) -> Result<Vec<(f64, f64)>, OdeError> {
         if samples < 2 {
             return Err(OdeError::InvalidParameter("resampling needs at least 2 samples".into()));
         }
@@ -169,7 +174,12 @@ impl Trajectory {
     ///
     /// Returns [`OdeError::InvalidParameter`] for an empty trajectory or an
     /// empty/inverted window.
-    pub fn rms_of_component(&self, index: usize, t_start: f64, t_end: f64) -> Result<f64, OdeError> {
+    pub fn rms_of_component(
+        &self,
+        index: usize,
+        t_start: f64,
+        t_end: f64,
+    ) -> Result<f64, OdeError> {
         if self.is_empty() {
             return Err(OdeError::InvalidParameter("empty trajectory".into()));
         }
@@ -200,7 +210,12 @@ impl Trajectory {
     /// # Errors
     ///
     /// Same failure modes as [`Trajectory::rms_of_component`].
-    pub fn mean_of_component(&self, index: usize, t_start: f64, t_end: f64) -> Result<f64, OdeError> {
+    pub fn mean_of_component(
+        &self,
+        index: usize,
+        t_start: f64,
+        t_end: f64,
+    ) -> Result<f64, OdeError> {
         if self.is_empty() {
             return Err(OdeError::InvalidParameter("empty trajectory".into()));
         }
@@ -373,7 +388,10 @@ mod tests {
         let freq = 70.0;
         for k in 0..=2000 {
             let t = k as f64 / 2000.0 * (5.0 / freq); // five periods
-            tr.push(t, DVector::from_slice(&[amplitude * (2.0 * std::f64::consts::PI * freq * t).sin()]));
+            tr.push(
+                t,
+                DVector::from_slice(&[amplitude * (2.0 * std::f64::consts::PI * freq * t).sin()]),
+            );
         }
         let rms = tr.rms_of_component(0, 0.0, 5.0 / freq).unwrap();
         assert!((rms - amplitude / 2.0f64.sqrt()).abs() < 0.01);

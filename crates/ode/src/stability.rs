@@ -63,9 +63,7 @@ impl Default for StabilityRule {
 pub fn max_stable_step(a: &DMatrix, rule: StabilityRule) -> Result<Option<f64>, OdeError> {
     match rule {
         StabilityRule::FixedStep => Ok(None),
-        StabilityRule::DiagonalDominance { safety } => {
-            Ok(dominance::max_stable_step(a, safety)?)
-        }
+        StabilityRule::DiagonalDominance { safety } => Ok(dominance::max_stable_step(a, safety)?),
         StabilityRule::SpectralRadius { safety } => {
             if !(safety > 0.0 && safety <= 1.0) {
                 return Err(OdeError::InvalidParameter(format!(
@@ -126,9 +124,8 @@ mod tests {
     #[test]
     fn spectral_rule_on_diagonal_decay() {
         let a = DMatrix::from_diagonal(&DVector::from_slice(&[-100.0, -10.0]));
-        let h = max_stable_step(&a, StabilityRule::SpectralRadius { safety: 1.0 })
-            .unwrap()
-            .unwrap();
+        let h =
+            max_stable_step(&a, StabilityRule::SpectralRadius { safety: 1.0 }).unwrap().unwrap();
         assert!((h - 0.02).abs() < 1e-9);
         assert!(step_satisfies_eq7(&a, 0.9 * h).unwrap());
         assert!(!step_satisfies_eq7(&a, 1.1 * h).unwrap());
@@ -141,9 +138,8 @@ mod tests {
         let omega = 2.0 * std::f64::consts::PI * 70.0;
         let zeta = 0.01;
         let a = damped_oscillator(omega, zeta);
-        let h = max_stable_step(&a, StabilityRule::SpectralRadius { safety: 1.0 })
-            .unwrap()
-            .unwrap();
+        let h =
+            max_stable_step(&a, StabilityRule::SpectralRadius { safety: 1.0 }).unwrap().unwrap();
         let expected = 2.0 * zeta / omega; // -2α/|λ|² with α = -ζω, |λ| = ω
         assert!((h - expected).abs() < 0.05 * expected, "h = {h}, expected ≈ {expected}");
         assert!(step_satisfies_eq7(&a, 0.9 * h).unwrap());
@@ -152,18 +148,16 @@ mod tests {
     #[test]
     fn undamped_mode_gives_zero_step() {
         let a = damped_oscillator(10.0, 0.0);
-        let h = max_stable_step(&a, StabilityRule::SpectralRadius { safety: 0.9 })
-            .unwrap()
-            .unwrap();
+        let h =
+            max_stable_step(&a, StabilityRule::SpectralRadius { safety: 0.9 }).unwrap().unwrap();
         assert_eq!(h, 0.0);
     }
 
     #[test]
     fn dominance_rule_delegates_to_linalg() {
         let a = DMatrix::from_diagonal(&DVector::from_slice(&[-50.0, -200.0]));
-        let h = max_stable_step(&a, StabilityRule::DiagonalDominance { safety: 1.0 })
-            .unwrap()
-            .unwrap();
+        let h =
+            max_stable_step(&a, StabilityRule::DiagonalDominance { safety: 1.0 }).unwrap().unwrap();
         assert!((h - 0.01).abs() < 1e-12);
         // Oscillator matrix has a zero diagonal entry -> heuristic cannot bound it.
         let osc = damped_oscillator(10.0, 0.1);
@@ -175,18 +169,13 @@ mod tests {
 
     #[test]
     fn dominance_is_never_less_conservative_than_spectral() {
-        let a = DMatrix::from_rows(&[
-            &[-300.0, 20.0, 0.0],
-            &[10.0, -150.0, 5.0],
-            &[0.0, 2.0, -800.0],
-        ])
-        .unwrap();
-        let dom = max_stable_step(&a, StabilityRule::DiagonalDominance { safety: 1.0 })
-            .unwrap()
-            .unwrap();
-        let spec = max_stable_step(&a, StabilityRule::SpectralRadius { safety: 1.0 })
-            .unwrap()
-            .unwrap();
+        let a =
+            DMatrix::from_rows(&[&[-300.0, 20.0, 0.0], &[10.0, -150.0, 5.0], &[0.0, 2.0, -800.0]])
+                .unwrap();
+        let dom =
+            max_stable_step(&a, StabilityRule::DiagonalDominance { safety: 1.0 }).unwrap().unwrap();
+        let spec =
+            max_stable_step(&a, StabilityRule::SpectralRadius { safety: 1.0 }).unwrap().unwrap();
         assert!(dom <= spec * (1.0 + 1e-9), "dominance {dom} vs spectral {spec}");
     }
 
@@ -194,9 +183,7 @@ mod tests {
     fn invalid_safety_rejected() {
         let a = DMatrix::identity(2);
         assert!(max_stable_step(&a, StabilityRule::SpectralRadius { safety: 0.0 }).is_err());
-        assert!(
-            max_stable_step(&a, StabilityRule::DiagonalDominance { safety: 2.0 }).is_err()
-        );
+        assert!(max_stable_step(&a, StabilityRule::DiagonalDominance { safety: 2.0 }).is_err());
     }
 
     #[test]

@@ -159,10 +159,11 @@ impl StepController {
         if order == 0 {
             return Err(OdeError::InvalidParameter("method order must be at least 1".into()));
         }
-        let tolerance = self.options.absolute_tolerance
-            + self.options.relative_tolerance * state_scale.abs();
+        let tolerance =
+            self.options.absolute_tolerance + self.options.relative_tolerance * state_scale.abs();
         // Normalised error: <= 1 means acceptable.
-        let normalised = if tolerance > 0.0 { error_estimate.abs() / tolerance } else { f64::INFINITY };
+        let normalised =
+            if tolerance > 0.0 { error_estimate.abs() / tolerance } else { f64::INFINITY };
 
         // Optimal step from the LTE model err ~ C h^{order+1}.
         let exponent = 1.0 / (order as f64 + 1.0);

@@ -61,6 +61,35 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Bootstrap invariant: across initial store charges and step times, a
+    /// short Scenario-1 run keeps the supercapacitor voltage finite and
+    /// non-negative at every recorded sample (the store is passive — nothing
+    /// in the model can drive it below ground).
+    #[test]
+    fn supercap_voltage_stays_physical_in_short_runs(
+        initial_v in 0.5f64..3.2,
+        step_fraction in 0.2f64..0.7,
+    ) {
+        let mut scenario = harvsim::ScenarioConfig::scenario1();
+        scenario.duration_s = 0.15;
+        scenario.frequency_step_time_s = scenario.duration_s * step_fraction;
+        scenario.initial_supercap_voltage = initial_v;
+        let outcome = scenario.run().expect("short scenario run succeeds");
+        let offset = outcome.harvester.supercap_state_offset();
+        prop_assert!(outcome.states().len() > 10, "too few samples recorded");
+        for (t, state) in outcome.states().times().iter().zip(outcome.states().states()) {
+            for branch in 0..3 {
+                let v = state[offset + branch];
+                prop_assert!(v.is_finite(), "branch {branch} non-finite at t = {t}");
+                prop_assert!(v >= -1e-9, "branch {branch} went negative ({v}) at t = {t}");
+            }
+        }
+    }
+}
+
 #[test]
 fn assembled_model_is_passive_at_rest() {
     // With no excitation-phase energy yet injected (t = 0 crossing), all

@@ -21,12 +21,14 @@ fn short_scenario1() -> ScenarioConfig {
 #[test]
 fn complete_model_has_the_papers_dimensions() {
     use harvsim::core::assembly::AnalogueSystem;
-    let harvester = TunableHarvester::with_constant_excitation(
-        HarvesterParameters::practical_device(),
-        70.0,
-    )
-    .expect("harvester builds");
-    assert_eq!(harvester.state_count(), 11, "the paper quotes an 11x11 state matrix");
+    let harvester =
+        TunableHarvester::with_constant_excitation(HarvesterParameters::practical_device(), 70.0)
+            .expect("harvester builds");
+    assert_eq!(
+        harvester.state_count(),
+        12,
+        "the paper's 11x11 state matrix plus the rail-capacitance state (DESIGN.md §3.2)"
+    );
     assert_eq!(harvester.net_count(), 4, "Vm, Im, Vc, Ic terminal variables");
 }
 
@@ -60,8 +62,8 @@ fn proposed_and_baseline_engines_agree_on_the_waveforms() {
 
 #[test]
 fn engine_choice_is_configurable_through_the_public_api() {
-    let scenario = short_scenario1()
-        .with_engine(SimulationEngine::NewtonRaphson(BaselineOptions::default()));
+    let scenario =
+        short_scenario1().with_engine(SimulationEngine::NewtonRaphson(BaselineOptions::default()));
     let outcome = scenario.run().expect("baseline scenario runs");
     assert!(outcome.result.engine_stats.baseline.steps > 0);
     assert_eq!(outcome.result.engine_stats.state_space.steps, 0);

@@ -1,0 +1,57 @@
+//! Collection strategies (mirrors `proptest::collection`): currently `vec`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRunner;
+
+/// A length specification for [`vec`]: a fixed size or a size range.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    lo: usize,
+    hi_inclusive: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { lo: n, hi_inclusive: n }
+    }
+}
+
+impl From<core::ops::Range<usize>> for SizeRange {
+    fn from(r: core::ops::Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange { lo: r.start, hi_inclusive: r.end - 1 }
+    }
+}
+
+impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "empty size range");
+        SizeRange { lo: *r.start(), hi_inclusive: *r.end() }
+    }
+}
+
+/// Generates `Vec`s whose elements come from `element` and whose length is
+/// drawn from `size` (a fixed `usize`, `a..b` or `a..=b`).
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy { element, size: size.into() }
+}
+
+/// Strategy returned by [`vec`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn new_value(&self, runner: &mut TestRunner) -> Vec<S::Value> {
+        let len = if self.size.lo == self.size.hi_inclusive {
+            self.size.lo
+        } else {
+            runner.next_usize_in(self.size.lo, self.size.hi_inclusive + 1)
+        };
+        (0..len).map(|_| self.element.new_value(runner)).collect()
+    }
+}

@@ -1,0 +1,175 @@
+//! Offline drop-in subset of the [`proptest`](https://crates.io/crates/proptest)
+//! property-testing crate.
+//!
+//! The build environment has no access to crates.io, so this vendored stub
+//! implements the slice of the proptest API the workspace's property tests
+//! actually use:
+//!
+//! * the [`proptest!`] macro with an optional `#![proptest_config(..)]` inner
+//!   attribute and `arg in strategy` test-function parameters,
+//! * [`prop_assert!`] (returning [`test_runner::TestCaseError`] on failure),
+//! * range strategies over `f64` and `usize`, tuple strategies, `prop_map`,
+//!   and [`collection::vec`] with fixed or ranged lengths,
+//! * [`test_runner::ProptestConfig::with_cases`].
+//!
+//! Semantics differ from the real crate in two deliberate ways: case
+//! generation is **deterministic** (seeded from the test name, so failures
+//! reproduce exactly with no persistence file), and there is **no shrinking**
+//! — a failing case is reported verbatim. Both keep the stub tiny while
+//! preserving the pass/fail behaviour of every existing property test.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// The glob-import surface, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRunner};
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+
+    /// Namespace alias so `prop::collection::vec(..)` works as it does with
+    /// the real crate's prelude.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Generates property-test functions.
+///
+/// Mirrors the real macro's surface for the forms used in this workspace:
+///
+/// ```
+/// use proptest::prelude::*;
+///
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(8))]
+///
+///     #[test]
+///     fn addition_commutes(a in 0.0f64..10.0, b in 0.0f64..10.0) {
+///         prop_assert!((a + b - (b + a)).abs() < 1e-12);
+///     }
+/// }
+/// ```
+///
+/// (The generated function carries the caller's `#[test]` attribute, so it is
+/// only compiled into test harnesses.)
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_fns! { { $config } $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_fns! {
+            { $crate::test_runner::ProptestConfig::default() }
+            $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`]: expands each test function.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ( { $config:expr } ) => {};
+    (
+        { $config:expr }
+        $(#[$meta:meta])*
+        fn $name:ident ( $( $arg:ident in $strat:expr ),+ $(,)? ) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $config;
+            let mut runner =
+                $crate::test_runner::TestRunner::deterministic(stringify!($name));
+            for case in 0..config.cases {
+                runner.begin_case(case);
+                $( let $arg = $crate::strategy::Strategy::new_value(&($strat), &mut runner); )+
+                let outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| { $body ::core::result::Result::Ok(()) })();
+                if let ::core::result::Result::Err(err) = outcome {
+                    ::core::panic!(
+                        "proptest '{}' failed at case {}/{}: {}",
+                        stringify!($name), case + 1, config.cases, err
+                    );
+                }
+            }
+        }
+        $crate::__proptest_fns! { { $config } $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body, returning a
+/// [`test_runner::TestCaseError`] (rather than panicking) on failure.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(::std::format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 1.0f64..2.0, n in 3usize..7) {
+            prop_assert!((1.0..2.0).contains(&x));
+            prop_assert!((3..7).contains(&n));
+        }
+
+        #[test]
+        fn vec_lengths_follow_the_size_range(
+            fixed in prop::collection::vec(0.0f64..1.0, 4),
+            ranged in prop::collection::vec(0.0f64..1.0, 1..=3),
+        ) {
+            prop_assert_eq!(fixed.len(), 4);
+            prop_assert!((1..=3).contains(&ranged.len()));
+        }
+
+        #[test]
+        fn prop_map_applies(doubled in (0.0f64..1.0).prop_map(|x| 2.0 * x)) {
+            prop_assert!((0.0..2.0).contains(&doubled));
+        }
+    }
+
+    #[test]
+    fn failing_property_panics_with_context() {
+        proptest! {
+            #[test]
+            fn always_fails(_x in 0.0f64..1.0) {
+                prop_assert!(false, "deliberate");
+            }
+        }
+        let err = std::panic::catch_unwind(always_fails).unwrap_err();
+        let msg = err.downcast_ref::<String>().expect("string panic payload");
+        assert!(msg.contains("always_fails"), "unexpected message: {msg}");
+        assert!(msg.contains("deliberate"), "unexpected message: {msg}");
+    }
+}

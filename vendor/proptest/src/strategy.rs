@@ -1,0 +1,119 @@
+//! The [`Strategy`] trait and the combinators the workspace uses: numeric
+//! ranges, tuples and `prop_map`.
+
+use crate::test_runner::TestRunner;
+
+/// A recipe for generating values of one type.
+///
+/// Unlike the real proptest there is no value tree and no shrinking: a
+/// strategy simply produces a fresh value from the runner's random stream.
+pub trait Strategy {
+    /// The type of value this strategy generates.
+    type Value;
+
+    /// Generates one value.
+    fn new_value(&self, runner: &mut TestRunner) -> Self::Value;
+
+    /// Maps generated values through `f` (mirrors `Strategy::prop_map`).
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn new_value(&self, runner: &mut TestRunner) -> Self::Value {
+        (**self).new_value(runner)
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, O> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn new_value(&self, runner: &mut TestRunner) -> O {
+        (self.f)(self.inner.new_value(runner))
+    }
+}
+
+/// A constant strategy (mirrors `proptest::strategy::Just`).
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn new_value(&self, _runner: &mut TestRunner) -> T {
+        self.0.clone()
+    }
+}
+
+impl Strategy for core::ops::Range<f64> {
+    type Value = f64;
+    fn new_value(&self, runner: &mut TestRunner) -> f64 {
+        assert!(self.start < self.end, "empty f64 range");
+        self.start + runner.next_unit_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for core::ops::RangeInclusive<f64> {
+    type Value = f64;
+    fn new_value(&self, runner: &mut TestRunner) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty f64 range");
+        lo + runner.next_unit_f64() * (hi - lo)
+    }
+}
+
+impl Strategy for core::ops::Range<usize> {
+    type Value = usize;
+    fn new_value(&self, runner: &mut TestRunner) -> usize {
+        runner.next_usize_in(self.start, self.end)
+    }
+}
+
+impl Strategy for core::ops::RangeInclusive<usize> {
+    type Value = usize;
+    fn new_value(&self, runner: &mut TestRunner) -> usize {
+        runner.next_usize_in(*self.start(), *self.end() + 1)
+    }
+}
+
+impl Strategy for core::ops::Range<i64> {
+    type Value = i64;
+    fn new_value(&self, runner: &mut TestRunner) -> i64 {
+        assert!(self.start < self.end, "empty i64 range");
+        let span = (self.end - self.start) as u64;
+        self.start + (runner.next_u64() % span) as i64
+    }
+}
+
+macro_rules! tuple_strategy {
+    ( $( $name:ident : $idx:tt ),+ ) => {
+        impl<$( $name: Strategy ),+> Strategy for ( $( $name, )+ ) {
+            type Value = ( $( $name::Value, )+ );
+            fn new_value(&self, runner: &mut TestRunner) -> Self::Value {
+                ( $( self.$idx.new_value(runner), )+ )
+            }
+        }
+    };
+}
+
+tuple_strategy!(A: 0);
+tuple_strategy!(A: 0, B: 1);
+tuple_strategy!(A: 0, B: 1, C: 2);
+tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
+tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4);
+tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);

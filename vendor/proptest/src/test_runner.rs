@@ -1,0 +1,95 @@
+//! Configuration, error type and the deterministic case runner.
+
+use std::fmt;
+
+/// Per-`proptest!` block configuration. Only `cases` is honoured.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each property is exercised with.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Failure of a single property case.
+///
+/// Returned (not panicked) by [`prop_assert!`](crate::prop_assert) so a test
+/// body can also construct one explicitly via [`TestCaseError::fail`].
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// A failure carrying `message` as its explanation.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError { message: message.into() }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// Source of randomness handed to strategies while generating one case.
+///
+/// Seeded from the test name so every run of the suite explores the same
+/// cases — a failure reproduces without a persistence file.
+#[derive(Debug, Clone)]
+pub struct TestRunner {
+    seed: u64,
+    state: u64,
+}
+
+impl TestRunner {
+    /// A runner whose stream is fully determined by `test_name`.
+    pub fn deterministic(test_name: &str) -> Self {
+        // FNV-1a over the name gives a stable per-test seed.
+        let mut seed = 0xCBF2_9CE4_8422_2325u64;
+        for byte in test_name.bytes() {
+            seed ^= u64::from(byte);
+            seed = seed.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRunner { seed, state: seed }
+    }
+
+    /// Re-keys the stream for case number `case` (so cases are independent).
+    pub fn begin_case(&mut self, case: u32) {
+        self.state = self.seed ^ (u64::from(case).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    }
+
+    /// Next 64 random bits (SplitMix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw from `[0, 1)` with 53 mantissa bits.
+    pub fn next_unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform draw from `[lo, hi)` (usize).
+    pub fn next_usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo < hi, "empty usize range {lo}..{hi}");
+        lo + (self.next_u64() % (hi - lo) as u64) as usize
+    }
+}
