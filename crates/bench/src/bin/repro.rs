@@ -7,8 +7,12 @@
 //! cargo run --release -p harvsim-bench --bin repro -- table2  # one experiment
 //! cargo run --release -p harvsim-bench --bin repro -- --long  # longer spans
 //! ```
+//!
+//! The Table II experiment additionally writes a machine-readable speed-up
+//! record to `BENCH_table2.json` in the working directory, which the CI
+//! perf-smoke job gates on and ROADMAP.md tracks across PRs.
 
-use harvsim_bench::{scenario1, scenario2, seconds};
+use harvsim_bench::{scenario1, scenario2, seconds, write_table2_json, Table2Record};
 use harvsim_core::measurement;
 use harvsim_core::scenario::ScenarioConfig;
 use harvsim_core::{BaselineOptions, CoreError, SimulationEngine, SpeedComparison};
@@ -108,6 +112,7 @@ fn table2(long: bool) -> Result<(), CoreError> {
         "scenario", "Newton-Raphson [s]", "state-space [s]", "speed-up", "max dev [V]"
     );
     let comparison = SpeedComparison::with_defaults();
+    let mut records = Vec::new();
     for (label, scenario) in [("scenario1", scenario1(d1)), ("scenario2", scenario2(d2))] {
         let report = comparison.run(&scenario)?;
         println!(
@@ -118,6 +123,19 @@ fn table2(long: bool) -> Result<(), CoreError> {
             report.speedup(),
             report.accuracy.max_deviation
         );
+        records.push(Table2Record {
+            name: label.to_string(),
+            simulated_span_s: scenario.duration_s,
+            baseline_cpu_s: report.baseline_cpu.as_secs_f64(),
+            proposed_cpu_s: report.proposed_cpu.as_secs_f64(),
+            speedup: report.speedup(),
+            max_deviation_v: report.accuracy.max_deviation,
+        });
+    }
+    let json_path = std::path::Path::new("BENCH_table2.json");
+    match write_table2_json(json_path, &records) {
+        Ok(()) => println!("(speed-up record written to {})", json_path.display()),
+        Err(err) => eprintln!("warning: could not write {}: {err}", json_path.display()),
     }
     println!("\n(paper: scenario 1 — 2185 s vs 20.3 s; scenario 2 — 7 h vs 228 s)\n");
     Ok(())

@@ -13,9 +13,88 @@
 //! lives in this library so the benches and the binary stay consistent.
 
 #![forbid(unsafe_code)]
+// `!(x > 0.0)`-style negated comparisons are the validation idiom throughout
+// this workspace: unlike `x <= 0.0` they also reject NaN, which is exactly
+// what the parameter checks need. Clippy's suggested `partial_cmp` rewrite
+// obscures that intent.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
 #![warn(missing_docs)]
 
+use std::io::Write;
+use std::path::Path;
+
 use harvsim_core::scenario::ScenarioConfig;
+
+/// One scenario row of the machine-readable Table II record emitted by the
+/// `repro` binary (`BENCH_table2.json`), used by the CI perf-smoke job and by
+/// ROADMAP.md to track the speed-up trajectory across PRs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table2Record {
+    /// Scenario label (`scenario1` / `scenario2`).
+    pub name: String,
+    /// Simulated span, in seconds.
+    pub simulated_span_s: f64,
+    /// Newton–Raphson baseline CPU time, in seconds.
+    pub baseline_cpu_s: f64,
+    /// Proposed state-space engine CPU time, in seconds.
+    pub proposed_cpu_s: f64,
+    /// Speed-up factor (baseline / proposed).
+    pub speedup: f64,
+    /// Maximum supercapacitor-voltage deviation between the engines, in volts.
+    pub max_deviation_v: f64,
+}
+
+/// Serialises the Table II records to `path` as a small, dependency-free JSON
+/// document:
+///
+/// ```json
+/// {
+///   "experiment": "table2",
+///   "scenarios": [ { "name": "scenario1", "speedup": 12.3, ... } ],
+///   "min_speedup": 12.3
+/// }
+/// ```
+///
+/// # Errors
+///
+/// Propagates I/O failures from creating or writing the file.
+pub fn write_table2_json(path: &Path, records: &[Table2Record]) -> std::io::Result<()> {
+    // JSON has no encoding for non-finite numbers, and the CI gate must stay
+    // parseable even when a timing anomaly produces one: +∞ ("infinitely
+    // faster", e.g. a sub-resolution proposed time) clamps to a large finite
+    // value so the gate still passes, while NaN clamps to 0.0 so the gate
+    // fails loudly on a genuinely broken measurement.
+    let json_number = |value: f64| {
+        if value.is_nan() {
+            0.0
+        } else if value.is_infinite() {
+            1e9_f64.copysign(value)
+        } else {
+            value
+        }
+    };
+    let mut file = std::fs::File::create(path)?;
+    writeln!(file, "{{")?;
+    writeln!(file, "  \"experiment\": \"table2\",")?;
+    writeln!(file, "  \"scenarios\": [")?;
+    for (i, record) in records.iter().enumerate() {
+        let comma = if i + 1 < records.len() { "," } else { "" };
+        writeln!(file, "    {{")?;
+        writeln!(file, "      \"name\": \"{}\",", record.name)?;
+        writeln!(file, "      \"simulated_span_s\": {},", json_number(record.simulated_span_s))?;
+        writeln!(file, "      \"baseline_cpu_s\": {:.6},", json_number(record.baseline_cpu_s))?;
+        writeln!(file, "      \"proposed_cpu_s\": {:.6},", json_number(record.proposed_cpu_s))?;
+        writeln!(file, "      \"speedup\": {:.3},", json_number(record.speedup))?;
+        writeln!(file, "      \"max_deviation_v\": {:.6}", json_number(record.max_deviation_v))?;
+        writeln!(file, "    }}{comma}")?;
+    }
+    writeln!(file, "  ],")?;
+    let min_speedup = records.iter().map(|r| json_number(r.speedup)).fold(f64::INFINITY, f64::min);
+    let min_speedup = if min_speedup.is_finite() { min_speedup } else { 0.0 };
+    writeln!(file, "  \"min_speedup\": {min_speedup:.3}")?;
+    writeln!(file, "}}")?;
+    Ok(())
+}
 
 /// Scenario 1 (70 → 71 Hz) trimmed to `duration_s` seconds for benchmarking.
 pub fn scenario1(duration_s: f64) -> ScenarioConfig {
@@ -42,6 +121,39 @@ pub fn seconds(duration: std::time::Duration) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn table2_json_is_written_and_parseable_by_eye() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("harvsim_bench_table2_test.json");
+        let records = vec![
+            Table2Record {
+                name: "scenario1".to_string(),
+                simulated_span_s: 5.0,
+                baseline_cpu_s: 1.25,
+                proposed_cpu_s: 0.25,
+                speedup: 5.0,
+                max_deviation_v: 0.01,
+            },
+            Table2Record {
+                name: "scenario2".to_string(),
+                simulated_span_s: 8.0,
+                baseline_cpu_s: 2.0,
+                proposed_cpu_s: 0.2,
+                speedup: 10.0,
+                max_deviation_v: 0.02,
+            },
+        ];
+        write_table2_json(&path, &records).unwrap();
+        let written = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert!(written.contains("\"experiment\": \"table2\""));
+        assert!(written.contains("\"name\": \"scenario1\""));
+        assert!(written.contains("\"speedup\": 5.000"));
+        assert!(written.contains("\"min_speedup\": 5.000"));
+        // Braces balance (cheap well-formedness check without a JSON parser).
+        assert_eq!(written.matches('{').count(), written.matches('}').count());
+    }
 
     #[test]
     fn scenario_helpers_scale_the_span() {

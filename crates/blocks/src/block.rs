@@ -85,6 +85,32 @@ pub struct LocalLinearisation {
 }
 
 impl LocalLinearisation {
+    /// Creates an all-zero linearisation for a block with `states` state
+    /// variables, `terminals` terminal variables and `constraints` algebraic
+    /// constraint rows — the preallocated buffer that
+    /// [`StateSpaceBlock::linearise_into`] fills on the solver hot path.
+    pub fn zeros(states: usize, terminals: usize, constraints: usize) -> Self {
+        LocalLinearisation {
+            a: DMatrix::zeros(states, states),
+            b: DMatrix::zeros(states, terminals),
+            e: DVector::zeros(states),
+            c: DMatrix::zeros(constraints, states),
+            d: DMatrix::zeros(constraints, terminals),
+            g: DVector::zeros(constraints),
+        }
+    }
+
+    /// Resets every matrix and vector to zero (without changing dimensions),
+    /// so a reused buffer can be re-stamped from scratch.
+    pub fn clear(&mut self) {
+        self.a.fill(0.0);
+        self.b.fill(0.0);
+        self.e.fill(0.0);
+        self.c.fill(0.0);
+        self.d.fill(0.0);
+        self.g.fill(0.0);
+    }
+
     /// Number of state variables described by this linearisation.
     pub fn state_count(&self) -> usize {
         self.a.rows()
@@ -175,6 +201,16 @@ pub trait StateSpaceBlock {
     /// [`StateSpaceBlock::state_count`] and `y.len()` equals
     /// [`StateSpaceBlock::terminal_count`].
     fn linearise(&self, t: f64, x: &DVector, y: &DVector) -> LocalLinearisation;
+
+    /// Writes the local linearisation into a caller-owned, correctly sized
+    /// buffer (see [`LocalLinearisation::zeros`]) instead of allocating six
+    /// fresh matrices. The march-in-time assembler calls this at every accepted
+    /// step, so the hot blocks override it with an allocation-free stamping
+    /// path; the default simply delegates to [`StateSpaceBlock::linearise`],
+    /// which keeps every existing block implementation working unchanged.
+    fn linearise_into(&self, t: f64, x: &DVector, y: &DVector, out: &mut LocalLinearisation) {
+        *out = self.linearise(t, x, y);
+    }
 }
 
 #[cfg(test)]
@@ -217,6 +253,57 @@ mod tests {
         let r = lin.constraint_residual(&x, &y);
         // r = x0 - y0 = -1
         assert!((r[0] + 1.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn zeros_and_clear_preserve_dimensions() {
+        let mut lin = LocalLinearisation::zeros(2, 1, 1);
+        assert!(lin.is_consistent());
+        assert_eq!(lin.state_count(), 2);
+        assert_eq!(lin.terminal_count(), 1);
+        assert_eq!(lin.constraint_count(), 1);
+        lin.a[(0, 0)] = 3.0;
+        lin.e[1] = -1.0;
+        lin.g[0] = 2.0;
+        lin.clear();
+        assert_eq!(lin, LocalLinearisation::zeros(2, 1, 1));
+    }
+
+    #[test]
+    fn default_linearise_into_delegates_to_linearise() {
+        /// A block relying on the default `linearise_into`.
+        struct Plain;
+        impl StateSpaceBlock for Plain {
+            fn name(&self) -> &str {
+                "plain"
+            }
+            fn state_count(&self) -> usize {
+                2
+            }
+            fn terminal_count(&self) -> usize {
+                1
+            }
+            fn constraint_count(&self) -> usize {
+                1
+            }
+            fn state_names(&self) -> Vec<String> {
+                vec!["a".into(), "b".into()]
+            }
+            fn terminal_names(&self) -> Vec<String> {
+                vec!["t".into()]
+            }
+            fn initial_state(&self) -> DVector {
+                DVector::zeros(2)
+            }
+            fn linearise(&self, _t: f64, _x: &DVector, _y: &DVector) -> LocalLinearisation {
+                sample_linearisation()
+            }
+        }
+        let x = DVector::zeros(2);
+        let y = DVector::zeros(1);
+        let mut out = LocalLinearisation::zeros(2, 1, 1);
+        Plain.linearise_into(0.0, &x, &y, &mut out);
+        assert_eq!(out, Plain.linearise(0.0, &x, &y));
     }
 
     #[test]

@@ -225,8 +225,16 @@ impl DiodeModel {
 
     /// Companion-model pair `(G, J)` from the lookup tables, such that
     /// `Id ≈ G·Vd + J` near the linearisation voltage `vd`.
+    ///
+    /// Both tables are sampled on the same breakpoint grid (they are built by
+    /// [`DiodeModel::new`] from one `from_function` range), so a single segment
+    /// search serves both reads.
     pub fn companion(&self, vd: f64) -> (f64, f64) {
-        (self.conductance_table.value(vd), self.companion_table.value(vd))
+        let segment = self.conductance_table.segment_index(vd);
+        (
+            self.conductance_table.value_in_segment(segment, vd),
+            self.companion_table.value_in_segment(segment, vd),
+        )
     }
 }
 

@@ -19,7 +19,7 @@
 //! as a stiffness modification, which is also how the companion design papers
 //! characterise the mechanism.
 
-use harvsim_linalg::{DMatrix, DVector};
+use harvsim_linalg::DVector;
 
 use crate::block::{BlockError, LocalLinearisation, StateSpaceBlock};
 use crate::excitation::VibrationExcitation;
@@ -163,36 +163,38 @@ impl StateSpaceBlock for Microgenerator {
         DVector::zeros(3)
     }
 
-    fn linearise(&self, t: f64, _x: &DVector, _y: &DVector) -> LocalLinearisation {
+    fn linearise(&self, t: f64, x: &DVector, y: &DVector) -> LocalLinearisation {
+        let mut out = LocalLinearisation::zeros(3, 2, 1);
+        self.linearise_into(t, x, y, &mut out);
+        out
+    }
+
+    fn linearise_into(&self, t: f64, _x: &DVector, _y: &DVector, out: &mut LocalLinearisation) {
         let m = self.proof_mass;
         let ks = self.effective_stiffness();
         let cp = self.parasitic_damping;
         let phi = self.flux_linkage;
         let rc = self.coil_resistance;
         let lc = self.coil_inductance;
+        out.clear();
 
         // State Jacobian (Eq. 13): rows are [dz/dt, dv/dt, di/dt].
-        let a = DMatrix::from_rows(&[
-            &[0.0, 1.0, 0.0],
-            &[-ks / m, -cp / m, -phi / m],
-            &[0.0, phi / lc, -rc / lc],
-        ])
-        .expect("static 3x3 matrix");
+        out.a[(0, 1)] = 1.0;
+        out.a[(1, 0)] = -ks / m;
+        out.a[(1, 1)] = -cp / m;
+        out.a[(1, 2)] = -phi / m;
+        out.a[(2, 1)] = phi / lc;
+        out.a[(2, 2)] = -rc / lc;
 
         // Terminal Jacobian: only the coil equation sees Vm (with -1/Lc).
-        let b = DMatrix::from_rows(&[&[0.0, 0.0], &[0.0, 0.0], &[-1.0 / lc, 0.0]])
-            .expect("static 3x2 matrix");
+        out.b[(2, 0)] = -1.0 / lc;
 
         // Excitation: the inertial force enters the velocity equation.
-        let fa = self.excitation.force_at(t, m);
-        let e = DVector::from_slice(&[0.0, fa / m, 0.0]);
+        out.e[1] = self.excitation.force_at(t, m) / m;
 
         // Algebraic constraint: Im - i_L = 0.
-        let c = DMatrix::from_rows(&[&[0.0, 0.0, -1.0]]).expect("static 1x3 matrix");
-        let d = DMatrix::from_rows(&[&[0.0, 1.0]]).expect("static 1x2 matrix");
-        let g = DVector::zeros(1);
-
-        LocalLinearisation { a, b, e, c, d, g }
+        out.c[(0, 2)] = -1.0;
+        out.d[(0, 1)] = 1.0;
     }
 }
 

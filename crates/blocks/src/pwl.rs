@@ -37,6 +37,11 @@ use crate::block::BlockError;
 pub struct PiecewiseLinearTable {
     /// Breakpoints, sorted by x.
     points: Vec<(f64, f64)>,
+    /// Reciprocal grid spacing when the breakpoints are uniformly spaced
+    /// (the [`PiecewiseLinearTable::from_function`] case), enabling O(1)
+    /// segment lookup on the companion-model hot path; `None` falls back to
+    /// binary search.
+    uniform_inv_step: Option<f64>,
 }
 
 impl PiecewiseLinearTable {
@@ -73,7 +78,15 @@ impl PiecewiseLinearTable {
                 });
             }
         }
-        Ok(PiecewiseLinearTable { points })
+        // Detect a uniform grid (up to rounding): the common case for tables
+        // sampled by `from_function`, which unlocks O(1) segment lookup.
+        let nominal = (points[points.len() - 1].0 - points[0].0) / (points.len() - 1) as f64;
+        let uniform = points.windows(2).all(|w| {
+            let gap = w[1].0 - w[0].0;
+            (gap - nominal).abs() <= nominal.abs() * 1e-12
+        });
+        let uniform_inv_step = if uniform { Some(1.0 / nominal) } else { None };
+        Ok(PiecewiseLinearTable { points, uniform_inv_step })
     }
 
     /// Builds a table by sampling `f` at `segments + 1` uniformly spaced points
@@ -133,7 +146,8 @@ impl PiecewiseLinearTable {
     }
 
     /// Index of the segment containing `x` (clamped to the first/last segment
-    /// outside the domain).
+    /// outside the domain). O(1) for uniformly sampled tables, O(log n)
+    /// otherwise.
     pub fn segment_index(&self, x: f64) -> usize {
         let n = self.points.len();
         if x <= self.points[0].0 {
@@ -141,6 +155,19 @@ impl PiecewiseLinearTable {
         }
         if x >= self.points[n - 1].0 {
             return n - 2;
+        }
+        if let Some(inv_step) = self.uniform_inv_step {
+            // Direct index on the uniform grid; the float guard below absorbs
+            // rounding at segment boundaries.
+            let raw = ((x - self.points[0].0) * inv_step) as usize;
+            let i = raw.min(n - 2);
+            if x < self.points[i].0 {
+                return i - 1;
+            }
+            if x >= self.points[i + 1].0 {
+                return i + 1;
+            }
+            return i;
         }
         // Binary search over breakpoint x values.
         let mut lo = 0usize;
@@ -180,6 +207,21 @@ impl PiecewiseLinearTable {
         let (x1, y1) = self.points[i + 1];
         let slope = (y1 - y0) / (x1 - x0);
         (y0 + slope * (x - x0), slope)
+    }
+
+    /// Interpolated value at `x` inside a known segment, skipping the binary
+    /// search. Two tables sampled on the *same* breakpoint grid (such as the
+    /// diode's `G` and `J` companion tables) can share one
+    /// [`PiecewiseLinearTable::segment_index`] lookup and read both values with
+    /// this accessor — halving the search cost on the linearisation hot path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `segment >= self.len() - 1`.
+    pub fn value_in_segment(&self, segment: usize, x: f64) -> f64 {
+        let (x0, y0) = self.points[segment];
+        let (x1, y1) = self.points[segment + 1];
+        y0 + (y1 - y0) / (x1 - x0) * (x - x0)
     }
 
     /// Maximum absolute interpolation error against `f`, probed at `probes`
@@ -237,6 +279,15 @@ mod tests {
         assert_eq!(t.value(3.0), 6.0); // slope 2 extended right
         assert_eq!(t.segment_index(-5.0), 0);
         assert_eq!(t.segment_index(5.0), 1);
+    }
+
+    #[test]
+    fn value_in_segment_matches_value() {
+        let t = table();
+        for x in [-2.0, -0.5, 0.5, 1.0, 3.0] {
+            let i = t.segment_index(x);
+            assert_eq!(t.value_in_segment(i, x), t.value(x));
+        }
     }
 
     #[test]

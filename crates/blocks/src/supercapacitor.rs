@@ -23,7 +23,7 @@
 //! I_c = (V_c − V_i)/R_i + (V_c − V_d)/R_d + (V_c − V_l)/R_l + V_c/R_eq
 //! ```
 
-use harvsim_linalg::{DMatrix, DVector};
+use harvsim_linalg::DVector;
 
 use crate::block::{BlockError, LocalLinearisation, StateSpaceBlock};
 use crate::params::{HarvesterParameters, LoadMode};
@@ -152,34 +152,36 @@ impl StateSpaceBlock for Supercapacitor {
         DVector::zeros(3)
     }
 
-    fn linearise(&self, _t: f64, x: &DVector, _y: &DVector) -> LocalLinearisation {
+    fn linearise(&self, t: f64, x: &DVector, y: &DVector) -> LocalLinearisation {
+        let mut out = LocalLinearisation::zeros(3, 2, 1);
+        self.linearise_into(t, x, y, &mut out);
+        out
+    }
+
+    fn linearise_into(&self, _t: f64, x: &DVector, _y: &DVector, out: &mut LocalLinearisation) {
         let ci = self.immediate_capacitance(x[STATE_IMMEDIATE]);
         let tau_i = self.ri * ci;
         let tau_d = self.rd * self.cd;
         let tau_l = self.rl * self.cl;
+        out.clear();
 
         // Branch dynamics (Eq. 15): dV_b/dt = (Vc - V_b) / (R_b·C_b).
-        let a = DMatrix::from_rows(&[
-            &[-1.0 / tau_i, 0.0, 0.0],
-            &[0.0, -1.0 / tau_d, 0.0],
-            &[0.0, 0.0, -1.0 / tau_l],
-        ])
-        .expect("static 3x3 matrix");
-        let b =
-            DMatrix::from_rows(&[&[1.0 / tau_i, 0.0], &[1.0 / tau_d, 0.0], &[1.0 / tau_l, 0.0]])
-                .expect("static 3x2 matrix");
-        let e = DVector::zeros(3);
+        out.a[(0, 0)] = -1.0 / tau_i;
+        out.a[(1, 1)] = -1.0 / tau_d;
+        out.a[(2, 2)] = -1.0 / tau_l;
+        out.b[(0, 0)] = 1.0 / tau_i;
+        out.b[(1, 0)] = 1.0 / tau_d;
+        out.b[(2, 0)] = 1.0 / tau_l;
 
         // KCL at the terminal node:
         // Ic - (Vc - Vi)/Ri - (Vc - Vd)/Rd - (Vc - Vl)/Rl - Vc/Req = 0.
         let req = self.load_resistance();
-        let c = DMatrix::from_rows(&[&[1.0 / self.ri, 1.0 / self.rd, 1.0 / self.rl]])
-            .expect("static 1x3 matrix");
+        out.c[(0, 0)] = 1.0 / self.ri;
+        out.c[(0, 1)] = 1.0 / self.rd;
+        out.c[(0, 2)] = 1.0 / self.rl;
         let g_total = 1.0 / self.ri + 1.0 / self.rd + 1.0 / self.rl + 1.0 / req;
-        let d = DMatrix::from_rows(&[&[-g_total, 1.0]]).expect("static 1x2 matrix");
-        let g = DVector::zeros(1);
-
-        LocalLinearisation { a, b, e, c, d, g }
+        out.d[(0, 0)] = -g_total;
+        out.d[(0, 1)] = 1.0;
     }
 }
 

@@ -19,10 +19,10 @@
 
 use std::time::{Duration, Instant};
 
-use harvsim_linalg::{DMatrix, DVector};
+use harvsim_linalg::{DMatrix, DVector, LuDecomposition};
 use harvsim_ode::solution::Trajectory;
 
-use crate::assembly::AnalogueSystem;
+use crate::assembly::{AnalogueSystem, GlobalLinearisation};
 use crate::CoreError;
 
 /// Implicit formula used by the baseline.
@@ -145,6 +145,64 @@ pub struct BaselineResult {
     pub stats: BaselineStats,
 }
 
+/// Preallocated buffers for the baseline's Newton iteration. The baseline must
+/// stay *honest* — it factorises the full `(N+M)×(N+M)` Jacobian at every
+/// Newton iteration, exactly like the commercial tools it stands in for — but
+/// it must not be artificially slowed by allocator noise either, or the
+/// Table I/II comparison would measure `malloc` instead of linear algebra.
+/// Every per-step and per-iteration temporary therefore lives here; the LU is
+/// re-factorised through [`LuDecomposition::factor_into`], which reuses its
+/// storage.
+#[derive(Debug, Clone, Default)]
+pub struct BaselineWorkspace {
+    /// Linearisation at the accepted point `t` (for the θ-weighted explicit part).
+    lin_now: GlobalLinearisation,
+    /// Linearisation at the Newton iterate `(t_next, x_next, y_next)`.
+    lin: GlobalLinearisation,
+    /// Derivative at the accepted point.
+    f_now: DVector,
+    /// Derivative at the Newton iterate.
+    f_next: DVector,
+    /// Newton iterate for the next state.
+    x_next: DVector,
+    /// Newton iterate for the next terminal vector.
+    y_next: DVector,
+    /// Stacked residual `[states; constraints]`, length `N+M`.
+    residual: DVector,
+    /// Constraint-residual scratch, length `M`.
+    constraint: DVector,
+    /// Newton update, length `N+M`.
+    delta: DVector,
+    /// Full Newton Jacobian, `(N+M)×(N+M)`.
+    jac: DMatrix,
+    /// Reused LU storage (re-factorised every iteration).
+    lu: Option<LuDecomposition>,
+}
+
+impl BaselineWorkspace {
+    /// Creates an empty workspace; buffers are sized on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sizes every buffer for a system with `n` states and `m` nets, reusing
+    /// existing storage when the dimensions already match.
+    fn prepare(&mut self, n: usize, m: usize) {
+        if self.lin.dimensions() != (n, m, m) || self.jac.rows() != n + m {
+            self.lin_now = GlobalLinearisation::zeros(n, m, m);
+            self.lin = GlobalLinearisation::zeros(n, m, m);
+            self.f_now = DVector::zeros(n);
+            self.f_next = DVector::zeros(n);
+            self.x_next = DVector::zeros(n);
+            self.y_next = DVector::zeros(m);
+            self.residual = DVector::zeros(n + m);
+            self.constraint = DVector::zeros(m);
+            self.delta = DVector::zeros(n + m);
+            self.jac = DMatrix::zeros(n + m, n + m);
+        }
+    }
+}
+
 /// The implicit Newton–Raphson DAE solver standing in for the commercial tools.
 #[derive(Debug, Clone)]
 pub struct NewtonRaphsonBaseline {
@@ -202,6 +260,29 @@ impl NewtonRaphsonBaseline {
         states: &mut Trajectory,
         terminals: &mut Trajectory,
     ) -> Result<(DVector, BaselineStats), CoreError> {
+        let mut workspace = BaselineWorkspace::new();
+        self.solve_into_with(system, t0, t_end, x0, states, terminals, &mut workspace)
+    }
+
+    /// Integrates one segment reusing a caller-owned [`BaselineWorkspace`]
+    /// (mirror of [`crate::StateSpaceSolver::solve_into_with`]). Numerically
+    /// identical to [`NewtonRaphsonBaseline::solve_into`] — the workspace only
+    /// changes where the Newton temporaries live, never their values.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`NewtonRaphsonBaseline::solve`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn solve_into_with(
+        &self,
+        system: &dyn AnalogueSystem,
+        t0: f64,
+        t_end: f64,
+        x0: &DVector,
+        states: &mut Trajectory,
+        terminals: &mut Trajectory,
+        workspace: &mut BaselineWorkspace,
+    ) -> Result<(DVector, BaselineStats), CoreError> {
         if !(t_end > t0) {
             return Err(CoreError::InvalidConfiguration(format!(
                 "integration span must be non-empty (t0 = {t0}, t_end = {t_end})"
@@ -217,6 +298,7 @@ impl NewtonRaphsonBaseline {
         let start = Instant::now();
         let n = system.state_count();
         let m = system.net_count();
+        workspace.prepare(n, m);
         let theta = match self.options.method {
             BaselineMethod::BackwardEuler => 1.0,
             BaselineMethod::Trapezoidal => 0.5,
@@ -227,8 +309,9 @@ impl NewtonRaphsonBaseline {
         let mut x = x0.clone();
         // Consistent initial terminal values from the algebraic equations.
         let mut y = {
-            let lin = system.linearise_global(t, &x, &DVector::zeros(m))?;
-            lin.solve_terminals(&x)?
+            workspace.y_next.fill(0.0);
+            system.linearise_global_into(t, &x, &workspace.y_next, &mut workspace.lin_now)?;
+            workspace.lin_now.solve_terminals(&x)?
         };
         let mut last_recorded = f64::NEG_INFINITY;
 
@@ -242,57 +325,86 @@ impl NewtonRaphsonBaseline {
             let t_next = t + h;
 
             // Explicit part of the formula: θ-weighted derivative at (t, x, y).
-            let lin_now = system.linearise_global(t, &x, &y)?;
-            let f_now = lin_now.state_derivative(&x, &y);
+            system.linearise_global_into(t, &x, &y, &mut workspace.lin_now)?;
+            workspace.lin_now.state_derivative_into(&x, &y, &mut workspace.f_now);
 
             // Newton iteration on z = [x_next; y_next], initial guess = present values.
-            let mut x_next = x.clone();
-            let mut y_next = y.clone();
+            workspace.x_next.copy_from(&x);
+            workspace.y_next.copy_from(&y);
             let mut converged = false;
             for _iteration in 0..self.options.max_newton_iterations {
                 stats.newton_iterations += 1;
-                let lin = system.linearise_global(t_next, &x_next, &y_next)?;
-                let f_next = lin.state_derivative(&x_next, &y_next);
+                system.linearise_global_into(
+                    t_next,
+                    &workspace.x_next,
+                    &workspace.y_next,
+                    &mut workspace.lin,
+                )?;
+                let ws = &mut *workspace;
+                ws.lin.state_derivative_into(&ws.x_next, &ws.y_next, &mut ws.f_next);
 
                 // Residuals.
-                let mut residual = DVector::zeros(n + m);
                 for i in 0..n {
-                    residual[i] =
-                        x_next[i] - x[i] - h * (theta * f_next[i] + (1.0 - theta) * f_now[i]);
+                    ws.residual[i] = ws.x_next[i]
+                        - x[i]
+                        - h * (theta * ws.f_next[i] + (1.0 - theta) * ws.f_now[i]);
                 }
-                let mut constraint = lin.jyx.mul_vector(&x_next);
-                constraint += &lin.jyy.mul_vector(&y_next);
-                constraint += &lin.gy;
+                ws.lin.jyx.mul_vector_into(&ws.x_next, &mut ws.constraint);
+                ws.lin.jyy.mul_vector_add_into(&ws.y_next, &mut ws.constraint);
+                ws.constraint += &ws.lin.gy;
                 for j in 0..m {
-                    residual[n + j] = constraint[j];
+                    ws.residual[n + j] = ws.constraint[j];
                 }
-                if residual.norm_inf() < self.options.newton_tolerance {
+                if ws.residual.norm_inf() < self.options.newton_tolerance {
                     converged = true;
                     break;
                 }
 
-                // Jacobian of the residual.
-                let mut jac = DMatrix::zeros(n + m, n + m);
-                let identity_minus = &DMatrix::identity(n) - &lin.jxx.scaled(h * theta);
-                jac.set_block(0, 0, &identity_minus);
-                jac.set_block(0, n, &lin.jxy.scaled(-h * theta));
-                jac.set_block(n, 0, &lin.jyx);
-                jac.set_block(n, n, &lin.jyy);
+                // Jacobian of the residual, stamped block by block into the
+                // preallocated (N+M)² buffer; the four loops below assign
+                // every entry, so no clearing pass is needed.
+                let ht = h * theta;
+                for i in 0..n {
+                    for j in 0..n {
+                        let identity = if i == j { 1.0 } else { 0.0 };
+                        ws.jac[(i, j)] = identity - ht * ws.lin.jxx[(i, j)];
+                    }
+                    for j in 0..m {
+                        ws.jac[(i, n + j)] = -ht * ws.lin.jxy[(i, j)];
+                    }
+                }
+                for i in 0..m {
+                    for j in 0..n {
+                        ws.jac[(n + i, j)] = ws.lin.jyx[(i, j)];
+                    }
+                    for j in 0..m {
+                        ws.jac[(n + i, n + j)] = ws.lin.jyy[(i, j)];
+                    }
+                }
 
-                let lu = jac.lu().map_err(|err| {
+                // Honest per-iteration factorisation, but into reused storage.
+                let factorised = match ws.lu.as_mut() {
+                    Some(lu) => lu.factor_into(&ws.jac),
+                    None => ws.jac.lu().map(|lu| {
+                        ws.lu = Some(lu);
+                    }),
+                };
+                factorised.map_err(|err| {
                     CoreError::IllPosedSystem(format!(
                         "baseline Newton Jacobian is singular: {err}"
                     ))
                 })?;
                 stats.factorisations += 1;
-                let delta = lu.solve(&(-&residual))?;
+                let lu = ws.lu.as_ref().expect("factorised above");
+                ws.residual.scale_mut(-1.0);
+                lu.solve_into(&ws.residual, &mut ws.delta)?;
                 for i in 0..n {
-                    x_next[i] += self.options.damping * delta[i];
+                    ws.x_next[i] += self.options.damping * ws.delta[i];
                 }
                 for j in 0..m {
-                    y_next[j] += self.options.damping * delta[n + j];
+                    ws.y_next[j] += self.options.damping * ws.delta[n + j];
                 }
-                if !x_next.is_finite() || !y_next.is_finite() {
+                if !ws.x_next.is_finite() || !ws.y_next.is_finite() {
                     return Err(CoreError::Ode(harvsim_ode::OdeError::NonFiniteState {
                         time: t_next,
                     }));
@@ -305,8 +417,8 @@ impl NewtonRaphsonBaseline {
                 }));
             }
 
-            x = x_next;
-            y = y_next;
+            x.copy_from(&workspace.x_next);
+            y.copy_from(&workspace.y_next);
             t = t_next;
             stats.steps += 1;
         }

@@ -117,7 +117,7 @@ mod tests {
     #[test]
     fn construction_and_accessors() {
         let comparison = SpeedComparison::with_defaults();
-        assert_eq!(comparison.solver_options().ab_order, 3);
+        assert_eq!(comparison.solver_options().ab_order, 2);
         assert!(comparison.baseline_options().step > 0.0);
         assert!(SpeedComparison::new(
             SolverOptions { ab_order: 0, ..Default::default() },
@@ -125,7 +125,7 @@ mod tests {
         )
         .is_err());
         let default_comparison = SpeedComparison::default();
-        assert_eq!(default_comparison.solver_options().ab_order, 3);
+        assert_eq!(default_comparison.solver_options().ab_order, 2);
     }
 
     /// A very short head-to-head run: the proposed engine must agree with the

@@ -241,6 +241,26 @@ impl AnalogueSystem for TunableHarvester {
     ) -> Result<GlobalLinearisation, CoreError> {
         self.assembly.linearise_global(&self.blocks(), t, x, y)
     }
+
+    fn linearise_global_into(
+        &self,
+        t: f64,
+        x: &DVector,
+        y: &DVector,
+        out: &mut GlobalLinearisation,
+    ) -> Result<(), CoreError> {
+        self.assembly.linearise_global_into(&self.blocks(), t, x, y, out)
+    }
+
+    fn relinearise_global_into(
+        &self,
+        t: f64,
+        x: &DVector,
+        y: &DVector,
+        out: &mut GlobalLinearisation,
+    ) -> Result<f64, CoreError> {
+        self.assembly.relinearise_global_into(&self.blocks(), t, x, y, out)
+    }
 }
 
 #[cfg(test)]

@@ -50,6 +50,11 @@
 //! [Wang et al.]: https://doi.org/10.1109/DATE.2011.5763084
 
 #![forbid(unsafe_code)]
+// `!(x > 0.0)`-style negated comparisons are the validation idiom throughout
+// this workspace: unlike `x <= 0.0` they also reject NaN, which is exactly
+// what the parameter checks need. Clippy's suggested `partial_cmp` rewrite
+// obscures that intent.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
 #![warn(missing_docs)]
 
 pub mod assembly;
@@ -62,7 +67,9 @@ pub mod mixed;
 pub mod scenario;
 pub mod solver;
 
-pub use assembly::{AnalogueSystem, Assembly, AssemblyBuilder, GlobalLinearisation};
+pub use assembly::{
+    AnalogueSystem, Assembly, AssemblyBuilder, GlobalLinearisation, TerminalFactorisation,
+};
 pub use baseline::{BaselineOptions, NewtonRaphsonBaseline};
 pub use comparison::{ComparisonReport, SpeedComparison};
 pub use error::CoreError;

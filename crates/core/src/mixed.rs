@@ -17,9 +17,9 @@ use harvsim_digital::{Kernel, SimTime};
 use harvsim_linalg::DVector;
 use harvsim_ode::solution::Trajectory;
 
-use crate::baseline::{BaselineOptions, BaselineStats, NewtonRaphsonBaseline};
+use crate::baseline::{BaselineOptions, BaselineStats, BaselineWorkspace, NewtonRaphsonBaseline};
 use crate::harvester::TunableHarvester;
-use crate::solver::{SolverOptions, SolverStats, StateSpaceSolver};
+use crate::solver::{SolverOptions, SolverStats, SolverWorkspace, StateSpaceSolver};
 use crate::CoreError;
 
 /// Which analogue engine drives the co-simulation.
@@ -168,6 +168,24 @@ impl MixedSignalSimulation {
         let mut t = 0.0_f64;
         let mut x = harvester.initial_state(initial_supercap_voltage)?;
 
+        // One engine and one workspace for the whole run: the co-simulation
+        // alternates many short analogue segments with digital events, and
+        // rebuilding the solver buffers per segment would put the allocator
+        // back on the hot path the workspaces exist to clear.
+        enum EngineRuntime {
+            StateSpace(StateSpaceSolver, SolverWorkspace),
+            NewtonRaphson(NewtonRaphsonBaseline, BaselineWorkspace),
+        }
+        let mut runtime = match &self.engine {
+            SimulationEngine::StateSpace(options) => {
+                EngineRuntime::StateSpace(StateSpaceSolver::new(*options)?, SolverWorkspace::new())
+            }
+            SimulationEngine::NewtonRaphson(options) => EngineRuntime::NewtonRaphson(
+                NewtonRaphsonBaseline::new(*options)?,
+                BaselineWorkspace::new(),
+            ),
+        };
+
         while t < duration_s - 1e-9 {
             // The next synchronisation point: the earliest pending digital event
             // or the end of the run, whichever comes first.
@@ -180,29 +198,29 @@ impl MixedSignalSimulation {
 
             // Analogue segment.
             if segment_end > t + 1e-12 {
-                match &self.engine {
-                    SimulationEngine::StateSpace(options) => {
-                        let solver = StateSpaceSolver::new(*options)?;
-                        let (x_end, stats) = solver.solve_into(
+                match &mut runtime {
+                    EngineRuntime::StateSpace(solver, workspace) => {
+                        let (x_end, stats) = solver.solve_into_with(
                             harvester,
                             t,
                             segment_end,
                             &x,
                             &mut states,
                             &mut terminals,
+                            workspace,
                         )?;
                         x = x_end;
                         engine_stats.state_space.absorb(&stats);
                     }
-                    SimulationEngine::NewtonRaphson(options) => {
-                        let solver = NewtonRaphsonBaseline::new(*options)?;
-                        let (x_end, stats) = solver.solve_into(
+                    EngineRuntime::NewtonRaphson(solver, workspace) => {
+                        let (x_end, stats) = solver.solve_into_with(
                             harvester,
                             t,
                             segment_end,
                             &x,
                             &mut states,
                             &mut terminals,
+                            workspace,
                         )?;
                         x = x_end;
                         engine_stats.baseline.absorb(&stats);

@@ -112,7 +112,7 @@ mod tests {
     #[test]
     fn boolean_edges() {
         let mut s = Signal::new(false);
-        assert_eq!(*s.value(), false);
+        assert!(!*s.value());
         assert_eq!(s.update(true), Edge::Rising);
         assert_eq!(s.update(false), Edge::Falling);
         assert_eq!(s.update(false), Edge::None);

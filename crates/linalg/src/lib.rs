@@ -53,7 +53,7 @@ mod vector;
 
 pub use error::LinalgError;
 pub use lu::LuDecomposition;
-pub use matrix::DMatrix;
+pub use matrix::{dot_unrolled, DMatrix};
 pub use triplet::TripletBuilder;
 pub use vector::DVector;
 

@@ -66,46 +66,92 @@ impl LuDecomposition {
             return Err(LinalgError::NotSquare { rows: a.rows(), cols: a.cols() });
         }
         let n = a.rows();
-        let mut lu = a.clone();
-        let mut perm: Vec<usize> = (0..n).collect();
-        let mut perm_sign = 1.0;
+        let mut decomposition = LuDecomposition {
+            lu: a.clone(),
+            perm: (0..n).collect(),
+            perm_sign: 1.0,
+            pivot_tolerance,
+        };
+        decomposition.eliminate()?;
+        Ok(decomposition)
+    }
 
+    /// Re-factorises `a` in place, reusing this decomposition's storage: no heap
+    /// allocation happens when `a` has the same dimension as the previous
+    /// factorisation. This is the kernel behind the solver's cached terminal
+    /// (`Jyy`) factorisation — the matrix is re-factorised only on a
+    /// relinearisation refresh, and even then without allocator traffic.
+    ///
+    /// The pivot tolerance is recomputed for the new matrix exactly as
+    /// [`LuDecomposition::new`] would (a tolerance chosen via
+    /// [`LuDecomposition::with_tolerance`] for a *previous* matrix is not
+    /// carried over — it was scaled to that matrix's magnitude).
+    ///
+    /// On error the decomposition is left in an unspecified (but safe) state and
+    /// must be refreshed with another successful factorisation before use.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`LuDecomposition::new`].
+    pub fn factor_into(&mut self, a: &DMatrix) -> Result<(), LinalgError> {
+        if !a.is_square() {
+            return Err(LinalgError::NotSquare { rows: a.rows(), cols: a.cols() });
+        }
+        let n = a.rows();
+        if self.lu.shape() == a.shape() {
+            self.lu.copy_from(a);
+        } else {
+            self.lu = a.clone();
+            self.perm = (0..n).collect();
+        }
+        for (i, p) in self.perm.iter_mut().enumerate() {
+            *p = i;
+        }
+        self.perm_sign = 1.0;
+        self.pivot_tolerance = crate::DEFAULT_EPS * a.max_abs().max(1.0);
+        self.eliminate()
+    }
+
+    /// Gaussian elimination with partial pivoting over the already-loaded
+    /// `self.lu` storage (shared by [`LuDecomposition::with_tolerance`] and
+    /// [`LuDecomposition::factor_into`]).
+    fn eliminate(&mut self) -> Result<(), LinalgError> {
+        let n = self.lu.rows();
         for k in 0..n {
             // Find the pivot row: largest magnitude in column k at or below row k.
             let mut pivot_row = k;
-            let mut pivot_val = lu[(k, k)].abs();
+            let mut pivot_val = self.lu[(k, k)].abs();
             for r in (k + 1)..n {
-                let v = lu[(r, k)].abs();
+                let v = self.lu[(r, k)].abs();
                 if v > pivot_val {
                     pivot_val = v;
                     pivot_row = r;
                 }
             }
-            if pivot_val <= pivot_tolerance {
+            if pivot_val <= self.pivot_tolerance {
                 return Err(LinalgError::Singular { pivot: k, value: pivot_val });
             }
             if pivot_row != k {
                 for c in 0..n {
-                    let tmp = lu[(k, c)];
-                    lu[(k, c)] = lu[(pivot_row, c)];
-                    lu[(pivot_row, c)] = tmp;
+                    let tmp = self.lu[(k, c)];
+                    self.lu[(k, c)] = self.lu[(pivot_row, c)];
+                    self.lu[(pivot_row, c)] = tmp;
                 }
-                perm.swap(k, pivot_row);
-                perm_sign = -perm_sign;
+                self.perm.swap(k, pivot_row);
+                self.perm_sign = -self.perm_sign;
             }
             // Eliminate below the pivot.
-            let pivot = lu[(k, k)];
+            let pivot = self.lu[(k, k)];
             for r in (k + 1)..n {
-                let factor = lu[(r, k)] / pivot;
-                lu[(r, k)] = factor;
+                let factor = self.lu[(r, k)] / pivot;
+                self.lu[(r, k)] = factor;
                 for c in (k + 1)..n {
-                    let u = lu[(k, c)];
-                    lu[(r, c)] -= factor * u;
+                    let u = self.lu[(k, c)];
+                    self.lu[(r, c)] -= factor * u;
                 }
             }
         }
-
-        Ok(LuDecomposition { lu, perm, perm_sign, pivot_tolerance })
+        Ok(())
     }
 
     /// Dimension of the factorised matrix.
@@ -124,6 +170,19 @@ impl LuDecomposition {
     ///
     /// Returns [`LinalgError::DimensionMismatch`] if `b.len() != self.dim()`.
     pub fn solve(&self, b: &DVector) -> Result<DVector, LinalgError> {
+        let mut x = DVector::zeros(self.dim());
+        self.solve_into(b, &mut x)?;
+        Ok(x)
+    }
+
+    /// Solves `A · x = b` into a caller-owned buffer, with no heap allocation
+    /// (the hot-path variant of [`LuDecomposition::solve`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `b.len() != self.dim()` or
+    /// `out.len() != self.dim()`.
+    pub fn solve_into(&self, b: &DVector, out: &mut DVector) -> Result<(), LinalgError> {
         let n = self.dim();
         if b.len() != n {
             return Err(LinalgError::DimensionMismatch {
@@ -132,25 +191,34 @@ impl LuDecomposition {
                 right: (b.len(), 1),
             });
         }
-        // Apply the permutation: y = P b.
-        let mut x = DVector::from_fn(n, |i| b[self.perm[i]]);
+        if out.len() != n {
+            return Err(LinalgError::DimensionMismatch {
+                operation: "LU solve output",
+                left: (n, 1),
+                right: (out.len(), 1),
+            });
+        }
+        // Apply the permutation: out = P b.
+        for i in 0..n {
+            out[i] = b[self.perm[i]];
+        }
         // Forward substitution with the unit lower factor.
         for i in 0..n {
-            let mut acc = x[i];
+            let mut acc = out[i];
             for j in 0..i {
-                acc -= self.lu[(i, j)] * x[j];
+                acc -= self.lu[(i, j)] * out[j];
             }
-            x[i] = acc;
+            out[i] = acc;
         }
         // Back substitution with the upper factor.
         for i in (0..n).rev() {
-            let mut acc = x[i];
+            let mut acc = out[i];
             for j in (i + 1)..n {
-                acc -= self.lu[(i, j)] * x[j];
+                acc -= self.lu[(i, j)] * out[j];
             }
-            x[i] = acc / self.lu[(i, i)];
+            out[i] = acc / self.lu[(i, i)];
         }
-        Ok(x)
+        Ok(())
     }
 
     /// Solves `A · X = B` column by column.
@@ -159,6 +227,22 @@ impl LuDecomposition {
     ///
     /// Returns [`LinalgError::DimensionMismatch`] if `B.rows() != self.dim()`.
     pub fn solve_matrix(&self, b: &DMatrix) -> Result<DMatrix, LinalgError> {
+        let mut out = DMatrix::zeros(self.dim(), b.cols());
+        self.solve_matrix_into(b, &mut out)?;
+        Ok(out)
+    }
+
+    /// Solves `A · X = B` for all columns simultaneously into a caller-owned
+    /// buffer, with no heap allocation: the permuted copy of `B` is written
+    /// into `out` and the forward/back substitutions then run across every
+    /// column of `out` at once (better cache behaviour than the column-by-
+    /// column [`LuDecomposition::solve_matrix`], which it now backs).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `B.rows() != self.dim()`
+    /// or `out` does not have `B`'s shape.
+    pub fn solve_matrix_into(&self, b: &DMatrix, out: &mut DMatrix) -> Result<(), LinalgError> {
         let n = self.dim();
         if b.rows() != n {
             return Err(LinalgError::DimensionMismatch {
@@ -167,14 +251,52 @@ impl LuDecomposition {
                 right: b.shape(),
             });
         }
-        let mut out = DMatrix::zeros(n, b.cols());
-        for c in 0..b.cols() {
-            let col = self.solve(&b.column(c))?;
-            for r in 0..n {
-                out[(r, c)] = col[r];
+        if out.shape() != b.shape() {
+            return Err(LinalgError::DimensionMismatch {
+                operation: "LU matrix solve output",
+                left: b.shape(),
+                right: out.shape(),
+            });
+        }
+        let cols = b.cols();
+        // Apply the permutation: out = P B.
+        for i in 0..n {
+            let src = self.perm[i];
+            for c in 0..cols {
+                out[(i, c)] = b[(src, c)];
             }
         }
-        Ok(out)
+        // Forward substitution with the unit lower factor, all columns at once.
+        for i in 0..n {
+            for j in 0..i {
+                let l = self.lu[(i, j)];
+                if l == 0.0 {
+                    continue;
+                }
+                for c in 0..cols {
+                    let v = out[(j, c)];
+                    out[(i, c)] -= l * v;
+                }
+            }
+        }
+        // Back substitution with the upper factor.
+        for i in (0..n).rev() {
+            for j in (i + 1)..n {
+                let u = self.lu[(i, j)];
+                if u == 0.0 {
+                    continue;
+                }
+                for c in 0..cols {
+                    let v = out[(j, c)];
+                    out[(i, c)] -= u * v;
+                }
+            }
+            let pivot = self.lu[(i, i)];
+            for c in 0..cols {
+                out[(i, c)] /= pivot;
+            }
+        }
+        Ok(())
     }
 
     /// Determinant of the original matrix.
@@ -295,6 +417,58 @@ mod tests {
         assert!(good.rcond_estimate() > 0.1);
         let bad = DMatrix::from_rows(&[&[1.0, 0.0], &[0.0, 1e-9]]).unwrap().lu().unwrap();
         assert!(bad.rcond_estimate() < 1e-8);
+    }
+
+    #[test]
+    fn factor_into_reuses_storage_and_matches_fresh_factorisation() {
+        let a = spd_matrix();
+        let mut lu = a.lu().unwrap();
+        // Refactor a different matrix of the same size in place.
+        let b =
+            DMatrix::from_rows(&[&[2.0, 1.0, 0.5], &[1.0, 4.0, 1.0], &[0.5, 1.0, 3.0]]).unwrap();
+        lu.factor_into(&b).unwrap();
+        let fresh = b.lu().unwrap();
+        let rhs = DVector::from_slice(&[1.0, -1.0, 2.0]);
+        assert_eq!(lu.solve(&rhs).unwrap(), fresh.solve(&rhs).unwrap());
+        assert_eq!(lu.determinant(), fresh.determinant());
+        // Dimension changes still work (with reallocation).
+        let small = DMatrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]).unwrap();
+        lu.factor_into(&small).unwrap();
+        assert_eq!(lu.dim(), 2);
+        assert!((lu.determinant() - (-1.0)).abs() < 1e-14);
+        // Singular input is reported.
+        let singular = DMatrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]).unwrap();
+        assert!(matches!(lu.factor_into(&singular), Err(LinalgError::Singular { .. })));
+        assert!(matches!(
+            lu.factor_into(&DMatrix::zeros(2, 3)),
+            Err(LinalgError::NotSquare { .. })
+        ));
+    }
+
+    #[test]
+    fn solve_into_matches_solve() {
+        let a = spd_matrix();
+        let lu = a.lu().unwrap();
+        let b = DVector::from_slice(&[1.0, 2.0, 3.0]);
+        let mut out = DVector::zeros(3);
+        lu.solve_into(&b, &mut out).unwrap();
+        assert_eq!(out, lu.solve(&b).unwrap());
+        let mut wrong = DVector::zeros(2);
+        assert!(lu.solve_into(&b, &mut wrong).is_err());
+        assert!(lu.solve_into(&DVector::zeros(2), &mut out).is_err());
+    }
+
+    #[test]
+    fn solve_matrix_into_matches_solve_matrix() {
+        let a = spd_matrix();
+        let lu = a.lu().unwrap();
+        let b = DMatrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 1.0]]).unwrap();
+        let mut out = DMatrix::zeros(3, 2);
+        lu.solve_matrix_into(&b, &mut out).unwrap();
+        assert_eq!(out, lu.solve_matrix(&b).unwrap());
+        let mut wrong = DMatrix::zeros(2, 2);
+        assert!(lu.solve_matrix_into(&b, &mut wrong).is_err());
+        assert!(lu.solve_matrix_into(&DMatrix::zeros(2, 2), &mut out).is_err());
     }
 
     #[test]

@@ -218,6 +218,28 @@ impl DVector {
         self.data[offset..offset + values.len()].copy_from_slice(values.as_slice());
     }
 
+    /// Copies the segment `[offset, offset + self.len())` of `source` into this
+    /// vector (the gather counterpart of [`DVector::set_segment`], used to fill
+    /// preallocated per-block state views without allocating).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the segment extends past the end of `source`.
+    pub fn copy_from_segment(&mut self, source: &DVector, offset: usize) {
+        let len = self.data.len();
+        self.data.copy_from_slice(&source.data[offset..offset + len]);
+    }
+
+    /// Overwrites this vector with the contents of `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn copy_from(&mut self, other: &DVector) {
+        assert_eq!(self.len(), other.len(), "length mismatch in vector copy_from");
+        self.data.copy_from_slice(&other.data);
+    }
+
     /// Returns `true` if every element is finite (no NaN or infinity).
     pub fn is_finite(&self) -> bool {
         self.data.iter().all(|x| x.is_finite())
@@ -482,6 +504,17 @@ mod tests {
         let mut d = DVector::zeros(3);
         d.set_segment(1, &DVector::from_slice(&[7.0, 8.0]));
         assert_eq!(d.as_slice(), &[0.0, 7.0, 8.0]);
+    }
+
+    #[test]
+    fn copy_from_variants() {
+        let src = DVector::from_slice(&[1.0, 2.0, 3.0, 4.0]);
+        let mut dst = DVector::zeros(4);
+        dst.copy_from(&src);
+        assert_eq!(dst.as_slice(), src.as_slice());
+        let mut window = DVector::zeros(2);
+        window.copy_from_segment(&src, 1);
+        assert_eq!(window.as_slice(), &[2.0, 3.0]);
     }
 
     #[test]

@@ -265,10 +265,35 @@ pub fn adams_bashforth_coefficients(
     history_times: &[f64],
     h_next: f64,
 ) -> Result<Vec<f64>, OdeError> {
+    let mut coefficients = vec![0.0; history_times.len().min(MAX_ADAMS_BASHFORTH_ORDER)];
+    adams_bashforth_coefficients_into(history_times, h_next, &mut coefficients)?;
+    Ok(coefficients)
+}
+
+/// Allocation-free variant of [`adams_bashforth_coefficients`]: writes the `k`
+/// coefficients into the first `k` entries of a caller-owned slice (typically a
+/// stack array of length [`MAX_ADAMS_BASHFORTH_ORDER`]). This is the routine
+/// the `harvsim-core` march-in-time loop calls every accepted step.
+///
+/// # Errors
+///
+/// Same failure modes as [`adams_bashforth_coefficients`], plus
+/// [`OdeError::InvalidParameter`] if `out` is shorter than the history.
+pub fn adams_bashforth_coefficients_into(
+    history_times: &[f64],
+    h_next: f64,
+    out: &mut [f64],
+) -> Result<(), OdeError> {
     let k = history_times.len();
     if k == 0 || k > MAX_ADAMS_BASHFORTH_ORDER {
         return Err(OdeError::InvalidParameter(format!(
             "adams-bashforth history length must be 1..={MAX_ADAMS_BASHFORTH_ORDER}, got {k}"
+        )));
+    }
+    if out.len() < k {
+        return Err(OdeError::InvalidParameter(format!(
+            "coefficient buffer holds {} entries but the history has {k}",
+            out.len()
         )));
     }
     if !(h_next > 0.0) || !h_next.is_finite() {
@@ -294,22 +319,32 @@ pub fn adams_bashforth_coefficients(
     let nodes = [mid - half * sqrt35, mid, mid + half * sqrt35];
     let weights = [5.0 / 9.0 * half, 8.0 / 9.0 * half, 5.0 / 9.0 * half];
 
-    let mut coefficients = vec![0.0; k];
-    for (i, coeff) in coefficients.iter_mut().enumerate() {
+    for (i, coeff) in out[..k].iter_mut().enumerate() {
+        // The Lagrange basis denominator Π_{j≠i}(t_i − t_j) does not depend on
+        // the quadrature node, so it is inverted once per coefficient instead
+        // of dividing inside the node loop (divisions dominate this routine's
+        // cost on the per-step hot path).
+        let mut denominator = 1.0;
+        for (j, &tj) in history_times.iter().enumerate() {
+            if j != i {
+                denominator *= history_times[i] - tj;
+            }
+        }
+        let inv_denominator = 1.0 / denominator;
         let mut integral = 0.0;
         for (node, weight) in nodes.iter().zip(weights.iter()) {
             // Lagrange basis polynomial L_i evaluated at the quadrature node.
-            let mut basis = 1.0;
+            let mut numerator = 1.0;
             for (j, &tj) in history_times.iter().enumerate() {
                 if j != i {
-                    basis *= (node - tj) / (history_times[i] - tj);
+                    numerator *= node - tj;
                 }
             }
-            integral += weight * basis;
+            integral += weight * (numerator * inv_denominator);
         }
         *coeff = integral;
     }
-    Ok(coefficients)
+    Ok(())
 }
 
 /// Variable-step Adams–Bashforth integrator of order 1–4.

@@ -105,6 +105,104 @@ pub fn step_satisfies_eq7(a: &DMatrix, h: f64) -> Result<bool, OdeError> {
     Ok(eigen::explicit_step_is_stable(a, h)?)
 }
 
+/// Whether the *uniform-step order-2 Adams–Bashforth* recurrence is stable for
+/// the scalar mode `ẋ = λ·x` at step `h`, i.e. whether both roots of the
+/// characteristic polynomial
+///
+/// ```text
+/// ζ² − (1 + 3/2·μ)·ζ + 1/2·μ = 0,   μ = h·λ
+/// ```
+///
+/// lie inside the closed unit disc (computed with the complex quadratic
+/// formula — no iteration needed).
+fn ab2_mode_is_stable(mu_re: f64, mu_im: f64) -> bool {
+    // b = 1 + 1.5·μ (the root sum), c = 0.5·μ (the root product).
+    let b_re = 1.0 + 1.5 * mu_re;
+    let b_im = 1.5 * mu_im;
+    let c_re = 0.5 * mu_re;
+    let c_im = 0.5 * mu_im;
+    // Discriminant d = b² − 4c.
+    let d_re = b_re * b_re - b_im * b_im - 4.0 * c_re;
+    let d_im = 2.0 * b_re * b_im - 4.0 * c_im;
+    // Principal complex square root of d.
+    let d_mag = (d_re * d_re + d_im * d_im).sqrt();
+    let s_re = ((d_mag + d_re) * 0.5).max(0.0).sqrt();
+    let s_im = ((d_mag - d_re) * 0.5).max(0.0).sqrt().copysign(d_im);
+    // Roots (b ± s)/2.
+    let r1 = ((b_re + s_re) * 0.5).powi(2) + ((b_im + s_im) * 0.5).powi(2);
+    let r2 = ((b_re - s_re) * 0.5).powi(2) + ((b_im - s_im) * 0.5).powi(2);
+    r1 <= 1.0 && r2 <= 1.0
+}
+
+/// Largest step `h ≤ h_cap` for which the order-2 Adams–Bashforth formula is
+/// stable on *every* eigenmode of `a`, found by an exact per-eigenvalue region
+/// check of the AB2 characteristic roots with bisection.
+///
+/// The generic [`max_stable_step`] rules bound the *forward-Euler* total-step
+/// matrix and the caller then derates by the ratio of real-axis stability
+/// intervals. That derate is sound for real (relaxation) poles but wildly
+/// conservative for lightly damped oscillatory pairs `λ = −ζω ± iω`: the
+/// forward-Euler criterion caps `h < 2ζ/ω`, while AB2's stability region hugs
+/// the imaginary axis closely enough that the true bound scales as
+/// `√(ζ/ω)·ω⁻¹/²` — orders of magnitude larger for the harvester's 70 Hz,
+/// high-Q mechanical resonance. Checking the actual AB2 characteristic roots
+/// removes exactly that pessimism; for real poles it reproduces the classic
+/// `h < 1/|λ|` interval, so nothing gets *less* safe.
+///
+/// Returns `None` when no eigenvalue constrains the step below `h_cap` and
+/// `Some(0.0)` when an undamped/unstable mode admits no stable explicit step.
+///
+/// # Errors
+///
+/// Rejects invalid `safety`/`h_cap` and propagates eigenvalue failures.
+pub fn ab2_max_stable_step(a: &DMatrix, safety: f64, h_cap: f64) -> Result<Option<f64>, OdeError> {
+    if !(safety > 0.0 && safety <= 1.0) {
+        return Err(OdeError::InvalidParameter(format!(
+            "safety factor must be in (0, 1], got {safety}"
+        )));
+    }
+    if !(h_cap > 0.0) || !h_cap.is_finite() {
+        return Err(OdeError::InvalidParameter(format!(
+            "step cap must be positive and finite, got {h_cap}"
+        )));
+    }
+    let eigs = eigen::eigenvalues(a)?;
+    let mut h_min = f64::INFINITY;
+    for eig in eigs {
+        let (alpha, beta) = (eig.re, eig.im);
+        if alpha == 0.0 && beta == 0.0 {
+            continue; // zero eigenvalue (pure integrator) does not constrain h
+        }
+        if alpha >= 0.0 {
+            // Undamped or unstable mode: no explicit step is strictly stable.
+            return Ok(Some(0.0));
+        }
+        if ab2_mode_is_stable(h_cap * alpha, h_cap * beta) {
+            continue; // this mode does not bind below the cap
+        }
+        // Bisect the stability boundary in (0, h_cap); the region along the
+        // ray from the origin through μ = h·λ is an interval for the damped
+        // modes handled here, and the safety factor absorbs the residual
+        // uncertainty of that assumption.
+        let mut lo = 0.0_f64;
+        let mut hi = h_cap;
+        for _ in 0..64 {
+            let mid = 0.5 * (lo + hi);
+            if ab2_mode_is_stable(mid * alpha, mid * beta) {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        h_min = h_min.min(lo);
+    }
+    if h_min.is_infinite() {
+        Ok(None)
+    } else {
+        Ok(Some(safety * h_min))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -177,6 +275,64 @@ mod tests {
         let spec =
             max_stable_step(&a, StabilityRule::SpectralRadius { safety: 1.0 }).unwrap().unwrap();
         assert!(dom <= spec * (1.0 + 1e-9), "dominance {dom} vs spectral {spec}");
+    }
+
+    #[test]
+    fn ab2_limit_reproduces_the_real_axis_interval() {
+        // Pure relaxation poles: AB2 is stable for h·|λ| < 1, so the slowest…
+        // fastest pole at −500 binds the step at 1/500 = 2 ms.
+        let a = DMatrix::from_diagonal(&DVector::from_slice(&[-100.0, -500.0]));
+        let h = ab2_max_stable_step(&a, 1.0, 1.0).unwrap().unwrap();
+        assert!((h - 1.0 / 500.0).abs() < 1e-6, "h = {h}");
+        // Nothing binds below a small cap.
+        assert_eq!(ab2_max_stable_step(&a, 1.0, 1e-4).unwrap(), None);
+    }
+
+    #[test]
+    fn ab2_limit_beats_the_forward_euler_derate_on_oscillatory_modes() {
+        // 70 Hz, lightly damped: the FE criterion gives h < 2ζ/ω ≈ 23 µs,
+        // while the true AB2 region admits an order of magnitude more.
+        let omega = 2.0 * std::f64::consts::PI * 70.0;
+        let zeta = 0.005;
+        let a = damped_oscillator(omega, zeta);
+        let fe =
+            max_stable_step(&a, StabilityRule::SpectralRadius { safety: 1.0 }).unwrap().unwrap();
+        let ab2 = ab2_max_stable_step(&a, 1.0, 1.0).unwrap().unwrap();
+        assert!(ab2 > 5.0 * fe, "AB2 limit {ab2} vs FE limit {fe}");
+        // The claimed limit is genuinely stable and ~2× beyond it is not:
+        // march the 2-step recurrence directly on the eigenmode.
+        let eigs = harvsim_linalg::eigen::eigenvalues(&a).unwrap();
+        let lambda = eigs.iter().find(|e| e.im > 0.0).unwrap();
+        let marches = |h: f64| {
+            // x_{n+1} = x_n + h·(1.5·λx_n − 0.5·λx_{n-1}) on the scalar mode.
+            let (lr, li) = (lambda.re * h, lambda.im * h);
+            let mut prev = (1.0_f64, 0.0_f64);
+            let mut cur = (1.0 + lr, li); // one Euler step to start
+            for _ in 0..20_000 {
+                let fx = (1.5 * (lr * cur.0 - li * cur.1), 1.5 * (lr * cur.1 + li * cur.0));
+                let fp = (0.5 * (lr * prev.0 - li * prev.1), 0.5 * (lr * prev.1 + li * prev.0));
+                let next = (cur.0 + fx.0 - fp.0, cur.1 + fx.1 - fp.1);
+                prev = cur;
+                cur = next;
+                if !(cur.0.is_finite() && cur.1.is_finite()) {
+                    return f64::INFINITY;
+                }
+            }
+            (cur.0 * cur.0 + cur.1 * cur.1).sqrt()
+        };
+        assert!(marches(0.9 * ab2) < 1.0, "below the limit the mode must decay");
+        assert!(marches(2.5 * ab2) > 1e3, "far above the limit the mode must grow");
+    }
+
+    #[test]
+    fn ab2_limit_flags_undamped_modes_and_bad_inputs() {
+        let a = damped_oscillator(10.0, 0.0);
+        assert_eq!(ab2_max_stable_step(&a, 0.9, 1.0).unwrap(), Some(0.0));
+        let i = DMatrix::identity(2);
+        assert!(ab2_max_stable_step(&i, 0.0, 1.0).is_err());
+        assert!(ab2_max_stable_step(&i, 0.5, 0.0).is_err());
+        // A zero matrix constrains nothing.
+        assert_eq!(ab2_max_stable_step(&DMatrix::zeros(2, 2), 1.0, 1.0).unwrap(), None);
     }
 
     #[test]
