@@ -1,0 +1,97 @@
+//! Micro-benchmarks of the four-lane linalg kernels behind the march-in-time
+//! hot path: the `dot_unrolled` reduction, the `axpy_chunked` row update, the
+//! dense mat-vec/mat-mat products built on them, and the LU factorise/solve
+//! pair that serves the Eq. 4 terminal eliminations.
+//!
+//! Two sizes bracket the workloads: 12 matches the harvester's state
+//! dimension (the row width every per-step kernel sees), 48 approximates the
+//! multi-harvester assemblies the roadmap points at. The numbers let a
+//! regression in the chunked kernels be caught at the kernel level instead of
+//! surfacing only as a diluted Table II delta.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use harvsim_linalg::{axpy_chunked, dot_unrolled, DMatrix, DVector};
+
+fn well_conditioned(n: usize) -> DMatrix {
+    let mut m = DMatrix::from_fn(n, n, |r, c| ((r * 31 + c * 17) % 13) as f64 * 0.1 - 0.6);
+    for i in 0..n {
+        let row_sum: f64 = m.row(i).iter().map(|x| x.abs()).sum();
+        m[(i, i)] = row_sum + 1.0;
+    }
+    m
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("linalg_kernels");
+    group.sample_size(50);
+
+    for n in [12usize, 48] {
+        let a = well_conditioned(n);
+        let x = DVector::from_fn(n, |i| (i as f64 * 0.37).sin());
+        let mut out = DVector::zeros(n);
+
+        let xs: Vec<f64> = x.as_slice().to_vec();
+        let ys: Vec<f64> = x.as_slice().iter().map(|v| v * 1.7 - 0.3).collect();
+        group.bench_function(format!("dot_unrolled_{n}"), |b| {
+            b.iter(|| {
+                let mut acc = 0.0;
+                for _ in 0..1000 {
+                    acc += dot_unrolled(black_box(&xs), black_box(&ys));
+                }
+                acc
+            });
+        });
+
+        group.bench_function(format!("axpy_chunked_{n}"), |b| {
+            let mut dst = xs.clone();
+            b.iter(|| {
+                for _ in 0..1000 {
+                    axpy_chunked(black_box(&mut dst), 1.0000001, black_box(&ys));
+                }
+                dst[0]
+            });
+        });
+
+        group.bench_function(format!("mul_vector_into_{n}"), |b| {
+            b.iter(|| {
+                for _ in 0..1000 {
+                    a.mul_vector_into(black_box(&x), &mut out);
+                }
+                out[0]
+            });
+        });
+
+        let mut prod = DMatrix::zeros(n, n);
+        group.bench_function(format!("mul_matrix_into_{n}"), |b| {
+            b.iter(|| {
+                for _ in 0..100 {
+                    a.mul_matrix_into(black_box(&a), &mut prod).expect("dimensions match");
+                }
+                prod[(0, 0)]
+            });
+        });
+
+        let mut lu = a.lu().expect("well-conditioned");
+        group.bench_function(format!("lu_factor_into_{n}"), |b| {
+            b.iter(|| {
+                for _ in 0..100 {
+                    lu.factor_into(black_box(&a)).expect("well-conditioned");
+                }
+                lu.determinant()
+            });
+        });
+
+        group.bench_function(format!("lu_solve_into_{n}"), |b| {
+            b.iter(|| {
+                for _ in 0..1000 {
+                    lu.solve_into(black_box(&x), &mut out).expect("dimensions match");
+                }
+                out[0]
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

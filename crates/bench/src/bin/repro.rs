@@ -103,33 +103,48 @@ fn table1(long: bool) -> Result<(), CoreError> {
 }
 
 /// Table II: CPU times of the existing (Newton–Raphson) and proposed
-/// (Adams–Bashforth) techniques for the two tuning scenarios.
+/// (Adams–Bashforth) techniques for the two tuning scenarios. The two
+/// scenario comparisons run concurrently on worker threads where the host has
+/// the cores for it ([`SpeedComparison::run_batch`]).
 fn table2(long: bool) -> Result<(), CoreError> {
     let (d1, d2) = if long { (20.0, 30.0) } else { (5.0, 8.0) };
     println!("== Table II: CPU times of existing and proposed simulation techniques ==\n");
     println!(
-        "{:<12} {:>18} {:>18} {:>10} {:>14}",
-        "scenario", "Newton-Raphson [s]", "state-space [s]", "speed-up", "max dev [V]"
+        "{:<12} {:>18} {:>18} {:>10} {:>14} {:>26}",
+        "scenario",
+        "Newton-Raphson [s]",
+        "state-space [s]",
+        "speed-up",
+        "max dev [V]",
+        "steps by AB order 1-4"
     );
     let comparison = SpeedComparison::with_defaults();
+    let labels = ["scenario1", "scenario2"];
+    let scenarios = [scenario1(d1), scenario2(d2)];
+    let reports = comparison.run_batch(&scenarios)?;
     let mut records = Vec::new();
-    for (label, scenario) in [("scenario1", scenario1(d1)), ("scenario2", scenario2(d2))] {
-        let report = comparison.run(&scenario)?;
+    for ((label, scenario), report) in labels.iter().zip(&scenarios).zip(&reports) {
+        let engine = report.proposed.result.engine_stats.state_space;
         println!(
-            "{:<12} {:>18} {:>18} {:>9.1}x {:>14.4}",
+            "{:<12} {:>18} {:>18} {:>9.1}x {:>14.4} {:>26}",
             label,
             seconds(report.baseline_cpu),
             seconds(report.proposed_cpu),
             report.speedup(),
-            report.accuracy.max_deviation
+            report.accuracy.max_deviation,
+            format!("{:?}", engine.steps_by_order),
         );
         records.push(Table2Record {
-            name: label.to_string(),
+            name: (*label).to_string(),
             simulated_span_s: scenario.duration_s,
             baseline_cpu_s: report.baseline_cpu.as_secs_f64(),
             proposed_cpu_s: report.proposed_cpu.as_secs_f64(),
             speedup: report.speedup(),
             max_deviation_v: report.accuracy.max_deviation,
+            steps: engine.steps,
+            factorisations: engine.factorisations,
+            cached_solves: engine.cached_solves,
+            steps_by_order: engine.steps_by_order,
         });
     }
     let json_path = std::path::Path::new("BENCH_table2.json");
@@ -178,8 +193,12 @@ fn scenario_for_figures(mut scenario: ScenarioConfig) -> ScenarioConfig {
 
 fn figure_voltage(label: &str, scenario: ScenarioConfig) -> Result<(), CoreError> {
     println!("== {label}: supercapacitor voltage, simulation vs experiment ==\n");
-    let simulation = scenario.run()?;
-    let surrogate = scenario.run_experimental_surrogate()?;
+    // The nominal run and its experimental surrogate are independent, so the
+    // batch runner measures them concurrently when cores allow.
+    let mut runs =
+        harvsim_core::run_batch(&[scenario.clone(), scenario.experimental_surrogate()]).into_iter();
+    let simulation = runs.next().expect("two results")?;
+    let surrogate = runs.next().expect("two results")?;
     let comparison = measurement::compare_supercap_voltage(&simulation, &surrogate, 400)?;
     println!(
         "max |simulation - surrogate| = {:.3} V, rms = {:.3} V over {:.1} s",

@@ -27,7 +27,10 @@ use harvsim_core::scenario::ScenarioConfig;
 
 /// One scenario row of the machine-readable Table II record emitted by the
 /// `repro` binary (`BENCH_table2.json`), used by the CI perf-smoke job and by
-/// ROADMAP.md to track the speed-up trajectory across PRs.
+/// ROADMAP.md to track the speed-up trajectory across PRs. Besides the
+/// headline speed-up, the row records the state-space engine's work counters
+/// so a perf regression is attributable (did the step count move, the
+/// factorisation count, or the per-step cost?) rather than a bare number.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Table2Record {
     /// Scenario label (`scenario1` / `scenario2`).
@@ -42,6 +45,15 @@ pub struct Table2Record {
     pub speedup: f64,
     /// Maximum supercapacitor-voltage deviation between the engines, in volts.
     pub max_deviation_v: f64,
+    /// Accepted state-space steps.
+    pub steps: usize,
+    /// `Jyy` LU factorisations actually performed by the state-space engine.
+    pub factorisations: usize,
+    /// Eq. 4 eliminations served by the cached factorisation.
+    pub cached_solves: usize,
+    /// Accepted steps per Adams–Bashforth order (index `k − 1` = order `k`),
+    /// the order/step governor's observable behaviour.
+    pub steps_by_order: [usize; 4],
 }
 
 /// Serialises the Table II records to `path` as a small, dependency-free JSON
@@ -85,7 +97,18 @@ pub fn write_table2_json(path: &Path, records: &[Table2Record]) -> std::io::Resu
         writeln!(file, "      \"baseline_cpu_s\": {:.6},", json_number(record.baseline_cpu_s))?;
         writeln!(file, "      \"proposed_cpu_s\": {:.6},", json_number(record.proposed_cpu_s))?;
         writeln!(file, "      \"speedup\": {:.3},", json_number(record.speedup))?;
-        writeln!(file, "      \"max_deviation_v\": {:.6}", json_number(record.max_deviation_v))?;
+        writeln!(file, "      \"max_deviation_v\": {:.6},", json_number(record.max_deviation_v))?;
+        writeln!(file, "      \"steps\": {},", record.steps)?;
+        writeln!(file, "      \"factorisations\": {},", record.factorisations)?;
+        writeln!(file, "      \"cached_solves\": {},", record.cached_solves)?;
+        writeln!(
+            file,
+            "      \"steps_by_order\": [{}, {}, {}, {}]",
+            record.steps_by_order[0],
+            record.steps_by_order[1],
+            record.steps_by_order[2],
+            record.steps_by_order[3]
+        )?;
         writeln!(file, "    }}{comma}")?;
     }
     writeln!(file, "  ],")?;
@@ -134,6 +157,10 @@ mod tests {
                 proposed_cpu_s: 0.25,
                 speedup: 5.0,
                 max_deviation_v: 0.01,
+                steps: 1000,
+                factorisations: 4,
+                cached_solves: 996,
+                steps_by_order: [2, 900, 58, 40],
             },
             Table2Record {
                 name: "scenario2".to_string(),
@@ -142,6 +169,10 @@ mod tests {
                 proposed_cpu_s: 0.2,
                 speedup: 10.0,
                 max_deviation_v: 0.02,
+                steps: 2000,
+                factorisations: 6,
+                cached_solves: 1994,
+                steps_by_order: [4, 1800, 120, 76],
             },
         ];
         write_table2_json(&path, &records).unwrap();
@@ -151,6 +182,10 @@ mod tests {
         assert!(written.contains("\"name\": \"scenario1\""));
         assert!(written.contains("\"speedup\": 5.000"));
         assert!(written.contains("\"min_speedup\": 5.000"));
+        assert!(written.contains("\"steps\": 1000"));
+        assert!(written.contains("\"factorisations\": 6"));
+        assert!(written.contains("\"cached_solves\": 996"));
+        assert!(written.contains("\"steps_by_order\": [2, 900, 58, 40]"));
         // Braces balance (cheap well-formedness check without a JSON parser).
         assert_eq!(written.matches('{').count(), written.matches('}').count());
     }

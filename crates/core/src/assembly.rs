@@ -790,19 +790,42 @@ impl Assembly {
         }
         let mut scratch = self.scratch.borrow_mut();
 
-        // Four accumulator lanes over (max |new|, max |new − old|), striped by
-        // element to break the serial `max` chains; maxima are order-
-        // independent, so the combined result is exact.
+        // Two accumulator groups over (max |new|, max |new − old|): four fixed
+        // lanes fed by the contiguous row kernel below, plus one scalar pair
+        // for the net-scattered entries. Maxima are order-independent, so the
+        // combined result is exact.
         let mut scale = [0.0_f64; 4];
         let mut diff = [0.0_f64; 4];
-        let mut lane = 0usize;
+        // Contiguous row stamp: overwrite `dst` with `new` while accumulating
+        // the two monitor maxima in fixed four-wide lanes (the pattern the
+        // autovectoriser packs — no variable lane indexing on the hot path).
+        let mut stamp_row = |dst: &mut [f64], new: &[f64]| {
+            let mut dst_chunks = dst.chunks_exact_mut(4);
+            let mut new_chunks = new.chunks_exact(4);
+            for (d, s) in (&mut dst_chunks).zip(&mut new_chunks) {
+                for lane in 0..4 {
+                    let old = d[lane];
+                    d[lane] = s[lane];
+                    scale[lane] = scale[lane].max(s[lane].abs());
+                    diff[lane] = diff[lane].max((s[lane] - old).abs());
+                }
+            }
+            for (lane, (d, &s)) in
+                dst_chunks.into_remainder().iter_mut().zip(new_chunks.remainder()).enumerate()
+            {
+                let old = std::mem::replace(d, s);
+                scale[lane & 3] = scale[lane & 3].max(s.abs());
+                diff[lane & 3] = diff[lane & 3].max((s - old).abs());
+            }
+        };
+        let mut scale_scattered = 0.0_f64;
+        let mut diff_scattered = 0.0_f64;
         macro_rules! stamp {
             ($dst:expr, $new:expr) => {{
                 let new = $new;
                 let old = std::mem::replace($dst, new);
-                scale[lane] = scale[lane].max(new.abs());
-                diff[lane] = diff[lane].max((new - old).abs());
-                lane = (lane + 1) & 3;
+                scale_scattered = scale_scattered.max(new.abs());
+                diff_scattered = diff_scattered.max((new - old).abs());
             }};
         }
 
@@ -822,10 +845,7 @@ impl Assembly {
             let states = slot.state_offset..slot.state_offset + slot.state_count;
             for row in 0..slot.state_count {
                 let global_row = slot.state_offset + row;
-                let jxx_row = &mut out.jxx.row_mut(global_row)[states.clone()];
-                for (dst, &new) in jxx_row.iter_mut().zip(lin.a.row(row)) {
-                    stamp!(dst, new);
-                }
+                stamp_row(&mut out.jxx.row_mut(global_row)[states.clone()], lin.a.row(row));
                 let jxy_row = out.jxy.row_mut(global_row);
                 let b_row = lin.b.row(row);
                 for (local_terminal, &net) in slot.terminal_nets.iter().enumerate() {
@@ -836,10 +856,7 @@ impl Assembly {
             out.ex.as_mut_slice()[states.clone()].copy_from_slice(lin.e.as_slice());
             for row in 0..slot.constraint_count {
                 let global_row = slot.constraint_offset + row;
-                let jyx_row = &mut out.jyx.row_mut(global_row)[states.clone()];
-                for (dst, &new) in jyx_row.iter_mut().zip(lin.c.row(row)) {
-                    stamp!(dst, new);
-                }
+                stamp_row(&mut out.jyx.row_mut(global_row)[states.clone()], lin.c.row(row));
                 let jyy_row = out.jyy.row_mut(global_row);
                 let d_row = lin.d.row(row);
                 for (local_terminal, &net) in slot.terminal_nets.iter().enumerate() {
@@ -849,8 +866,9 @@ impl Assembly {
             }
         }
 
-        let scale = scale[0].max(scale[1]).max(scale[2]).max(scale[3]).max(1e-30);
-        let diff = diff[0].max(diff[1]).max(diff[2]).max(diff[3]);
+        let scale =
+            scale[0].max(scale[1]).max(scale[2]).max(scale[3]).max(scale_scattered).max(1e-30);
+        let diff = diff[0].max(diff[1]).max(diff[2]).max(diff[3]).max(diff_scattered);
         Ok(diff / scale)
     }
 }

@@ -75,6 +75,28 @@ impl SpeedComparison {
         &self.baseline_options
     }
 
+    /// Runs each scenario's head-to-head comparison on its own OS thread and
+    /// returns the reports in input order — both Table II scenarios (and any
+    /// future sweep) measure concurrently. Within one worker the proposed
+    /// engine and the baseline still run back to back, so each engine's
+    /// wall-clock time is measured exactly as in [`SpeedComparison::run`];
+    /// with fewer than two hardware threads (or a single scenario) the
+    /// comparisons simply run sequentially, because oversubscribing one core
+    /// would distort the CPU-time ratios the speed-up records gate on.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation failures from any scenario; the first error (in
+    /// input order) wins.
+    pub fn run_batch(
+        &self,
+        scenarios: &[ScenarioConfig],
+    ) -> Result<Vec<ComparisonReport>, CoreError> {
+        crate::scenario::parallel_map(scenarios, |scenario| self.run(scenario))
+            .into_iter()
+            .collect()
+    }
+
     /// Runs `scenario` with both engines and assembles the report.
     ///
     /// # Errors
@@ -117,7 +139,8 @@ mod tests {
     #[test]
     fn construction_and_accessors() {
         let comparison = SpeedComparison::with_defaults();
-        assert_eq!(comparison.solver_options().ab_order, 2);
+        assert_eq!(comparison.solver_options().ab_order, 4);
+        assert!(comparison.solver_options().adaptive_order);
         assert!(comparison.baseline_options().step > 0.0);
         assert!(SpeedComparison::new(
             SolverOptions { ab_order: 0, ..Default::default() },
@@ -125,7 +148,33 @@ mod tests {
         )
         .is_err());
         let default_comparison = SpeedComparison::default();
-        assert_eq!(default_comparison.solver_options().ab_order, 2);
+        assert_eq!(default_comparison.solver_options().ab_order, 4);
+    }
+
+    /// The batched comparison returns one report per scenario in input order
+    /// and fails as a whole only on per-run errors, not on thread plumbing.
+    #[test]
+    fn batched_comparisons_cover_every_scenario() {
+        let mut first = ScenarioConfig::scenario1();
+        first.duration_s = 0.15;
+        first.frequency_step_time_s = 0.05;
+        let mut second = ScenarioConfig::scenario2();
+        second.duration_s = 0.2;
+        second.frequency_step_time_s = 0.05;
+        let comparison = SpeedComparison::with_defaults();
+        let reports = comparison.run_batch(&[first, second]).unwrap();
+        assert_eq!(reports.len(), 2);
+        assert_eq!(reports[0].config.duration_s, 0.15);
+        assert_eq!(reports[1].config.duration_s, 0.2);
+        for report in &reports {
+            assert!(report.accuracy.max_deviation < 0.05);
+            assert!(report.proposed.result.engine_stats.state_space.steps > 0);
+            assert!(report.baseline.result.engine_stats.baseline.steps > 0);
+        }
+        // A bad scenario in the batch surfaces as an error.
+        let mut bad = ScenarioConfig::scenario1();
+        bad.duration_s = 0.0;
+        assert!(comparison.run_batch(&[bad]).is_err());
     }
 
     /// A very short head-to-head run: the proposed engine must agree with the

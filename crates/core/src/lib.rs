@@ -18,10 +18,11 @@
 //! 3. At every time point the non-state (terminal) variables are eliminated by
 //!    solving the algebraic part `Jyy·y = −(Jyx·x + g)` (Eq. 4).
 //! 4. [`solver`] advances the state variables with the explicit, variable-step
-//!    Adams–Bashforth formula (Eq. 5), limiting the step so the point
-//!    total-step matrix satisfies the stability condition of Eq. 7 (diagonal
-//!    dominance first, exact spectral radius as fallback) and monitoring the
-//!    local linearisation error through Jacobian changes (Eq. 3).
+//!    Adams–Bashforth formula (Eq. 5) at the order an order/step governor
+//!    selects per step, limiting the step so the point total-step matrix
+//!    satisfies the stability condition of Eq. 7 through exact per-eigenvalue
+//!    region scans for every order 1–4, and monitoring the local
+//!    linearisation error through Jacobian changes (Eq. 3).
 //! 5. [`mixed`] interleaves those analogue segments with the event-driven
 //!    digital kernel running the microcontroller process of Fig. 7, exchanging
 //!    load-mode and retuning commands at synchronisation points.
@@ -76,7 +77,7 @@ pub use error::CoreError;
 pub use harvester::TunableHarvester;
 pub use measurement::{PowerReport, WaveformComparison};
 pub use mixed::{MixedSignalResult, MixedSignalSimulation, SimulationEngine};
-pub use scenario::{ScenarioConfig, ScenarioResult};
+pub use scenario::{run_batch, ScenarioConfig, ScenarioResult};
 pub use solver::{SolveResult, SolverOptions, SolverStats, StateSpaceSolver};
 
 /// Convenient result alias used across the crate.

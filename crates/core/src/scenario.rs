@@ -145,6 +145,18 @@ impl ScenarioConfig {
         Ok(ScenarioResult { config: self.clone(), harvester, result })
     }
 
+    /// The "experimental" surrogate configuration of this scenario: the same
+    /// run with parasitic leakage across the store (a 20 kΩ sleep-mode load
+    /// instead of 1 GΩ), 10 % extra mechanical damping and 3 % weaker
+    /// transduction (see [`ScenarioConfig::run_experimental_surrogate`]).
+    pub fn experimental_surrogate(&self) -> ScenarioConfig {
+        let mut surrogate = self.clone();
+        surrogate.parameters.load_sleep_ohms = 2.0e4;
+        surrogate.parameters.parasitic_damping *= 1.10;
+        surrogate.parameters.flux_linkage *= 0.97;
+        surrogate
+    }
+
     /// Runs the "experimental" surrogate of the scenario: the same run with
     /// parasitic leakage across the store (a 20 kΩ sleep-mode load instead of
     /// 1 GΩ), 10 % extra mechanical damping and 3 % weaker transduction —
@@ -157,12 +169,59 @@ impl ScenarioConfig {
     ///
     /// Propagates the same failures as [`ScenarioConfig::run`].
     pub fn run_experimental_surrogate(&self) -> Result<ScenarioResult, CoreError> {
-        let mut surrogate = self.clone();
-        surrogate.parameters.load_sleep_ohms = 2.0e4;
-        surrogate.parameters.parasitic_damping *= 1.10;
-        surrogate.parameters.flux_linkage *= 0.97;
-        surrogate.run()
+        self.experimental_surrogate().run()
     }
+}
+
+/// Runs several scenario configurations concurrently on scoped worker
+/// threads (at most `available_parallelism()` in flight) and returns their
+/// results in input order — the first step toward the many-scenario sweeps
+/// of the roadmap. Every run owns its harvester, kernel and solver
+/// workspaces, so the workers share nothing and the per-run waveforms and
+/// statistics are bit-identical to sequential [`ScenarioConfig::run`] calls.
+///
+/// On a single-hardware-thread host (or for a single configuration) the runs
+/// execute sequentially instead: oversubscribing one core would interleave
+/// the workers and corrupt the wall-clock CPU timings the Table II records
+/// are built from, without finishing any sooner.
+pub fn run_batch(configs: &[ScenarioConfig]) -> Vec<Result<ScenarioResult, CoreError>> {
+    parallel_map(configs, |config| config.run())
+}
+
+/// Shared batch plumbing for [`run_batch`] and
+/// [`crate::SpeedComparison::run_batch`]: applies `work` to every item,
+/// running at most `available_parallelism()` scoped worker threads at a time.
+/// The chunking matters for more than throughput — the per-engine CPU times
+/// in the comparison reports are `Instant`-based wall-clock measurements, so
+/// oversubscribing the cores (16 sweeps on a 2-core runner) would fold
+/// scheduler wait into the very numbers the speed-up gates check. On a
+/// single-hardware-thread host (or a single item) everything runs
+/// sequentially for the same reason.
+pub(crate) fn parallel_map<T: Sync, R: Send>(
+    items: &[T],
+    work: impl Fn(&T) -> Result<R, CoreError> + Sync,
+) -> Vec<Result<R, CoreError>> {
+    let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    if workers < 2 || items.len() < 2 {
+        return items.iter().map(work).collect();
+    }
+    let mut results = Vec::with_capacity(items.len());
+    for chunk in items.chunks(workers) {
+        results.extend(std::thread::scope(|scope| {
+            let handles: Vec<_> = chunk.iter().map(|item| scope.spawn(|| work(item))).collect();
+            handles
+                .into_iter()
+                .map(|handle| {
+                    handle.join().unwrap_or_else(|_| {
+                        Err(CoreError::InvalidConfiguration(
+                            "batch worker thread panicked".to_string(),
+                        ))
+                    })
+                })
+                .collect::<Vec<_>>()
+        }));
+    }
+    results
 }
 
 /// The outcome of a scenario run: the configuration, the (possibly retuned)
@@ -230,6 +289,54 @@ mod tests {
         let harvester = config.build_harvester().unwrap();
         assert_eq!(harvester.ambient_frequency_hz(0.0), 70.0);
         assert_eq!(harvester.ambient_frequency_hz(config.frequency_step_time_s + 1.0), 84.0);
+    }
+
+    /// The batch runner must agree bit for bit with sequential runs: a worker
+    /// thread changes where a run executes, never what it computes.
+    #[test]
+    fn batch_runs_match_sequential_runs_bit_for_bit() {
+        let mut narrow = ScenarioConfig::scenario1();
+        narrow.duration_s = 0.25;
+        narrow.frequency_step_time_s = 0.1;
+        let surrogate = narrow.experimental_surrogate();
+        let configs = [narrow.clone(), surrogate.clone()];
+
+        let batched = run_batch(&configs);
+        assert_eq!(batched.len(), 2);
+        let sequential = [narrow.run().unwrap(), surrogate.run().unwrap()];
+        for (batch, reference) in batched.into_iter().zip(sequential) {
+            let batch = batch.expect("batch run succeeds");
+            assert_eq!(batch.final_state, reference.final_state);
+            assert_eq!(batch.states().len(), reference.states().len());
+            assert_eq!(
+                batch.result.engine_stats.state_space.steps,
+                reference.result.engine_stats.state_space.steps
+            );
+            for (sample, expected) in
+                batch.states().states().iter().zip(reference.states().states())
+            {
+                assert_eq!(sample, expected);
+            }
+        }
+        // Empty and singleton batches behave like plain iteration.
+        assert!(run_batch(&[]).is_empty());
+        assert_eq!(run_batch(&configs[..1]).len(), 1);
+    }
+
+    /// Errors surface per slot instead of poisoning the whole batch.
+    #[test]
+    fn batch_reports_per_scenario_errors() {
+        let good = {
+            let mut config = ScenarioConfig::scenario1();
+            config.duration_s = 0.1;
+            config.frequency_step_time_s = 0.05;
+            config
+        };
+        let mut bad = good.clone();
+        bad.duration_s = -1.0;
+        let results = run_batch(&[bad, good]);
+        assert!(results[0].is_err());
+        assert!(results[1].is_ok());
     }
 
     #[test]

@@ -13,15 +13,27 @@
 //! 3. evaluates the state derivative `ẋ = Jxx·x + Jxy·y + e`,
 //! 4. advances the state with the variable-step Adams–Bashforth formula
 //!    (Eq. 5), rotating a fixed derivative ring, and
-//! 5. keeps the step inside the explicit-stability region of Eq. 7 — for the
-//!    default order-2 formula through an exact per-eigenvalue region check
-//!    ([`harvsim_ode::stability::ab2_max_stable_step`]), otherwise through
-//!    the diagonal-dominance rule with the spectral radius as fallback and a
-//!    real-axis derate for the multi-step order.
+//! 5. keeps the step inside the explicit-stability region of Eq. 7 through
+//!    the exact per-eigenvalue region scan of
+//!    [`harvsim_ode::stability::order_step_limits`], which prices *every*
+//!    Adams–Bashforth order 1–4 from one spectral decomposition. By default
+//!    an order/step **governor** then picks, at each step, the (order, h)
+//!    pair maximising the stable step among the orders the derivative
+//!    history admits — order ≥ 3 on the lightly damped mechanical pole
+//!    (whose AB3/AB4 regions reach up the imaginary axis), order 2 when a
+//!    fast real rail pole binds, order 1 only right after a history
+//!    truncation.
 //!
 //! The local linearisation error (Eq. 3) is monitored through the relative
-//! change of the Jacobian entries between consecutive points; a large change
-//! refreshes the cached stability limit.
+//! change of the Jacobian entries between consecutive points. The cached
+//! stability plan is refreshed on exactly two events: a *discontinuity*
+//! (one-step change above [`SolverOptions::relinearise_threshold`], e.g. a
+//! load-mode or PWL-segment switch — which also truncates the derivative
+//! history so the multi-step formula never bridges the kink), and
+//! accumulated *drift* (the summed per-step changes since the last refresh
+//! passing the same threshold — so a limit can never go stale no matter how
+//! small the individual steps are, without any wall-clock or step-count
+//! heuristic).
 //!
 //! There is no Newton iteration anywhere in this loop — that is the whole point
 //! of the technique and the source of the speed-up over the baseline in
@@ -36,7 +48,7 @@ use std::time::{Duration, Instant};
 use harvsim_linalg::{DMatrix, DVector};
 use harvsim_ode::explicit::{adams_bashforth_coefficients_into, MAX_ADAMS_BASHFORTH_ORDER};
 use harvsim_ode::solution::Trajectory;
-use harvsim_ode::stability::{ab2_max_stable_step, max_stable_step, StabilityRule};
+use harvsim_ode::stability::{order_step_limits, OrderStepLimits};
 
 use crate::assembly::{AnalogueSystem, GlobalLinearisation, TerminalFactorisation};
 use crate::CoreError;
@@ -44,9 +56,17 @@ use crate::CoreError;
 /// Options controlling the linearised state-space solver.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SolverOptions {
-    /// Adams–Bashforth order (1–4); the paper uses the multi-step formula
-    /// "due to its simplicity and accuracy".
+    /// Highest Adams–Bashforth order (1–4) the solver may use; the paper uses
+    /// the multi-step formula "due to its simplicity and accuracy". With
+    /// [`SolverOptions::adaptive_order`] the order/step governor selects the
+    /// most profitable order up to this bound per step; without it the solver
+    /// runs at exactly this order (after the usual history bootstrap).
     pub ab_order: usize,
+    /// Let the order/step governor pick, at every step, the (order, h) pair
+    /// maximising the stable step among the orders the derivative history
+    /// admits. Disable to pin the classic fixed-order march (e.g.
+    /// `ab_order: 2` reproduces the PR 2 AB2 path).
+    pub adaptive_order: bool,
     /// First step size tried at the start of a segment, in seconds.
     pub initial_step: f64,
     /// Hard upper bound on the step size, in seconds.
@@ -55,16 +75,11 @@ pub struct SolverOptions {
     pub min_step: f64,
     /// Safety factor applied to the stability limit of Eq. 7.
     pub stability_safety: f64,
-    /// Relative Jacobian change that triggers a stability-limit refresh and is
-    /// reported as the local-linearisation-error indicator.
+    /// Relative Jacobian change treated as a discontinuity (stability-plan
+    /// refresh + history truncation) when seen in one step, or as drift
+    /// (plan refresh only) when accumulated since the last refresh; also the
+    /// reported local-linearisation-error indicator of Eq. 3.
     pub relinearise_threshold: f64,
-    /// Refresh the cached Eq. 7 stability limit at least every this many
-    /// accepted steps, even when the per-step Jacobian change stays below
-    /// [`SolverOptions::relinearise_threshold`]. Without this floor the limit
-    /// can go stale at its most conservative value: small steps make the
-    /// per-step Jacobian change tiny, which suppresses refreshes, which keeps
-    /// the step small (see the solver module docs).
-    pub stability_refresh_steps: usize,
     /// Minimum spacing between recorded trajectory samples, in seconds
     /// (`0.0` records every accepted step).
     pub record_interval: f64,
@@ -73,13 +88,13 @@ pub struct SolverOptions {
 impl Default for SolverOptions {
     fn default() -> Self {
         SolverOptions {
-            ab_order: 2,
+            ab_order: 4,
+            adaptive_order: true,
             initial_step: 5e-6,
             max_step: 2e-4,
             min_step: 1e-9,
             stability_safety: 0.8,
             relinearise_threshold: 0.05,
-            stability_refresh_steps: 128,
             record_interval: 1e-3,
         }
     }
@@ -118,11 +133,6 @@ impl SolverOptions {
                 "relinearise threshold must be positive and record interval non-negative".into(),
             ));
         }
-        if self.stability_refresh_steps == 0 {
-            return Err(CoreError::InvalidConfiguration(
-                "the stability refresh interval must be at least one step".into(),
-            ));
-        }
         Ok(())
     }
 }
@@ -148,6 +158,13 @@ pub struct SolverStats {
     pub cached_solves: usize,
     /// Number of stability-limit recomputations (Eq. 7 evaluations).
     pub stability_updates: usize,
+    /// Accepted steps per Adams–Bashforth order actually marched (index
+    /// `k − 1` counts order-`k` steps; the entries sum to
+    /// [`SolverStats::steps`]). This is how the order/step governor's
+    /// behaviour becomes observable: order ≥ 3 dominating means the exact
+    /// AB3/AB4 regions are paying off, a spray of order-1 entries counts the
+    /// history truncations after load-mode switches and PWL kinks.
+    pub steps_by_order: [usize; MAX_ADAMS_BASHFORTH_ORDER],
     /// Largest observed relative Jacobian change (local-linearisation-error
     /// indicator, Eq. 3).
     pub max_jacobian_change: f64,
@@ -164,6 +181,9 @@ impl SolverStats {
         self.factorisations += other.factorisations;
         self.cached_solves += other.cached_solves;
         self.stability_updates += other.stability_updates;
+        for (mine, theirs) in self.steps_by_order.iter_mut().zip(&other.steps_by_order) {
+            *mine += theirs;
+        }
         self.max_jacobian_change = self.max_jacobian_change.max(other.max_jacobian_change);
         self.cpu_time += other.cpu_time;
     }
@@ -181,19 +201,6 @@ pub struct SolveResult {
     pub final_state: DVector,
     /// Work statistics.
     pub stats: SolverStats,
-}
-
-/// Ratio between the real-axis stability interval of the Adams–Bashforth
-/// method of the given order and that of Forward Euler (order 1). Multiplying
-/// the Eq. 7 step limit by this factor keeps the multi-step formula inside its
-/// own stability region.
-fn ab_stability_scale(order: usize) -> f64 {
-    match order {
-        1 => 1.0,
-        2 => 0.5,
-        3 => 6.0 / 11.0 / 2.0,
-        _ => 0.15,
-    }
 }
 
 /// Fixed-capacity derivative history for the variable-step Adams–Bashforth
@@ -241,6 +248,14 @@ impl DerivativeHistory {
             self.times[i] = self.times[i - 1];
         }
         self.times[0] = t;
+    }
+
+    /// Drops the stored derivatives (capacity and slots are retained). Called
+    /// when a Jacobian discontinuity invalidates the samples behind it: the
+    /// multi-step formula must never integrate a polynomial through a kink,
+    /// so the governor restarts from order 1 and regrows.
+    fn reset(&mut self) {
+        self.filled = 0;
     }
 
     /// Times of the valid entries, most recent first (strictly decreasing).
@@ -431,30 +446,44 @@ impl StateSpaceSolver {
         let mut x = x0.clone();
         let mut h = self.options.initial_step;
         let mut last_recorded = f64::NEG_INFINITY;
-        let mut stability_limit = self.options.max_step;
-        let mut steps_since_refresh = 0usize;
+        let mut plan: Option<OrderStepLimits> = None;
+        let mut accumulated_change = 0.0_f64;
 
         while t < t_end - 1e-12 {
             // 1.+2. Linearise at the present operating point (Eq. 2),
             //    re-stamping the preallocated global matrices in place, and
             //    monitor the local linearisation error through Jacobian
             //    changes (Eq. 3) — fused into the same stamping pass on the
-            //    steady-state path. The refresh decision keeps its periodic
-            //    floor: the per-step Jacobian change scales with the step
-            //    size, so after the limit forces a small step the change alone
-            //    would never trigger again and the limit would stick at its
-            //    most conservative value for the rest of the run.
-            let refresh = if !workspace.have_prev {
+            //    steady-state path. The stability plan refreshes on exactly
+            //    two monitor events: a one-step discontinuity, or the summed
+            //    drift since the last refresh passing the same threshold (the
+            //    per-step change scales with the step size, so after the
+            //    limit forces a small step only the *accumulated* change can
+            //    reach the threshold — this replaces PR 1's periodic
+            //    wall-clock refresh without letting the limit go stale).
+            let (refresh, discontinuity) = if !workspace.have_prev {
                 system.linearise_global_into(t, &x, &workspace.y, &mut workspace.lin)?;
-                true
+                (true, false)
             } else {
                 let change =
                     system.relinearise_global_into(t, &x, &workspace.y, &mut workspace.lin)?;
                 stats.max_jacobian_change = stats.max_jacobian_change.max(change);
-                change > self.options.relinearise_threshold
-                    || steps_since_refresh >= self.options.stability_refresh_steps
+                accumulated_change += change;
+                let discontinuity = change > self.options.relinearise_threshold;
+                (
+                    discontinuity || accumulated_change > self.options.relinearise_threshold,
+                    discontinuity,
+                )
             };
             stats.linearisations += 1;
+            if discontinuity {
+                // The derivatives behind this point were sampled from the
+                // pre-switch model (load-mode or PWL-segment change): drop
+                // them so no multi-step update bridges the kink. The
+                // governor falls back to order 1 and regrows within three
+                // steps.
+                workspace.history.reset();
+            }
             // Bring the cached Jyy factorisation up to date. Outside a refresh
             // Jyy has not moved past the Eq. 3 monitor, and for the assembled
             // harvester it is bit-identical between load-mode switches, so this
@@ -468,7 +497,10 @@ impl StateSpaceSolver {
             let lu = workspace.terminal.lu().expect("refresh succeeded");
             if refresh {
                 // One shared factorisation serves both the Eq. 7 stability
-                // refresh and the Eq. 4 terminal eliminations.
+                // refresh and the Eq. 4 terminal eliminations, and one
+                // spectral decomposition of the total-step matrix prices all
+                // four Adams–Bashforth orders (the governor's plan costs no
+                // extra matrix traversal over the former single-order check).
                 workspace.lin.total_step_matrix_with(
                     lu,
                     &mut workspace.yy_inv_yx,
@@ -476,51 +508,15 @@ impl StateSpaceSolver {
                     &mut workspace.a_total,
                 )?;
                 stats.stability_updates += 1;
-                stability_limit = if self.options.ab_order == 2 {
-                    // Exact AB2 region check per eigenvalue. The generic path
-                    // below bounds the forward-Euler matrix and derates by the
-                    // real-axis interval ratio, which for the harvester's
-                    // lightly damped 70 Hz mechanical pole is more than an
-                    // order of magnitude too strict — that pole, not the
-                    // power-processor poles, pins the whole march otherwise.
-                    ab2_max_stable_step(
-                        &workspace.a_total,
-                        self.options.stability_safety,
-                        self.options.max_step,
-                    )?
-                    .unwrap_or(self.options.max_step)
-                } else {
-                    // Diagonal dominance first (the paper's rule); the exact
-                    // spectral radius as fallback when a row cannot be
-                    // dominated (the pure integrator rows of the mechanical
-                    // oscillator).
-                    let dominance = max_stable_step(
-                        &workspace.a_total,
-                        StabilityRule::DiagonalDominance { safety: self.options.stability_safety },
-                    )?;
-                    let limit = match dominance {
-                        Some(limit) => Some(limit),
-                        None => max_stable_step(
-                            &workspace.a_total,
-                            StabilityRule::SpectralRadius { safety: self.options.stability_safety },
-                        )?,
-                    };
-                    // Eq. 7 bounds the forward-Euler total-step matrix; the
-                    // higher Adams–Bashforth orders have smaller stability
-                    // intervals along the negative real axis (2, 1, 6/11,
-                    // 3/10 for orders 1–4), so the limit is derated
-                    // accordingly.
-                    let order_scale = ab_stability_scale(self.options.ab_order);
-                    limit.map(|l| l * order_scale).unwrap_or(self.options.max_step)
-                };
-                if stability_limit < self.options.min_step {
-                    return Err(CoreError::Ode(harvsim_ode::OdeError::StepSizeUnderflow {
-                        time: t,
-                        step: stability_limit,
-                    }));
-                }
-                steps_since_refresh = 0;
+                plan = Some(order_step_limits(
+                    &workspace.a_total,
+                    self.options.stability_safety,
+                    self.options.max_step,
+                    self.options.ab_order,
+                )?);
+                accumulated_change = 0.0;
             }
+            let plan_ref = plan.as_ref().expect("stability plan computed on the first step");
 
             // 3. Eliminate the terminal variables (Eq. 4) with the cached LU.
             let (lin, y, rhs) = (&workspace.lin, &mut workspace.y, &mut workspace.rhs);
@@ -536,29 +532,52 @@ impl StateSpaceSolver {
                 last_recorded = t;
             }
 
-            // 5. Choose the step: stability limit, growth limit, span end.
+            // 5. The governor picks the (order, step-limit) pair among the
+            //    orders admissible with the current history (+1 for the
+            //    derivative about to be pushed): the highest order whose
+            //    region covers the step actually about to be taken (free
+            //    accuracy at the same step — this is what runs order 3/4 at
+            //    segment bootstraps and span ends), otherwise the order
+            //    maximising the stable step. With adaptivity off, the pinned
+            //    order.
+            let available = (workspace.history.filled + 1).min(self.options.ab_order);
+            let h_target = (h * 1.5).min(self.options.max_step).min(t_end - t);
+            let (order, stability_limit) = if self.options.adaptive_order {
+                plan_ref.select_for_target(available, h_target)
+            } else {
+                (available, plan_ref.limit(available))
+            };
+            if stability_limit < self.options.min_step {
+                return Err(CoreError::Ode(harvsim_ode::OdeError::StepSizeUnderflow {
+                    time: t,
+                    step: stability_limit,
+                }));
+            }
             h = (h * 1.5)
                 .min(stability_limit)
                 .min(self.options.max_step)
                 .max(self.options.min_step);
             let step = h.min(t_end - t);
 
-            // 6. Advance with the variable-step Adams–Bashforth formula (Eq. 5),
-            //    rotating the fixed derivative ring instead of re-allocating.
+            // 6. Advance with the variable-step Adams–Bashforth formula (Eq. 5)
+            //    at the selected order, rotating the fixed derivative ring
+            //    instead of re-allocating.
             workspace.history.push(t, &workspace.dx);
+            let order = order.min(workspace.history.filled);
             adams_bashforth_coefficients_into(
-                workspace.history.times(),
+                &workspace.history.times()[..order],
                 step,
                 &mut workspace.coefficients,
             )?;
-            for (coefficient, derivative) in
-                workspace.coefficients.iter().zip(workspace.history.derivatives())
+            for (coefficient, derivative) in workspace.coefficients[..order]
+                .iter()
+                .zip(&workspace.history.derivatives()[..order])
             {
                 x.axpy(*coefficient, derivative)?;
             }
             t += step;
             stats.steps += 1;
-            steps_since_refresh += 1;
+            stats.steps_by_order[order - 1] += 1;
 
             if !x.is_finite() {
                 return Err(CoreError::Ode(harvsim_ode::OdeError::NonFiniteState { time: t }));
@@ -656,9 +675,6 @@ mod tests {
         assert!(SolverOptions { relinearise_threshold: 0.0, ..Default::default() }
             .validate()
             .is_err());
-        assert!(SolverOptions { stability_refresh_steps: 0, ..Default::default() }
-            .validate()
-            .is_err());
         assert!(StateSpaceSolver::new(SolverOptions::default()).is_ok());
     }
 
@@ -724,13 +740,19 @@ mod tests {
 
     #[test]
     fn stats_absorb_accumulates() {
-        let mut a = SolverStats { steps: 10, linearisations: 10, ..Default::default() };
+        let mut a = SolverStats {
+            steps: 10,
+            linearisations: 10,
+            steps_by_order: [10, 0, 0, 0],
+            ..Default::default()
+        };
         let b = SolverStats {
             steps: 5,
             linearisations: 5,
             factorisations: 3,
             cached_solves: 2,
             stability_updates: 1,
+            steps_by_order: [1, 1, 1, 2],
             max_jacobian_change: 0.2,
             cpu_time: Duration::from_millis(2),
         };
@@ -739,6 +761,7 @@ mod tests {
         assert_eq!(a.linearisations, 15);
         assert_eq!(a.factorisations, 3);
         assert_eq!(a.cached_solves, 2);
+        assert_eq!(a.steps_by_order, [11, 1, 1, 2]);
         assert_eq!(a.max_jacobian_change, 0.2);
         assert_eq!(a.cpu_time, Duration::from_millis(2));
     }
@@ -801,6 +824,164 @@ mod tests {
             let j = first.states.len() + i;
             assert_eq!(states.states()[j], second.states.states()[i], "sample {j}");
         }
+    }
+
+    /// A driven mechanical-style oscillator with one terminal variable:
+    /// ẋ0 = x1, ẋ1 = −ω²·x0 − 2ζω·x1 + y, constraint y = V(t).
+    struct DrivenOscillator {
+        omega: f64,
+        zeta: f64,
+    }
+
+    impl AnalogueSystem for DrivenOscillator {
+        fn state_count(&self) -> usize {
+            2
+        }
+        fn net_count(&self) -> usize {
+            1
+        }
+        fn state_names(&self) -> Vec<String> {
+            vec!["pos".into(), "vel".into()]
+        }
+        fn net_names(&self) -> Vec<String> {
+            vec!["drive".into()]
+        }
+        fn linearise_global(
+            &self,
+            t: f64,
+            _x: &DVector,
+            _y: &DVector,
+        ) -> Result<GlobalLinearisation, CoreError> {
+            Ok(GlobalLinearisation {
+                jxx: DMatrix::from_rows(&[
+                    &[0.0, 1.0],
+                    &[-self.omega * self.omega, -2.0 * self.zeta * self.omega],
+                ])
+                .unwrap(),
+                jxy: DMatrix::from_rows(&[&[0.0], &[1.0]]).unwrap(),
+                ex: DVector::zeros(2),
+                jyx: DMatrix::zeros(1, 2),
+                jyy: DMatrix::identity(1),
+                gy: DVector::from_slice(&[-(0.3 * (self.omega * 0.9 * t).sin())]),
+            })
+        }
+    }
+
+    /// A two-state RC pair whose first time constant switches at a set time —
+    /// a Jacobian discontinuity mid-segment, like a PWL kink or load-mode
+    /// change inside one analogue span.
+    struct SwitchingRc {
+        tau_before: f64,
+        tau_after: f64,
+        switch_at: f64,
+    }
+
+    impl AnalogueSystem for SwitchingRc {
+        fn state_count(&self) -> usize {
+            2
+        }
+        fn net_count(&self) -> usize {
+            1
+        }
+        fn state_names(&self) -> Vec<String> {
+            vec!["x0".into(), "x1".into()]
+        }
+        fn net_names(&self) -> Vec<String> {
+            vec!["vin".into()]
+        }
+        fn linearise_global(
+            &self,
+            t: f64,
+            _x: &DVector,
+            _y: &DVector,
+        ) -> Result<GlobalLinearisation, CoreError> {
+            let tau0 = if t < self.switch_at { self.tau_before } else { self.tau_after };
+            Ok(GlobalLinearisation {
+                jxx: DMatrix::from_rows(&[&[-1.0 / tau0, 0.0], &[200.0, -200.0]]).unwrap(),
+                jxy: DMatrix::from_rows(&[&[1.0 / tau0], &[0.0]]).unwrap(),
+                ex: DVector::zeros(2),
+                jyx: DMatrix::zeros(1, 2),
+                jyy: DMatrix::identity(1),
+                gy: DVector::from_slice(&[-1.0]),
+            })
+        }
+    }
+
+    /// The governor books every accepted step under exactly one order and the
+    /// histogram sums to the step count; on a relaxation spectrum the
+    /// maximising order is 2 (widest real-axis interval above order 1).
+    #[test]
+    fn steps_by_order_histogram_sums_and_prefers_ab2_on_relaxation_poles() {
+        let system = DrivenRc { tau0: 1e-4, tau1: 5e-3, source: |_t| 2.0 };
+        let solver = StateSpaceSolver::new(options_for_test()).unwrap();
+        let result = solver.solve(&system, 0.0, 0.05, &DVector::zeros(2)).unwrap();
+        let stats = result.stats;
+        assert_eq!(stats.steps_by_order.iter().sum::<usize>(), stats.steps);
+        assert!(stats.steps_by_order[0] >= 1, "bootstrap runs at order 1");
+        assert!(
+            stats.steps_by_order[1] > stats.steps_by_order[2] + stats.steps_by_order[3],
+            "AB2 maximises the step on real poles: {:?}",
+            stats.steps_by_order
+        );
+    }
+
+    /// On the lightly damped oscillatory pole the exact AB3/AB4 regions admit
+    /// larger steps than AB2 (they reach up the imaginary axis), so the
+    /// governor must run the bulk of the march at order ≥ 3.
+    #[test]
+    fn governor_runs_high_order_on_the_lightly_damped_oscillator() {
+        let system = DrivenOscillator { omega: 2.0 * std::f64::consts::PI * 70.0, zeta: 0.01 };
+        let solver = StateSpaceSolver::new(SolverOptions {
+            initial_step: 1e-5,
+            max_step: 1e-3,
+            record_interval: 0.0,
+            ..Default::default()
+        })
+        .unwrap();
+        let result = solver.solve(&system, 0.0, 0.3, &DVector::zeros(2)).unwrap();
+        let by_order = result.stats.steps_by_order;
+        assert!(result.final_state.is_finite());
+        assert!(
+            by_order[2] + by_order[3] > by_order[1],
+            "order ≥ 3 must dominate on the oscillatory pole: {by_order:?}"
+        );
+    }
+
+    /// A Jacobian discontinuity mid-segment truncates the derivative history:
+    /// the governor falls back to order 1 and regrows instead of bridging the
+    /// kink with stale derivatives.
+    #[test]
+    fn discontinuity_truncates_the_history_and_refreshes_the_plan() {
+        let system = SwitchingRc { tau_before: 1e-3, tau_after: 2e-4, switch_at: 0.025 };
+        let solver = StateSpaceSolver::new(options_for_test()).unwrap();
+        let result = solver.solve(&system, 0.0, 0.05, &DVector::zeros(2)).unwrap();
+        let stats = result.stats;
+        assert!(result.final_state.is_finite());
+        assert!((result.final_state[0] - 1.0).abs() < 1e-2, "tracks the source");
+        // Order-1 steps: one at the segment bootstrap, one right after the
+        // switch (plus regrowth through order 2).
+        assert!(stats.steps_by_order[0] >= 2, "history truncation: {:?}", stats.steps_by_order);
+        // The discontinuity also re-prices the stability plan.
+        assert!(stats.stability_updates >= 2, "updates {}", stats.stability_updates);
+        assert!(stats.max_jacobian_change > 0.05);
+    }
+
+    /// `adaptive_order: false` pins the classic fixed-order march: nothing
+    /// beyond the configured order is ever selected.
+    #[test]
+    fn fixed_order_path_never_exceeds_the_configured_order() {
+        let system = DrivenRc { tau0: 1e-3, tau1: 5e-3, source: |_t| 2.0 };
+        let solver = StateSpaceSolver::new(SolverOptions {
+            ab_order: 2,
+            adaptive_order: false,
+            ..options_for_test()
+        })
+        .unwrap();
+        let result = solver.solve(&system, 0.0, 0.05, &DVector::zeros(2)).unwrap();
+        let stats = result.stats;
+        assert_eq!(stats.steps_by_order[2] + stats.steps_by_order[3], 0);
+        assert_eq!(stats.steps_by_order[0] + stats.steps_by_order[1], stats.steps);
+        assert!((result.final_state[0] - 2.0).abs() < 1e-3);
     }
 
     #[test]

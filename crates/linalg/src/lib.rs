@@ -53,7 +53,7 @@ mod vector;
 
 pub use error::LinalgError;
 pub use lu::LuDecomposition;
-pub use matrix::{dot_unrolled, DMatrix};
+pub use matrix::{axpy_chunked, dot_unrolled, DMatrix};
 pub use triplet::TripletBuilder;
 pub use vector::DVector;
 

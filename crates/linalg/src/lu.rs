@@ -8,7 +8,7 @@
 //! the natural tool. The same factorisation backs the Newton–Raphson iterations
 //! of the baseline (implicit) solvers.
 
-use crate::{DMatrix, DVector, LinalgError};
+use crate::{axpy_chunked, dot_unrolled, DMatrix, DVector, LinalgError};
 
 /// LU factorisation of a square matrix with partial (row) pivoting.
 ///
@@ -132,23 +132,19 @@ impl LuDecomposition {
                 return Err(LinalgError::Singular { pivot: k, value: pivot_val });
             }
             if pivot_row != k {
-                for c in 0..n {
-                    let tmp = self.lu[(k, c)];
-                    self.lu[(k, c)] = self.lu[(pivot_row, c)];
-                    self.lu[(pivot_row, c)] = tmp;
-                }
+                self.lu.swap_rows(k, pivot_row);
                 self.perm.swap(k, pivot_row);
                 self.perm_sign = -self.perm_sign;
             }
-            // Eliminate below the pivot.
+            // Eliminate below the pivot: each row update is a contiguous
+            // four-lane axpy on the trailing sub-row (bit-identical to the
+            // per-element loop — the update is element-wise).
             let pivot = self.lu[(k, k)];
             for r in (k + 1)..n {
-                let factor = self.lu[(r, k)] / pivot;
-                self.lu[(r, k)] = factor;
-                for c in (k + 1)..n {
-                    let u = self.lu[(k, c)];
-                    self.lu[(r, c)] -= factor * u;
-                }
+                let (upper, lower) = self.lu.row_pair_mut(k, r);
+                let factor = lower[k] / pivot;
+                lower[k] = factor;
+                axpy_chunked(&mut lower[k + 1..], -factor, &upper[k + 1..]);
             }
         }
         Ok(())
@@ -202,21 +198,17 @@ impl LuDecomposition {
         for i in 0..n {
             out[i] = b[self.perm[i]];
         }
-        // Forward substitution with the unit lower factor.
+        // Forward substitution with the unit lower factor: each inner sum is
+        // the four-lane dot of the row prefix with the already-solved entries.
         for i in 0..n {
-            let mut acc = out[i];
-            for j in 0..i {
-                acc -= self.lu[(i, j)] * out[j];
-            }
-            out[i] = acc;
+            let acc = dot_unrolled(&self.lu.row(i)[..i], &out.as_slice()[..i]);
+            out[i] -= acc;
         }
-        // Back substitution with the upper factor.
+        // Back substitution with the upper factor, dotting the row suffix.
         for i in (0..n).rev() {
-            let mut acc = out[i];
-            for j in (i + 1)..n {
-                acc -= self.lu[(i, j)] * out[j];
-            }
-            out[i] = acc / self.lu[(i, i)];
+            let row = self.lu.row(i);
+            let acc = dot_unrolled(&row[i + 1..], &out.as_slice()[i + 1..]);
+            out[i] = (out[i] - acc) / row[i];
         }
         Ok(())
     }
@@ -258,25 +250,21 @@ impl LuDecomposition {
                 right: out.shape(),
             });
         }
-        let cols = b.cols();
-        // Apply the permutation: out = P B.
+        // Apply the permutation: out = P B, row by row as bulk copies.
         for i in 0..n {
-            let src = self.perm[i];
-            for c in 0..cols {
-                out[(i, c)] = b[(src, c)];
-            }
+            out.row_mut(i).copy_from_slice(b.row(self.perm[i]));
         }
-        // Forward substitution with the unit lower factor, all columns at once.
+        // Forward substitution with the unit lower factor, all columns at
+        // once: every (i, j) update is a contiguous four-lane axpy of row j
+        // onto row i (bit-identical to the per-element loop).
         for i in 0..n {
             for j in 0..i {
                 let l = self.lu[(i, j)];
                 if l == 0.0 {
                     continue;
                 }
-                for c in 0..cols {
-                    let v = out[(j, c)];
-                    out[(i, c)] -= l * v;
-                }
+                let (src, dst) = out.row_pair_mut(j, i);
+                axpy_chunked(dst, -l, src);
             }
         }
         // Back substitution with the upper factor.
@@ -286,14 +274,12 @@ impl LuDecomposition {
                 if u == 0.0 {
                     continue;
                 }
-                for c in 0..cols {
-                    let v = out[(j, c)];
-                    out[(i, c)] -= u * v;
-                }
+                let (src, dst) = out.row_pair_mut(j, i);
+                axpy_chunked(dst, -u, src);
             }
             let pivot = self.lu[(i, i)];
-            for c in 0..cols {
-                out[(i, c)] /= pivot;
+            for v in out.row_mut(i) {
+                *v /= pivot;
             }
         }
         Ok(())

@@ -190,6 +190,43 @@ impl DMatrix {
         &mut self.data[r * self.cols..(r + 1) * self.cols]
     }
 
+    /// Borrows row `read` immutably and row `write` mutably at the same time,
+    /// so row-level kernels (LU elimination and the all-columns substitution
+    /// sweeps) can run as four-lane slice updates instead of per-element
+    /// double indexing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of bounds or the rows coincide.
+    pub fn row_pair_mut(&mut self, read: usize, write: usize) -> (&[f64], &mut [f64]) {
+        assert!(read < self.rows && write < self.rows, "row index out of bounds");
+        assert_ne!(read, write, "row pair must be distinct");
+        let cols = self.cols;
+        if read < write {
+            let (head, tail) = self.data.split_at_mut(write * cols);
+            (&head[read * cols..read * cols + cols], &mut tail[..cols])
+        } else {
+            let (head, tail) = self.data.split_at_mut(read * cols);
+            (&tail[..cols], &mut head[write * cols..write * cols + cols])
+        }
+    }
+
+    /// Swaps rows `a` and `b` as whole slices (the LU pivoting primitive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of bounds.
+    pub fn swap_rows(&mut self, a: usize, b: usize) {
+        assert!(a < self.rows && b < self.rows, "row index out of bounds");
+        if a == b {
+            return;
+        }
+        let cols = self.cols;
+        let (lo, hi) = (a.min(b), a.max(b));
+        let (head, tail) = self.data.split_at_mut(hi * cols);
+        head[lo * cols..lo * cols + cols].swap_with_slice(&mut tail[..cols]);
+    }
+
     /// Copies column `c` into a new vector.
     ///
     /// # Panics
@@ -298,15 +335,17 @@ impl DMatrix {
             });
         }
         out.data.iter_mut().for_each(|v| *v = 0.0);
+        // Row-major ikj order with the four-lane row kernel: each scalar of a
+        // row of `self` scales a contiguous row of `other` into a contiguous
+        // row of `out` (an `axpy`, which the autovectoriser packs), instead of
+        // strided per-element indexing.
         for r in 0..self.rows {
-            for k in 0..self.cols {
-                let a = self[(r, k)];
+            let out_row = &mut out.data[r * other.cols..(r + 1) * other.cols];
+            for (k, &a) in self.row(r).iter().enumerate() {
                 if a == 0.0 {
                     continue;
                 }
-                for c in 0..other.cols {
-                    out[(r, c)] += a * other[(k, c)];
-                }
+                axpy_chunked(out_row, a, other.row(k));
             }
         }
         Ok(())
@@ -481,6 +520,34 @@ impl DMatrix {
     /// Same failure modes as [`DMatrix::lu`].
     pub fn inverse(&self) -> Result<DMatrix, LinalgError> {
         self.lu()?.inverse()
+    }
+}
+
+/// In-place scaled accumulation `dst[i] += alpha * src[i]` over equal-length
+/// slices in fixed four-lane chunks — the store-side counterpart of
+/// [`dot_unrolled`]. The four independent update lanes match the pattern the
+/// autovectoriser turns into packed multiply-adds, and because the update is
+/// element-wise (no reduction) the result is bit-identical to the naive loop
+/// in any order. This is the row kernel behind the Adams–Bashforth state
+/// update, the matrix-product inner loop and the LU elimination/substitution
+/// sweeps.
+///
+/// # Panics
+///
+/// Panics if the slice lengths differ.
+#[inline]
+pub fn axpy_chunked(dst: &mut [f64], alpha: f64, src: &[f64]) {
+    assert_eq!(dst.len(), src.len(), "length mismatch in axpy");
+    let mut dst_chunks = dst.chunks_exact_mut(4);
+    let mut src_chunks = src.chunks_exact(4);
+    for (d, s) in (&mut dst_chunks).zip(&mut src_chunks) {
+        d[0] += alpha * s[0];
+        d[1] += alpha * s[1];
+        d[2] += alpha * s[2];
+        d[3] += alpha * s[3];
+    }
+    for (d, s) in dst_chunks.into_remainder().iter_mut().zip(src_chunks.remainder()) {
+        *d += alpha * s;
     }
 }
 
@@ -786,5 +853,54 @@ mod tests {
     fn out_of_bounds_index_panics() {
         let m = sample();
         let _ = m[(5, 0)];
+    }
+
+    #[test]
+    fn axpy_chunked_matches_naive_update_at_every_length() {
+        for len in 0..13 {
+            let src: Vec<f64> = (0..len).map(|i| i as f64 * 0.7 - 2.0).collect();
+            let mut dst: Vec<f64> = (0..len).map(|i| (i * i) as f64 * 0.1).collect();
+            let mut reference = dst.clone();
+            axpy_chunked(&mut dst, -1.3, &src);
+            for (r, s) in reference.iter_mut().zip(&src) {
+                *r += -1.3 * s;
+            }
+            assert_eq!(dst, reference, "length {len}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn axpy_chunked_panics_on_mismatch() {
+        axpy_chunked(&mut [0.0; 3], 1.0, &[0.0; 4]);
+    }
+
+    #[test]
+    fn row_pair_mut_and_swap_rows() {
+        let mut m = DMatrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]).unwrap();
+        {
+            let (read, write) = m.row_pair_mut(0, 2);
+            assert_eq!(read, &[1.0, 2.0]);
+            write[0] = 50.0;
+        }
+        {
+            // Read row below the written row works too.
+            let (read, write) = m.row_pair_mut(2, 1);
+            assert_eq!(read, &[50.0, 6.0]);
+            write[1] = 40.0;
+        }
+        assert_eq!(m.row(1), &[3.0, 40.0]);
+        m.swap_rows(0, 2);
+        assert_eq!(m.row(0), &[50.0, 6.0]);
+        assert_eq!(m.row(2), &[1.0, 2.0]);
+        m.swap_rows(1, 1); // no-op
+        assert_eq!(m.row(1), &[3.0, 40.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct")]
+    fn row_pair_mut_rejects_identical_rows() {
+        let mut m = DMatrix::identity(2);
+        let _ = m.row_pair_mut(1, 1);
     }
 }

@@ -105,7 +105,10 @@ impl DVector {
         self.data.iter_mut().for_each(|x| *x = value);
     }
 
-    /// Dot (inner) product with another vector.
+    /// Dot (inner) product with another vector, computed with the four-lane
+    /// [`crate::dot_unrolled`] reduction shared by the matrix–vector kernels
+    /// (same throughput, same — reordered but tolerance-irrelevant —
+    /// summation).
     ///
     /// # Errors
     ///
@@ -118,7 +121,7 @@ impl DVector {
                 right: (other.len(), 1),
             });
         }
-        Ok(self.data.iter().zip(&other.data).map(|(a, b)| a * b).sum())
+        Ok(crate::dot_unrolled(&self.data, &other.data))
     }
 
     /// Euclidean (L2) norm.
@@ -145,8 +148,10 @@ impl DVector {
         }
     }
 
-    /// `self += alpha * other` (the classic `axpy` update), used heavily by the
-    /// Adams–Bashforth march-in-time loop.
+    /// `self += alpha * other` (the classic `axpy` update), used heavily by
+    /// the Adams–Bashforth march-in-time loop; runs on the four-lane
+    /// [`crate::axpy_chunked`] kernel (element-wise, so bit-identical to the
+    /// naive loop).
     ///
     /// # Errors
     ///
@@ -159,9 +164,7 @@ impl DVector {
                 right: (other.len(), 1),
             });
         }
-        for (a, b) in self.data.iter_mut().zip(&other.data) {
-            *a += alpha * b;
-        }
+        crate::axpy_chunked(&mut self.data, alpha, &other.data);
         Ok(())
     }
 

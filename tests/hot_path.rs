@@ -73,6 +73,16 @@ fn harvester_steps_hit_the_cached_terminal_factorisation() {
     // The stability limit refreshes with relinearisations, orders of
     // magnitude less often than the step count.
     assert!(result.stats.stability_updates < result.stats.steps / 10);
+    // Every accepted step is booked under exactly one Adams–Bashforth order.
+    assert_eq!(result.stats.steps_by_order.iter().sum::<usize>(), result.stats.steps);
+    // The regularisation rail pole is real, so the governor rides the
+    // order-2 region (widest real-axis interval above order 1) through the
+    // steady state of the assembled harvester (DESIGN.md §6.2).
+    assert!(
+        result.stats.steps_by_order[1] > result.stats.steps / 2,
+        "steps_by_order {:?}",
+        result.stats.steps_by_order
+    );
 }
 
 /// The closed-loop scenario (digital controller switching load modes) still
