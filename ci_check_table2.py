@@ -1,0 +1,48 @@
+"""CI gate over the machine-readable Table II record (BENCH_table2.json).
+
+Three checks, in increasing strictness about what they tolerate:
+
+* cross-engine deviation <= 2e-4 V — deterministic (same arithmetic every
+  run on a given target), so any failure is a real accuracy regression;
+* |binding_pole_re| <= 3.5e4 1/s — deterministic; a failure means the stiff
+  interface pole (~ -4.1e4 1/s) is back in the explicit lane, i.e. the
+  partitioned IMEX march stopped doing its job (DESIGN.md S7);
+* min speed-up >= 6.0 — a wall-clock ratio, noisy on shared runners; the
+  workflow retries the whole reproduction a couple of times before treating
+  a miss as a regression. The recorded numbers sit near 6.3-6.9x/8-9.4x.
+"""
+
+import json
+import sys
+
+with open("BENCH_table2.json") as f:
+    record = json.load(f)
+
+for scenario in record["scenarios"]:
+    print(
+        f"{scenario['name']}: {scenario['speedup']}x "
+        f"(max deviation {scenario['max_deviation_v']} V, "
+        f"steps {scenario['steps']}, "
+        f"stiff_exact {scenario['stiff_exact_steps']}, "
+        f"threads {scenario['threads_used']}, "
+        f"binding pole {scenario['binding_pole_re']}"
+        f"{scenario['binding_pole_im']:+}i, "
+        f"steps_by_order {scenario['steps_by_order']})"
+    )
+    if scenario["max_deviation_v"] > 2e-4:
+        sys.exit(
+            f"{scenario['name']}: cross-engine deviation "
+            f"{scenario['max_deviation_v']} V exceeds 2e-4 V"
+        )
+    if abs(scenario["binding_pole_re"]) > 3.5e4:
+        sys.exit(
+            f"{scenario['name']}: step limit priced by "
+            f"{scenario['binding_pole_re']} 1/s — the stiff interface pole "
+            f"is back in the explicit lane"
+        )
+if record["min_speedup"] < 6.0:
+    sys.exit(
+        f"Table II speed-up below the gate: "
+        f"min speed-up {record['min_speedup']} < 6.0"
+    )
+print(f"gate passed: min speed-up {record['min_speedup']}x")

@@ -1,0 +1,46 @@
+//! Ablation A4 — partitioned IMEX march versus the classic explicit march.
+//!
+//! The partitioned stiff/non-stiff integrator (DESIGN.md §7) advances the
+//! harvester's artificial interface states (rail shunt, storage-interface
+//! stage, coil port mode) with the exact exponential update while the
+//! explicit Adams–Bashforth governor keeps the physical spectrum. This
+//! ablation measures the end-to-end wall-clock effect of the exact lane on
+//! the assembled harvester: `imex_on` is the default partitioned engine,
+//! `imex_off` the exact-off fallback whose march is bit-identical to the
+//! pre-partition (PR 3) engine — so the ratio of the two curves *is* the
+//! contribution of the tentpole, isolated from every other optimisation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use harvsim_blocks::HarvesterParameters;
+use harvsim_core::solver::{SolverOptions, StateSpaceSolver};
+use harvsim_core::TunableHarvester;
+
+fn harvester() -> TunableHarvester {
+    TunableHarvester::with_constant_excitation(HarvesterParameters::practical_device(), 70.0)
+        .expect("harvester builds")
+}
+
+fn bench_imex_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_imex");
+    group.sample_size(10);
+    let h = harvester();
+    let x0 = h.initial_state(2.5).expect("initial state");
+    // Long enough that the settled march dominates the start-up transient
+    // (the inrush after the 2.5 V precharge is conduction-heavy and steps
+    // similarly under both integrators).
+    let span = 1.5;
+
+    for (label, options) in [
+        ("imex_on", SolverOptions::default()),
+        ("imex_off", SolverOptions { imex: false, ..Default::default() }),
+    ] {
+        let solver = StateSpaceSolver::new(options).expect("solver");
+        group.bench_function(label, |b| {
+            b.iter(|| solver.solve(&h, 0.0, span, &x0).expect("march succeeds"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_imex_ablation);
+criterion_main!(benches);

@@ -6,20 +6,27 @@
 //! cargo run --release -p harvsim-bench --bin repro            # all experiments
 //! cargo run --release -p harvsim-bench --bin repro -- table2  # one experiment
 //! cargo run --release -p harvsim-bench --bin repro -- --long  # longer spans
+//! cargo run --release -p harvsim-bench --bin repro -- table2 --sweep
+//!                                # + a load × excitation sweep grid
 //! ```
 //!
 //! The Table II experiment additionally writes a machine-readable speed-up
 //! record to `BENCH_table2.json` in the working directory, which the CI
-//! perf-smoke job gates on and ROADMAP.md tracks across PRs.
+//! perf-smoke job gates on and ROADMAP.md tracks across PRs. With `--sweep`
+//! the record gains one row per point of a sleep-load × acceleration grid,
+//! fanned across worker threads by the batch runner.
 
 use harvsim_bench::{scenario1, scenario2, seconds, write_table2_json, Table2Record};
 use harvsim_core::measurement;
 use harvsim_core::scenario::ScenarioConfig;
-use harvsim_core::{BaselineOptions, CoreError, SimulationEngine, SpeedComparison};
+use harvsim_core::{
+    BaselineOptions, ComparisonReport, CoreError, SimulationEngine, SpeedComparison, SweepParameter,
+};
 
 fn main() -> Result<(), CoreError> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let long = args.iter().any(|arg| arg == "--long");
+    let sweep = args.iter().any(|arg| arg == "--sweep");
     let wanted = |name: &str| {
         args.iter().all(|arg| arg.starts_with("--")) || args.iter().any(|arg| arg == name)
     };
@@ -28,7 +35,7 @@ fn main() -> Result<(), CoreError> {
         table1(long)?;
     }
     if wanted("table2") {
-        table2(long)?;
+        table2(long, sweep)?;
     }
     if wanted("fig8a") {
         fig8a(long)?;
@@ -103,20 +110,23 @@ fn table1(long: bool) -> Result<(), CoreError> {
 }
 
 /// Table II: CPU times of the existing (Newton–Raphson) and proposed
-/// (Adams–Bashforth) techniques for the two tuning scenarios. The two
-/// scenario comparisons run concurrently on worker threads where the host has
-/// the cores for it ([`SpeedComparison::run_batch`]).
-fn table2(long: bool) -> Result<(), CoreError> {
+/// (Adams–Bashforth + exponential rail) techniques for the two tuning
+/// scenarios, plus — with `--sweep` — a sleep-load × acceleration grid. All
+/// comparisons run concurrently on worker threads where the host has the
+/// cores for it ([`SpeedComparison::run_batch`]).
+fn table2(long: bool, sweep: bool) -> Result<(), CoreError> {
     let (d1, d2) = if long { (20.0, 30.0) } else { (5.0, 8.0) };
     println!("== Table II: CPU times of existing and proposed simulation techniques ==\n");
     println!(
-        "{:<12} {:>18} {:>18} {:>10} {:>14} {:>26}",
+        "{:<26} {:>18} {:>15} {:>9} {:>12} {:>24} {:>22} {:>8}",
         "scenario",
         "Newton-Raphson [s]",
         "state-space [s]",
         "speed-up",
         "max dev [V]",
-        "steps by AB order 1-4"
+        "steps by AB order 1-4",
+        "binding pole [1/s]",
+        "threads"
     );
     let comparison = SpeedComparison::with_defaults();
     let labels = ["scenario1", "scenario2"];
@@ -124,29 +134,43 @@ fn table2(long: bool) -> Result<(), CoreError> {
     let reports = comparison.run_batch(&scenarios)?;
     let mut records = Vec::new();
     for ((label, scenario), report) in labels.iter().zip(&scenarios).zip(&reports) {
-        let engine = report.proposed.result.engine_stats.state_space;
-        println!(
-            "{:<12} {:>18} {:>18} {:>9.1}x {:>14.4} {:>26}",
-            label,
-            seconds(report.baseline_cpu),
-            seconds(report.proposed_cpu),
-            report.speedup(),
-            report.accuracy.max_deviation,
-            format!("{:?}", engine.steps_by_order),
-        );
-        records.push(Table2Record {
-            name: (*label).to_string(),
-            simulated_span_s: scenario.duration_s,
-            baseline_cpu_s: report.baseline_cpu.as_secs_f64(),
-            proposed_cpu_s: report.proposed_cpu.as_secs_f64(),
-            speedup: report.speedup(),
-            max_deviation_v: report.accuracy.max_deviation,
-            steps: engine.steps,
-            factorisations: engine.factorisations,
-            cached_solves: engine.cached_solves,
-            steps_by_order: engine.steps_by_order,
-        });
+        print_table2_row(label, report);
+        records.push(record_for(label, scenario, report));
     }
+
+    if sweep {
+        // Parameter-sweep grid: sleep-mode leakage × excitation amplitude on
+        // a trimmed Scenario 1, expanded through `ScenarioConfig::sweep` and
+        // fanned through the same scoped-thread batch runner as the headline
+        // scenarios. Each point is a full head-to-head comparison, recorded
+        // as its own row so speed-up robustness across the operating envelope
+        // is visible in one JSON document.
+        let base = scenario1(if long { 8.0 } else { 2.5 });
+        let loads = [1.0e9, 2.0e4];
+        let accelerations = [0.45, 0.6, 0.75];
+        let grid: Vec<ScenarioConfig> = base
+            .sweep(SweepParameter::SleepLoadOhms, &loads)
+            .iter()
+            .flat_map(|point| point.sweep(SweepParameter::AccelerationAmplitude, &accelerations))
+            .collect();
+        let (load_label, acc_label) =
+            (SweepParameter::SleepLoadOhms.label(), SweepParameter::AccelerationAmplitude.label());
+        let names: Vec<String> = loads
+            .iter()
+            .flat_map(|load| {
+                accelerations
+                    .iter()
+                    .map(move |acc| format!("sweep_{load_label}{load:.0e}_{acc_label}{acc}"))
+            })
+            .collect();
+        println!("\n-- sweep grid: sleep load x acceleration ({} points) --", grid.len());
+        let sweep_reports = comparison.run_batch(&grid)?;
+        for ((name, scenario), report) in names.iter().zip(&grid).zip(&sweep_reports) {
+            print_table2_row(name, report);
+            records.push(record_for(name, scenario, report));
+        }
+    }
+
     let json_path = std::path::Path::new("BENCH_table2.json");
     match write_table2_json(json_path, &records) {
         Ok(()) => println!("(speed-up record written to {})", json_path.display()),
@@ -154,6 +178,43 @@ fn table2(long: bool) -> Result<(), CoreError> {
     }
     println!("\n(paper: scenario 1 — 2185 s vs 20.3 s; scenario 2 — 7 h vs 228 s)\n");
     Ok(())
+}
+
+fn print_table2_row(label: &str, report: &ComparisonReport) {
+    let engine = report.proposed.result.engine_stats.state_space;
+    println!(
+        "{:<26} {:>18} {:>15} {:>8.1}x {:>12.4} {:>24} {:>10.0}{:+10.0}i {:>8}",
+        label,
+        seconds(report.baseline_cpu),
+        seconds(report.proposed_cpu),
+        report.speedup(),
+        report.accuracy.max_deviation,
+        format!("{:?}", engine.steps_by_order),
+        engine.binding_pole[0],
+        engine.binding_pole[1],
+        engine.threads_used,
+    );
+}
+
+fn record_for(name: &str, scenario: &ScenarioConfig, report: &ComparisonReport) -> Table2Record {
+    let engine = report.proposed.result.engine_stats.state_space;
+    Table2Record {
+        name: name.to_string(),
+        simulated_span_s: scenario.duration_s,
+        baseline_cpu_s: report.baseline_cpu.as_secs_f64(),
+        proposed_cpu_s: report.proposed_cpu.as_secs_f64(),
+        speedup: report.speedup(),
+        max_deviation_v: report.accuracy.max_deviation,
+        steps: engine.steps,
+        factorisations: engine.factorisations,
+        cached_solves: engine.cached_solves,
+        steps_by_order: engine.steps_by_order,
+        stiff_exact_steps: engine.stiff_exact_steps,
+        constant_stamps_skipped: engine.constant_stamps_skipped,
+        threads_used: engine.threads_used,
+        binding_pole_re: engine.binding_pole[0],
+        binding_pole_im: engine.binding_pole[1],
+    }
 }
 
 /// Fig. 8(a): generator output power during the 1 Hz tuning process.

@@ -52,8 +52,26 @@ pub struct Table2Record {
     /// Eq. 4 eliminations served by the cached factorisation.
     pub cached_solves: usize,
     /// Accepted steps per Adams–Bashforth order (index `k − 1` = order `k`),
-    /// the order/step governor's observable behaviour.
+    /// the order/step governor's observable behaviour. Books the non-stiff
+    /// lane only; `stiff_exact_steps` reports the exponential lane, so the
+    /// histogram still sums to `steps`.
     pub steps_by_order: [usize; 4],
+    /// Steps on which the stiff partition advanced via the exact exponential
+    /// update (equals `steps` when the partitioned IMEX march is active).
+    pub stiff_exact_steps: usize,
+    /// Per-block Jacobian stamps skipped under the constant-contract split.
+    pub constant_stamps_skipped: usize,
+    /// Worker threads the batch runner fanned the comparison across (`1` =
+    /// sequential fallback on a single-core host), so CI timings are
+    /// attributable.
+    pub threads_used: usize,
+    /// Real part of the eigenvalue that priced the step limit at the last
+    /// governor selection — the proof that the binding pole is physical
+    /// (70 Hz mechanics, conduction) and no longer the −4.1·10⁴ s⁻¹
+    /// rail-regularisation artifact excluded by the IMEX partition.
+    pub binding_pole_re: f64,
+    /// Imaginary part of the binding eigenvalue.
+    pub binding_pole_im: f64,
 }
 
 /// Serialises the Table II records to `path` as a small, dependency-free JSON
@@ -103,12 +121,17 @@ pub fn write_table2_json(path: &Path, records: &[Table2Record]) -> std::io::Resu
         writeln!(file, "      \"cached_solves\": {},", record.cached_solves)?;
         writeln!(
             file,
-            "      \"steps_by_order\": [{}, {}, {}, {}]",
+            "      \"steps_by_order\": [{}, {}, {}, {}],",
             record.steps_by_order[0],
             record.steps_by_order[1],
             record.steps_by_order[2],
             record.steps_by_order[3]
         )?;
+        writeln!(file, "      \"stiff_exact_steps\": {},", record.stiff_exact_steps)?;
+        writeln!(file, "      \"constant_stamps_skipped\": {},", record.constant_stamps_skipped)?;
+        writeln!(file, "      \"threads_used\": {},", record.threads_used)?;
+        writeln!(file, "      \"binding_pole_re\": {:.3},", json_number(record.binding_pole_re))?;
+        writeln!(file, "      \"binding_pole_im\": {:.3}", json_number(record.binding_pole_im))?;
         writeln!(file, "    }}{comma}")?;
     }
     writeln!(file, "  ],")?;
@@ -161,6 +184,11 @@ mod tests {
                 factorisations: 4,
                 cached_solves: 996,
                 steps_by_order: [2, 900, 58, 40],
+                stiff_exact_steps: 1000,
+                constant_stamps_skipped: 998,
+                threads_used: 2,
+                binding_pole_re: -439.8,
+                binding_pole_im: 62.1,
             },
             Table2Record {
                 name: "scenario2".to_string(),
@@ -173,6 +201,11 @@ mod tests {
                 factorisations: 6,
                 cached_solves: 1994,
                 steps_by_order: [4, 1800, 120, 76],
+                stiff_exact_steps: 2000,
+                constant_stamps_skipped: 1996,
+                threads_used: 1,
+                binding_pole_re: -512.4,
+                binding_pole_im: 0.0,
             },
         ];
         write_table2_json(&path, &records).unwrap();
@@ -186,6 +219,11 @@ mod tests {
         assert!(written.contains("\"factorisations\": 6"));
         assert!(written.contains("\"cached_solves\": 996"));
         assert!(written.contains("\"steps_by_order\": [2, 900, 58, 40]"));
+        assert!(written.contains("\"stiff_exact_steps\": 1000"));
+        assert!(written.contains("\"constant_stamps_skipped\": 998"));
+        assert!(written.contains("\"threads_used\": 2"));
+        assert!(written.contains("\"binding_pole_re\": -439.800"));
+        assert!(written.contains("\"binding_pole_im\": 62.100"));
         // Braces balance (cheap well-formedness check without a JSON parser).
         assert_eq!(written.matches('{').count(), written.matches('}').count());
     }

@@ -166,6 +166,44 @@ impl LocalLinearisation {
     }
 }
 
+/// How a block's Jacobian contribution evolves along a trajectory — the
+/// structure contract the assembler uses to split the global stamp into a
+/// cached constant part and a per-relinearisation delta.
+///
+/// The classification is about the Jacobian matrices `A`, `B`, `C`, `D` only;
+/// the affine terms `e`, `g` (excitations, companion sources) may vary freely
+/// in every class and are refreshed on every linearisation regardless.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum JacobianStructure {
+    /// The Jacobians are constant for the lifetime of one solver segment
+    /// (between the digital control actions that reconfigure the block —
+    /// retunes, load-mode switches). The assembler stamps them once at the
+    /// segment-opening full linearisation and afterwards skips both the
+    /// scatter and the Eq. 3 monitor on the block's rows, refreshing only the
+    /// affine terms through [`StateSpaceBlock::affine_into`].
+    Constant,
+    /// Piecewise-linear: the Jacobians jump when the operating point crosses
+    /// a PWL table segment boundary and are constant in between. The block is
+    /// restamped on every relinearisation (a crossing can happen on any
+    /// step), but its changes arrive as kinks — exactly the discontinuities
+    /// the solver's Eq. 3 monitor turns into history truncations.
+    Pwl,
+    /// Smoothly state-dependent Jacobians: restamped on every linearisation,
+    /// the conservative default.
+    Nonlinear,
+}
+
+impl JacobianStructure {
+    /// Human-readable name used in diagnostics.
+    pub fn name(&self) -> &'static str {
+        match self {
+            JacobianStructure::Constant => "constant",
+            JacobianStructure::Pwl => "piecewise-linear",
+            JacobianStructure::Nonlinear => "nonlinear",
+        }
+    }
+}
+
 /// An analogue component block described by local state equations and terminal
 /// variables, ready for composition into the complete harvester model.
 pub trait StateSpaceBlock {
@@ -210,6 +248,39 @@ pub trait StateSpaceBlock {
     /// which keeps every existing block implementation working unchanged.
     fn linearise_into(&self, t: f64, x: &DVector, y: &DVector, out: &mut LocalLinearisation) {
         *out = self.linearise(t, x, y);
+    }
+
+    /// How this block's Jacobian contribution evolves along a trajectory (see
+    /// [`JacobianStructure`]). The default is the conservative
+    /// [`JacobianStructure::Nonlinear`], which keeps every existing block
+    /// implementation correct unchanged; blocks whose Jacobians are constant
+    /// within a solver segment should override this so the assembler can skip
+    /// their scatter and Eq. 3 monitoring on the relinearisation hot path.
+    fn jacobian_structure(&self) -> JacobianStructure {
+        JacobianStructure::Nonlinear
+    }
+
+    /// Local indices of state variables this block declares *stiff*: modes
+    /// whose eigenvalue magnitude is a numerical artifact (regularisation
+    /// shunts, interface parasitics) rather than physics, and which the
+    /// partitioned solver should advance with the exact exponential update
+    /// instead of letting them price the explicit step limit. Queried once
+    /// per solver segment; the default declares none.
+    fn stiff_states(&self) -> Vec<usize> {
+        Vec::new()
+    }
+
+    /// Refreshes only the affine terms `e`/`g` of `out` at `(t, x, y)`,
+    /// leaving the Jacobian matrices untouched. The assembler calls this on
+    /// the relinearisation hot path for blocks whose
+    /// [`StateSpaceBlock::jacobian_structure`] is
+    /// [`JacobianStructure::Constant`], after a full
+    /// [`StateSpaceBlock::linearise_into`] has populated `out` earlier in the
+    /// same segment. The default performs a full restamp — correct for any
+    /// block (a `Constant` block rewrites identical Jacobian values), just
+    /// without the savings an override provides.
+    fn affine_into(&self, t: f64, x: &DVector, y: &DVector, out: &mut LocalLinearisation) {
+        self.linearise_into(t, x, y, out);
     }
 }
 
@@ -304,6 +375,51 @@ mod tests {
         let mut out = LocalLinearisation::zeros(2, 1, 1);
         Plain.linearise_into(0.0, &x, &y, &mut out);
         assert_eq!(out, Plain.linearise(0.0, &x, &y));
+    }
+
+    #[test]
+    fn structure_contract_defaults_are_conservative() {
+        /// A block relying on every contract default.
+        struct Plain;
+        impl StateSpaceBlock for Plain {
+            fn name(&self) -> &str {
+                "plain"
+            }
+            fn state_count(&self) -> usize {
+                2
+            }
+            fn terminal_count(&self) -> usize {
+                1
+            }
+            fn constraint_count(&self) -> usize {
+                1
+            }
+            fn state_names(&self) -> Vec<String> {
+                vec!["a".into(), "b".into()]
+            }
+            fn terminal_names(&self) -> Vec<String> {
+                vec!["t".into()]
+            }
+            fn initial_state(&self) -> DVector {
+                DVector::zeros(2)
+            }
+            fn linearise(&self, _t: f64, _x: &DVector, _y: &DVector) -> LocalLinearisation {
+                sample_linearisation()
+            }
+        }
+        // Defaults: restamp everything, declare nothing stiff.
+        assert_eq!(Plain.jacobian_structure(), JacobianStructure::Nonlinear);
+        assert!(Plain.stiff_states().is_empty());
+        // The default affine refresh is a full restamp, so it is always safe.
+        let x = DVector::zeros(2);
+        let y = DVector::zeros(1);
+        let mut out = LocalLinearisation::zeros(2, 1, 1);
+        Plain.affine_into(0.0, &x, &y, &mut out);
+        assert_eq!(out, Plain.linearise(0.0, &x, &y));
+        // Structure names for diagnostics.
+        assert_eq!(JacobianStructure::Constant.name(), "constant");
+        assert_eq!(JacobianStructure::Pwl.name(), "piecewise-linear");
+        assert_eq!(JacobianStructure::Nonlinear.name(), "nonlinear");
     }
 
     #[test]

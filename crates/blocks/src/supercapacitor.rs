@@ -25,7 +25,7 @@
 
 use harvsim_linalg::DVector;
 
-use crate::block::{BlockError, LocalLinearisation, StateSpaceBlock};
+use crate::block::{BlockError, JacobianStructure, LocalLinearisation, StateSpaceBlock};
 use crate::params::{HarvesterParameters, LoadMode};
 
 /// Index of the immediate-branch voltage state `V_i`.
@@ -182,6 +182,16 @@ impl StateSpaceBlock for Supercapacitor {
         let g_total = 1.0 / self.ri + 1.0 / self.rd + 1.0 / self.rl + 1.0 / req;
         out.d[(0, 0)] = -g_total;
         out.d[(0, 1)] = 1.0;
+    }
+
+    /// The Zubieta model's voltage-dependent immediate-branch capacitance
+    /// `C_i0 + C_i1·V_i` makes the branch time constant — and with it the
+    /// block's `A`/`B` entries — vary smoothly with the state, so the block
+    /// must be restamped at every linearisation (the conservative default,
+    /// stated explicitly here because this is the one hot block where the
+    /// classification is a genuine modelling fact, not an omission).
+    fn jacobian_structure(&self) -> JacobianStructure {
+        JacobianStructure::Nonlinear
     }
 }
 

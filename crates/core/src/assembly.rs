@@ -16,10 +16,24 @@
 use std::cell::RefCell;
 
 use harvsim_blocks::block::LocalLinearisation;
-use harvsim_blocks::StateSpaceBlock;
+use harvsim_blocks::{JacobianStructure, StateSpaceBlock};
 use harvsim_linalg::{dot_unrolled, DMatrix, DVector, LuDecomposition};
 
 use crate::CoreError;
+
+/// Outcome of one fused relinearisation pass: the Eq. 3 monitor value plus
+/// the work the per-block Jacobian-structure contract saved.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StampReport {
+    /// Largest relative Jacobian change against the previous linearisation
+    /// (the Eq. 3 local-linearisation-error monitor).
+    pub change: f64,
+    /// Number of blocks whose Jacobian scatter + monitor scan were skipped
+    /// this pass because their [`JacobianStructure::Constant`] contract
+    /// guarantees the stamped values could not have moved (only their affine
+    /// terms were refreshed).
+    pub constant_stamps_skipped: usize,
+}
 
 /// The global linearisation of the complete analogue model at one time point —
 /// the matrices of the paper's Eq. 2.
@@ -335,16 +349,19 @@ pub trait AnalogueSystem {
     /// Relinearises in place and reports the Eq. 3 local-linearisation-error
     /// monitor in one operation: on entry `out` must hold the linearisation of
     /// *this* system at the previous accepted point; on exit it holds the
-    /// linearisation at `(t, x, y)` and the returned value is the relative
-    /// Jacobian change between the two (the same maximum
-    /// [`GlobalLinearisation::jacobian_change`] computes).
+    /// linearisation at `(t, x, y)` and the returned report carries the
+    /// relative Jacobian change between the two (the same maximum
+    /// [`GlobalLinearisation::jacobian_change`] computes) plus the number of
+    /// constant-contract block stamps the pass skipped.
     ///
     /// This is the solver's steady-state entry point — fusing the change scan
     /// into the stamping pass lets hot implementations
     /// ([`Assembly::relinearise_global_into`]) avoid a second full pass over
-    /// the Jacobians and a second buffer. The default delegates to
-    /// [`AnalogueSystem::linearise_global`] and the dense monitor, which keeps
-    /// simple test systems working unchanged.
+    /// the Jacobians and a second buffer, and the per-block
+    /// [`harvsim_blocks::JacobianStructure`] contract lets them skip the
+    /// scatter + monitor for blocks whose Jacobians cannot have moved. The
+    /// default delegates to [`AnalogueSystem::linearise_global`] and the
+    /// dense monitor, which keeps simple test systems working unchanged.
     ///
     /// # Errors
     ///
@@ -356,11 +373,21 @@ pub trait AnalogueSystem {
         x: &DVector,
         y: &DVector,
         out: &mut GlobalLinearisation,
-    ) -> Result<f64, CoreError> {
+    ) -> Result<StampReport, CoreError> {
         let fresh = self.linearise_global(t, x, y)?;
         let change = fresh.jacobian_change(out)?;
         *out = fresh;
-        Ok(change)
+        Ok(StampReport { change, constant_stamps_skipped: 0 })
+    }
+
+    /// Global indices of the states this system declares *stiff* — the
+    /// partition the solver advances with the exact exponential update
+    /// instead of the explicit Adams–Bashforth march, so their (artificial)
+    /// fast poles stop pricing the stability step limit. Queried once per
+    /// solver segment; the default declares none, which keeps every simple
+    /// test system on the classic unpartitioned path.
+    fn stiff_states(&self) -> Vec<usize> {
+        Vec::new()
     }
 }
 
@@ -374,6 +401,10 @@ struct BlockSlot {
     constraint_count: usize,
     /// Local terminal index → global net index.
     terminal_nets: Vec<usize>,
+    /// The block's declared Jacobian-structure contract, recorded at
+    /// registration so the relinearisation pass can skip the scatter +
+    /// monitor for `Constant` contributions without re-asking the block.
+    structure: JacobianStructure,
 }
 
 /// Builder that wires blocks together net by net.
@@ -384,6 +415,9 @@ pub struct AssemblyBuilder {
     state_names: Vec<String>,
     state_count: usize,
     constraint_count: usize,
+    /// Global indices of the states the blocks declared stiff, in ascending
+    /// order (blocks are registered with increasing state offsets).
+    stiff_states: Vec<usize>,
 }
 
 impl AssemblyBuilder {
@@ -424,6 +458,19 @@ impl AssemblyBuilder {
             };
             terminal_nets.push(index);
         }
+        for local in block.stiff_states() {
+            if local >= block.state_count() {
+                return Err(CoreError::InvalidConfiguration(format!(
+                    "block {} declares stiff state {local} but has only {} states",
+                    block.name(),
+                    block.state_count()
+                )));
+            }
+            let global = self.state_count + local;
+            if !self.stiff_states.contains(&global) {
+                self.stiff_states.push(global);
+            }
+        }
         let slot = BlockSlot {
             name: block.name().to_string(),
             state_offset: self.state_count,
@@ -431,6 +478,7 @@ impl AssemblyBuilder {
             constraint_offset: self.constraint_count,
             constraint_count: block.constraint_count(),
             terminal_nets,
+            structure: block.jacobian_structure(),
         };
         for state_name in block.state_names() {
             self.state_names.push(format!("{}.{}", block.name(), state_name));
@@ -470,6 +518,8 @@ impl AssemblyBuilder {
                     slot.terminal_nets.len(),
                     slot.constraint_count,
                 ),
+                static_scale: 0.0,
+                stamped: false,
             })
             .collect();
         // Assignment-based stamping is valid only when no block wires two of
@@ -487,6 +537,7 @@ impl AssemblyBuilder {
             state_names: self.state_names,
             state_count: self.state_count,
             constraint_count: self.constraint_count,
+            stiff_states: self.stiff_states,
             scatter_by_copy,
             scratch: RefCell::new(scratch),
         })
@@ -501,6 +552,16 @@ struct BlockScratch {
     x: DVector,
     y: DVector,
     lin: LocalLinearisation,
+    /// Largest |entry| over the block's Jacobians at the last full stamp —
+    /// the skipped block's contribution to the Eq. 3 monitor's scale, so
+    /// skipping a `Constant` block leaves the monitor value bit-identical to
+    /// a full restamp (its diff contribution is exactly zero, its scale
+    /// contribution is this cached maximum).
+    static_scale: f64,
+    /// Whether a full stamp has populated `lin` (and, for `Constant` blocks,
+    /// `static_scale`) since construction — the precondition for the
+    /// affine-only fast path.
+    stamped: bool,
 }
 
 /// The immutable wiring plan of the assembled system.
@@ -511,6 +572,9 @@ pub struct Assembly {
     state_names: Vec<String>,
     state_count: usize,
     constraint_count: usize,
+    /// Global indices of the states the blocks declared stiff (ascending) —
+    /// the stiff side of the solver's partitioned state space.
+    stiff_states: Vec<usize>,
     /// Whether the scatter pass may use straight row copies/assignments
     /// instead of accumulating adds (true when every block's terminals map to
     /// distinct nets — writing onto the cleared matrices is then equivalent
@@ -557,6 +621,21 @@ impl Assembly {
     /// Index of the net with the given name.
     pub fn net_index(&self, name: &str) -> Option<usize> {
         self.net_names.iter().position(|n| n == name)
+    }
+
+    /// Global indices of the states the blocks declared stiff (ascending
+    /// order) — the stiff side of the partitioned state space, advanced by
+    /// the solver's exact exponential lane instead of the explicit march.
+    pub fn stiff_states(&self) -> &[usize] {
+        &self.stiff_states
+    }
+
+    /// Number of registered blocks whose Jacobian contribution is declared
+    /// [`JacobianStructure::Constant`] — the blocks the relinearisation pass
+    /// can skip entirely (scatter + Eq. 3 monitor) after the segment-opening
+    /// full stamp.
+    pub fn constant_block_count(&self) -> usize {
+        self.slots.iter().filter(|slot| slot.structure == JacobianStructure::Constant).count()
     }
 
     /// Offset of block `block_index`'s states within the global state vector.
@@ -680,6 +759,16 @@ impl Assembly {
                 "block {} returned inconsistent matrices",
                 slot.name
             );
+            if slot.structure == JacobianStructure::Constant {
+                // Record the block's Eq. 3 scale contribution once: the
+                // relinearisation pass folds this cached maximum in instead
+                // of rescanning Jacobians its contract pins constant.
+                let jac_max =
+                    |m: &DMatrix| m.as_slice().iter().fold(0.0_f64, |a, v| a.max(v.abs()));
+                buffers.static_scale =
+                    jac_max(&lin.a).max(jac_max(&lin.b)).max(jac_max(&lin.c)).max(jac_max(&lin.d));
+            }
+            buffers.stamped = true;
 
             if self.scatter_by_copy {
                 // Fast path: every destination entry is written by exactly one
@@ -737,16 +826,25 @@ impl Assembly {
         Ok(())
     }
 
-    /// Fused relinearisation: re-stamps `out` in place — which must hold a
-    /// linearisation previously produced by *this assembly* — and computes the
-    /// Eq. 3 relative Jacobian change against those previous contents during
-    /// the same pass. Every stamped destination is read once (the previous
-    /// value) and written once (the new value), so the steady-state solver
-    /// step needs neither a second linearisation buffer nor a separate
-    /// change-scan pass. Entries outside the stamp pattern are structurally
-    /// zero in both linearisations and contribute nothing to either maximum,
-    /// which makes the result identical to
+    /// Fused relinearisation: re-stamps `out` in place — which must hold the
+    /// linearisation this assembly produced at the previous accepted point —
+    /// and computes the Eq. 3 relative Jacobian change against those previous
+    /// contents during the same pass. Every stamped destination is read once
+    /// (the previous value) and written once (the new value), so the
+    /// steady-state solver step needs neither a second linearisation buffer
+    /// nor a separate change-scan pass. Entries outside the stamp pattern are
+    /// structurally zero in both linearisations and contribute nothing to
+    /// either maximum, which makes the result identical to
     /// [`GlobalLinearisation::jacobian_change`] on two full buffers.
+    ///
+    /// Blocks under the [`JacobianStructure::Constant`] contract are not
+    /// restamped at all: their Jacobian rows in `out` are already exact (the
+    /// segment-opening full stamp wrote them and the contract pins them),
+    /// their diff contribution to the monitor is identically zero, and their
+    /// scale contribution is folded in from the maximum cached at the full
+    /// stamp — so the returned monitor value is bit-identical to a full
+    /// restamp while the pass touches only their affine terms (via
+    /// [`StateSpaceBlock::affine_into`]). The report counts the skips.
     ///
     /// Falls back to a stamp-plus-dense-scan when the assembly wires one
     /// block terminal pair to a shared net (accumulating scatter), which no
@@ -762,12 +860,12 @@ impl Assembly {
         x: &DVector,
         y: &DVector,
         out: &mut GlobalLinearisation,
-    ) -> Result<f64, CoreError> {
+    ) -> Result<StampReport, CoreError> {
         if !self.scatter_by_copy {
             let fresh = self.linearise_global(blocks, t, x, y)?;
             let change = fresh.jacobian_change(out)?;
             *out = fresh;
-            return Ok(change);
+            return Ok(StampReport { change, constant_stamps_skipped: 0 });
         }
         self.check_blocks(blocks)?;
         if x.len() != self.state_count || y.len() != self.net_count() {
@@ -829,11 +927,28 @@ impl Assembly {
             }};
         }
 
+        let mut constant_stamps_skipped = 0_usize;
         for ((slot, block), buffers) in self.slots.iter().zip(blocks).zip(scratch.iter_mut()) {
             buffers.x.copy_from_segment(x, slot.state_offset);
             for (i, &net) in slot.terminal_nets.iter().enumerate() {
                 buffers.y[i] = y[net];
             }
+            let states = slot.state_offset..slot.state_offset + slot.state_count;
+
+            if slot.structure == JacobianStructure::Constant && buffers.stamped {
+                // Constant contract: the Jacobian rows already in `out` are
+                // the current values, so only the affine terms need a
+                // refresh. The monitor sees a zero diff and the cached scale.
+                block.affine_into(t, &buffers.x, &buffers.y, &mut buffers.lin);
+                out.ex.as_mut_slice()[states.clone()].copy_from_slice(buffers.lin.e.as_slice());
+                for row in 0..slot.constraint_count {
+                    out.gy[slot.constraint_offset + row] = buffers.lin.g[row];
+                }
+                scale_scattered = scale_scattered.max(buffers.static_scale);
+                constant_stamps_skipped += 1;
+                continue;
+            }
+
             block.linearise_into(t, &buffers.x, &buffers.y, &mut buffers.lin);
             let lin = &buffers.lin;
             debug_assert!(
@@ -842,7 +957,6 @@ impl Assembly {
                 slot.name
             );
 
-            let states = slot.state_offset..slot.state_offset + slot.state_count;
             for row in 0..slot.state_count {
                 let global_row = slot.state_offset + row;
                 stamp_row(&mut out.jxx.row_mut(global_row)[states.clone()], lin.a.row(row));
@@ -869,7 +983,7 @@ impl Assembly {
         let scale =
             scale[0].max(scale[1]).max(scale[2]).max(scale[3]).max(scale_scattered).max(1e-30);
         let diff = diff[0].max(diff[1]).max(diff[2]).max(diff[3]).max(diff_scattered);
-        Ok(diff / scale)
+        Ok(StampReport { change: diff / scale, constant_stamps_skipped })
     }
 }
 

@@ -77,12 +77,16 @@ impl SpeedComparison {
 
     /// Runs each scenario's head-to-head comparison on its own OS thread and
     /// returns the reports in input order — both Table II scenarios (and any
-    /// future sweep) measure concurrently. Within one worker the proposed
+    /// parameter sweep) measure concurrently. Within one worker the proposed
     /// engine and the baseline still run back to back, so each engine's
     /// wall-clock time is measured exactly as in [`SpeedComparison::run`];
     /// with fewer than two hardware threads (or a single scenario) the
     /// comparisons simply run sequentially, because oversubscribing one core
-    /// would distort the CPU-time ratios the speed-up records gate on.
+    /// would distort the CPU-time ratios the speed-up records gate on. The
+    /// fallback is recorded, not silent: each report's proposed-engine
+    /// [`crate::SolverStats::threads_used`] carries the worker count actually
+    /// used (`1` = sequential), so CI timings from single-core runners are
+    /// attributable.
     ///
     /// # Errors
     ///
@@ -92,9 +96,13 @@ impl SpeedComparison {
         &self,
         scenarios: &[ScenarioConfig],
     ) -> Result<Vec<ComparisonReport>, CoreError> {
-        crate::scenario::parallel_map(scenarios, |scenario| self.run(scenario))
-            .into_iter()
-            .collect()
+        let (results, threads_used) =
+            crate::scenario::parallel_map(scenarios, |scenario| self.run(scenario));
+        let mut reports: Vec<ComparisonReport> = results.into_iter().collect::<Result<_, _>>()?;
+        for report in &mut reports {
+            report.proposed.result.engine_stats.state_space.threads_used = threads_used;
+        }
+        Ok(reports)
     }
 
     /// Runs `scenario` with both engines and assembles the report.

@@ -18,7 +18,7 @@ use harvsim_blocks::{
 };
 use harvsim_linalg::DVector;
 
-use crate::assembly::{AnalogueSystem, Assembly, GlobalLinearisation};
+use crate::assembly::{AnalogueSystem, Assembly, GlobalLinearisation, StampReport};
 use crate::CoreError;
 
 /// Net name of the generator/multiplier voltage terminal `V_m`.
@@ -258,8 +258,12 @@ impl AnalogueSystem for TunableHarvester {
         x: &DVector,
         y: &DVector,
         out: &mut GlobalLinearisation,
-    ) -> Result<f64, CoreError> {
+    ) -> Result<StampReport, CoreError> {
         self.assembly.relinearise_global_into(&self.blocks(), t, x, y, out)
+    }
+
+    fn stiff_states(&self) -> Vec<usize> {
+        self.assembly.stiff_states().to_vec()
     }
 }
 
@@ -291,6 +295,13 @@ mod tests {
         assert_eq!(h.storage_current_net(), 3);
         assert!(h.parameters().validate().is_ok());
         assert_eq!(h.multiplier().stage_count(), 5);
+        // The partition contracts wired through the assembly: one
+        // constant-Jacobian block (the microgenerator) and three stiff
+        // interface states — coil current (global 2), output stage (7) and
+        // rail shunt (8) — in ascending order.
+        assert_eq!(h.assembly().constant_block_count(), 1);
+        assert_eq!(h.assembly().stiff_states(), &[2, 7, 8]);
+        assert_eq!(h.stiff_states(), vec![2, 7, 8]);
     }
 
     #[test]

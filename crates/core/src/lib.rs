@@ -69,7 +69,8 @@ pub mod scenario;
 pub mod solver;
 
 pub use assembly::{
-    AnalogueSystem, Assembly, AssemblyBuilder, GlobalLinearisation, TerminalFactorisation,
+    AnalogueSystem, Assembly, AssemblyBuilder, GlobalLinearisation, StampReport,
+    TerminalFactorisation,
 };
 pub use baseline::{BaselineOptions, NewtonRaphsonBaseline};
 pub use comparison::{ComparisonReport, SpeedComparison};
@@ -77,7 +78,7 @@ pub use error::CoreError;
 pub use harvester::TunableHarvester;
 pub use measurement::{PowerReport, WaveformComparison};
 pub use mixed::{MixedSignalResult, MixedSignalSimulation, SimulationEngine};
-pub use scenario::{run_batch, ScenarioConfig, ScenarioResult};
+pub use scenario::{run_batch, ScenarioConfig, ScenarioResult, SweepParameter};
 pub use solver::{SolveResult, SolverOptions, SolverStats, StateSpaceSolver};
 
 /// Convenient result alias used across the crate.

@@ -172,17 +172,21 @@ impl MixedSignalSimulation {
         // alternates many short analogue segments with digital events, and
         // rebuilding the solver buffers per segment would put the allocator
         // back on the hot path the workspaces exist to clear.
+        // The workspaces are boxed: they are long-lived (one per run), and
+        // keeping the enum variants slim avoids shuffling the solver's whole
+        // buffer block around when the runtime is constructed and matched.
         enum EngineRuntime {
-            StateSpace(StateSpaceSolver, SolverWorkspace),
-            NewtonRaphson(NewtonRaphsonBaseline, BaselineWorkspace),
+            StateSpace(StateSpaceSolver, Box<SolverWorkspace>),
+            NewtonRaphson(NewtonRaphsonBaseline, Box<BaselineWorkspace>),
         }
         let mut runtime = match &self.engine {
-            SimulationEngine::StateSpace(options) => {
-                EngineRuntime::StateSpace(StateSpaceSolver::new(*options)?, SolverWorkspace::new())
-            }
+            SimulationEngine::StateSpace(options) => EngineRuntime::StateSpace(
+                StateSpaceSolver::new(*options)?,
+                Box::new(SolverWorkspace::new()),
+            ),
             SimulationEngine::NewtonRaphson(options) => EngineRuntime::NewtonRaphson(
                 NewtonRaphsonBaseline::new(*options)?,
-                BaselineWorkspace::new(),
+                Box::new(BaselineWorkspace::new()),
             ),
         };
 

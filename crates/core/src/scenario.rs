@@ -171,6 +171,55 @@ impl ScenarioConfig {
     pub fn run_experimental_surrogate(&self) -> Result<ScenarioResult, CoreError> {
         self.experimental_surrogate().run()
     }
+
+    /// Expands this configuration into one clone per value of `param` — the
+    /// grid-building step of a parameter sweep. Chained calls build the cross
+    /// product (`base.sweep(p, a).iter().flat_map(|c| c.sweep(q, b))`), and
+    /// the expanded list fans through the scoped-thread [`run_batch`] (or
+    /// [`crate::SpeedComparison::run_batch`]) like any other batch.
+    pub fn sweep(&self, param: SweepParameter, values: &[f64]) -> Vec<ScenarioConfig> {
+        values
+            .iter()
+            .map(|&value| {
+                let mut point = self.clone();
+                match param {
+                    SweepParameter::SleepLoadOhms => point.parameters.load_sleep_ohms = value,
+                    SweepParameter::AccelerationAmplitude => {
+                        point.parameters.acceleration_amplitude = value;
+                    }
+                    SweepParameter::InitialSupercapVoltage => {
+                        point.initial_supercap_voltage = value;
+                    }
+                }
+                point
+            })
+            .collect()
+    }
+}
+
+/// Scenario parameter swept by [`ScenarioConfig::sweep`] — the load/excitation
+/// axes the roadmap's many-scenario studies move along.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SweepParameter {
+    /// Sleep-mode equivalent load resistance, in ohms (the leakage axis: 1 GΩ
+    /// nominal, 20 kΩ for the experimental surrogate).
+    SleepLoadOhms,
+    /// Ambient vibration acceleration amplitude, in m/s² (the excitation
+    /// axis).
+    AccelerationAmplitude,
+    /// Initial supercapacitor pre-charge, in volts (the stored-energy axis).
+    InitialSupercapVoltage,
+}
+
+impl SweepParameter {
+    /// Short label used in sweep row names (`load`, `acc`, `v0`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            SweepParameter::SleepLoadOhms => "load",
+            SweepParameter::AccelerationAmplitude => "acc",
+            SweepParameter::InitialSupercapVoltage => "v0",
+        }
+    }
 }
 
 /// Runs several scenario configurations concurrently on scoped worker
@@ -183,14 +232,30 @@ impl ScenarioConfig {
 /// On a single-hardware-thread host (or for a single configuration) the runs
 /// execute sequentially instead: oversubscribing one core would interleave
 /// the workers and corrupt the wall-clock CPU timings the Table II records
-/// are built from, without finishing any sooner.
+/// are built from, without finishing any sooner. That fallback is no longer
+/// silent: every successful run's [`crate::SolverStats::threads_used`] is
+/// stamped with the worker count actually used (`1` for the sequential
+/// fallback), so a single-core CI timing is attributable from the records
+/// alone.
 pub fn run_batch(configs: &[ScenarioConfig]) -> Vec<Result<ScenarioResult, CoreError>> {
-    parallel_map(configs, |config| config.run())
+    let (mut results, threads_used) = parallel_map(configs, |config| config.run());
+    for result in results.iter_mut().flatten() {
+        // Only the engine that actually ran gets the fan-out stamped —
+        // writing it into a zeroed stats block would misattribute the
+        // batch's worker count to an engine that did no work.
+        let stats = &mut result.result.engine_stats.state_space;
+        if stats.steps > 0 {
+            stats.threads_used = threads_used;
+        }
+    }
+    results
 }
 
 /// Shared batch plumbing for [`run_batch`] and
 /// [`crate::SpeedComparison::run_batch`]: applies `work` to every item,
-/// running at most `available_parallelism()` scoped worker threads at a time.
+/// running at most `available_parallelism()` scoped worker threads at a time,
+/// and reports how many workers actually ran concurrently (`1` = sequential
+/// fallback) so the callers can surface it instead of hiding it.
 /// The chunking matters for more than throughput — the per-engine CPU times
 /// in the comparison reports are `Instant`-based wall-clock measurements, so
 /// oversubscribing the cores (16 sweeps on a 2-core runner) would fold
@@ -200,10 +265,10 @@ pub fn run_batch(configs: &[ScenarioConfig]) -> Vec<Result<ScenarioResult, CoreE
 pub(crate) fn parallel_map<T: Sync, R: Send>(
     items: &[T],
     work: impl Fn(&T) -> Result<R, CoreError> + Sync,
-) -> Vec<Result<R, CoreError>> {
+) -> (Vec<Result<R, CoreError>>, usize) {
     let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
     if workers < 2 || items.len() < 2 {
-        return items.iter().map(work).collect();
+        return (items.iter().map(work).collect(), 1);
     }
     let mut results = Vec::with_capacity(items.len());
     for chunk in items.chunks(workers) {
@@ -221,7 +286,7 @@ pub(crate) fn parallel_map<T: Sync, R: Send>(
                 .collect::<Vec<_>>()
         }));
     }
-    results
+    (results, workers.min(items.len()))
 }
 
 /// The outcome of a scenario run: the configuration, the (possibly retuned)
@@ -321,6 +386,64 @@ mod tests {
         // Empty and singleton batches behave like plain iteration.
         assert!(run_batch(&[]).is_empty());
         assert_eq!(run_batch(&configs[..1]).len(), 1);
+    }
+
+    /// Sweep expansion produces one configuration per value with only the
+    /// swept parameter changed, and chained sweeps build the cross product.
+    #[test]
+    fn sweep_expands_the_parameter_grid() {
+        let base = ScenarioConfig::scenario1();
+        let loads = base.sweep(SweepParameter::SleepLoadOhms, &[1.0e9, 2.0e4]);
+        assert_eq!(loads.len(), 2);
+        assert_eq!(loads[0].parameters.load_sleep_ohms, 1.0e9);
+        assert_eq!(loads[1].parameters.load_sleep_ohms, 2.0e4);
+        assert_eq!(
+            loads[1].parameters.acceleration_amplitude,
+            base.parameters.acceleration_amplitude
+        );
+        assert_eq!(loads[1].duration_s, base.duration_s);
+
+        let grid: Vec<ScenarioConfig> = loads
+            .iter()
+            .flat_map(|point| point.sweep(SweepParameter::AccelerationAmplitude, &[0.4, 0.6, 0.8]))
+            .collect();
+        assert_eq!(grid.len(), 6);
+        assert_eq!(grid[5].parameters.load_sleep_ohms, 2.0e4);
+        assert_eq!(grid[5].parameters.acceleration_amplitude, 0.8);
+
+        let precharges = base.sweep(SweepParameter::InitialSupercapVoltage, &[2.0, 2.6]);
+        assert_eq!(precharges[0].initial_supercap_voltage, 2.0);
+        assert_eq!(precharges[1].initial_supercap_voltage, 2.6);
+        for point in &grid {
+            assert!(point.validate().is_ok());
+        }
+        assert_eq!(SweepParameter::SleepLoadOhms.label(), "load");
+        assert_eq!(SweepParameter::AccelerationAmplitude.label(), "acc");
+        assert_eq!(SweepParameter::InitialSupercapVoltage.label(), "v0");
+    }
+
+    /// The batch runner records how many worker threads actually ran, so a
+    /// sequential fallback (single-core host, singleton batch) is visible in
+    /// the statistics instead of silently matching the parallel path.
+    #[test]
+    fn batch_runs_record_the_worker_fanout() {
+        let mut config = ScenarioConfig::scenario1();
+        config.duration_s = 0.2;
+        config.frequency_step_time_s = 0.05;
+        let pair = [config.clone(), config.experimental_surrogate()];
+        let results = run_batch(&pair);
+        let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        let expected = if cores < 2 { 1 } else { 2 };
+        for result in results {
+            let run = result.expect("batch run succeeds");
+            assert_eq!(run.result.engine_stats.state_space.threads_used, expected);
+        }
+        // A singleton batch always reports the sequential fallback.
+        let single = run_batch(&pair[..1]);
+        assert_eq!(
+            single[0].as_ref().expect("runs").result.engine_stats.state_space.threads_used,
+            1
+        );
     }
 
     /// Errors surface per slot instead of poisoning the whole batch.

@@ -11,18 +11,25 @@
 //!    `Jyy` actually changes (for the assembled harvester: on load-mode
 //!    switches, not steps),
 //! 3. evaluates the state derivative `ẋ = Jxx·x + Jxy·y + e`,
-//! 4. advances the state with the variable-step Adams–Bashforth formula
-//!    (Eq. 5), rotating a fixed derivative ring, and
-//! 5. keeps the step inside the explicit-stability region of Eq. 7 through
+//! 4. advances the *non-stiff* partition with the variable-step
+//!    Adams–Bashforth formula (Eq. 5), rotating a fixed derivative ring, and
+//!    the *stiff* partition — the artificial interface states the blocks
+//!    declare through [`AnalogueSystem::stiff_states`] — with the exact
+//!    second-order exponential (ETD2) update of
+//!    [`harvsim_ode::exponential::StiffExponential`] (DESIGN.md §7), and
+//! 5. keeps the explicit step inside the stability region of Eq. 7 through
 //!    the exact per-eigenvalue region scan of
-//!    [`harvsim_ode::stability::order_step_limits`], which prices *every*
-//!    Adams–Bashforth order 1–4 from one spectral decomposition. By default
-//!    an order/step **governor** then picks, at each step, the (order, h)
-//!    pair maximising the stable step among the orders the derivative
-//!    history admits — order ≥ 3 on the lightly damped mechanical pole
-//!    (whose AB3/AB4 regions reach up the imaginary axis), order 2 when a
-//!    fast real rail pole binds, order 1 only right after a history
-//!    truncation.
+//!    [`harvsim_ode::stability::order_step_limits`], priced on the
+//!    *non-stiff* spectrum only (the stiff poles are integrated exactly and
+//!    must not constrain the march), which covers *every* Adams–Bashforth
+//!    order 1–4 from one spectral decomposition. By default an order/step
+//!    **governor** then picks, at each step, the (order, h) pair maximising
+//!    the stable step among the orders the derivative history admits, and —
+//!    because without the stiff poles the step is accuracy-limited rather
+//!    than stability-limited — an embedded lower-order truncation-error
+//!    controller walks the step up and down a geometric ladder, shrinking
+//!    through the diode conduction fronts and riding the cap through the
+//!    linear phases.
 //!
 //! The local linearisation error (Eq. 3) is monitored through the relative
 //! change of the Jacobian entries between consecutive points. The cached
@@ -46,7 +53,11 @@
 use std::time::{Duration, Instant};
 
 use harvsim_linalg::{DMatrix, DVector};
-use harvsim_ode::explicit::{adams_bashforth_coefficients_into, MAX_ADAMS_BASHFORTH_ORDER};
+use harvsim_ode::explicit::{
+    adams_bashforth_coefficients_into, adams_bashforth_uniform_coefficients,
+    MAX_ADAMS_BASHFORTH_ORDER,
+};
+use harvsim_ode::exponential::StiffExponential;
 use harvsim_ode::solution::Trajectory;
 use harvsim_ode::stability::{order_step_limits, OrderStepLimits};
 
@@ -83,6 +94,29 @@ pub struct SolverOptions {
     /// Minimum spacing between recorded trajectory samples, in seconds
     /// (`0.0` records every accepted step).
     pub record_interval: f64,
+    /// Partitioned IMEX marching: advance the states the system declares
+    /// *stiff* ([`AnalogueSystem::stiff_states`]) with the exact exponential
+    /// update (second-order ETD: `x_s ← x_s + h·ϕ₁(h·A_ss)·ẋ_s +
+    /// h²·ϕ₂(h·A_ss)·u̇`) while the non-stiff partition keeps the explicit
+    /// Adams–Bashforth governor, whose stability plan is then priced on the
+    /// *non-stiff* spectrum only — so an artificial interface pole (the
+    /// harvester's −4.1·10⁴ s⁻¹ storage/rail modes) no longer sets the step.
+    /// Once those poles are gone the step is *accuracy*-limited instead of
+    /// stability-limited, so the partitioned march also runs an embedded
+    /// lower-order truncation-error controller (see
+    /// [`SolverOptions::lte_relative_tolerance`]) that shrinks the step
+    /// through the diode conduction fronts and rides the cap through the
+    /// linear phases. Disable for the exact-off A/B ablation; with it off (or
+    /// for systems declaring no stiff states) the march — including the step
+    /// controller, which only arms on the partitioned path — is bit-identical
+    /// to the classic unpartitioned one.
+    pub imex: bool,
+    /// Relative weight of the embedded local-truncation-error estimate the
+    /// partitioned march's accuracy controller targets (per-state tolerance
+    /// `atol + rtol·|x|`). Only read when the partitioned path is active.
+    pub lte_relative_tolerance: f64,
+    /// Absolute floor of the per-state error tolerance, in state units.
+    pub lte_absolute_tolerance: f64,
 }
 
 impl Default for SolverOptions {
@@ -91,11 +125,14 @@ impl Default for SolverOptions {
             ab_order: 4,
             adaptive_order: true,
             initial_step: 5e-6,
-            max_step: 2e-4,
+            max_step: 4e-4,
             min_step: 1e-9,
             stability_safety: 0.8,
             relinearise_threshold: 0.05,
             record_interval: 1e-3,
+            imex: true,
+            lte_relative_tolerance: 8e-6,
+            lte_absolute_tolerance: 8e-13,
         }
     }
 }
@@ -133,6 +170,9 @@ impl SolverOptions {
                 "relinearise threshold must be positive and record interval non-negative".into(),
             ));
         }
+        if self.lte_relative_tolerance <= 0.0 || self.lte_absolute_tolerance <= 0.0 {
+            return Err(CoreError::InvalidConfiguration("LTE tolerances must be positive".into()));
+        }
         Ok(())
     }
 }
@@ -164,7 +204,35 @@ pub struct SolverStats {
     /// behaviour becomes observable: order ≥ 3 dominating means the exact
     /// AB3/AB4 regions are paying off, a spray of order-1 entries counts the
     /// history truncations after load-mode switches and PWL kinks.
+    ///
+    /// The histogram books the *non-stiff* (Adams–Bashforth) lane of every
+    /// step; the stiff exponential lane rides along on the same steps and is
+    /// reported separately in [`SolverStats::stiff_exact_steps`], so the
+    /// per-order entries still sum to the total step count instead of
+    /// double-booking partitioned steps.
     pub steps_by_order: [usize; MAX_ADAMS_BASHFORTH_ORDER],
+    /// Steps on which the stiff partition advanced through the exact
+    /// exponential update (the IMEX lane). Equal to [`SolverStats::steps`]
+    /// when the partitioned march is active, zero when `imex` is off or the
+    /// system declares no stiff states.
+    pub stiff_exact_steps: usize,
+    /// Per-block Jacobian stamps (scatter + Eq. 3 monitor scan) skipped under
+    /// the [`harvsim_blocks::JacobianStructure::Constant`] contract — the
+    /// observable payoff of the constant-part/delta stamp split.
+    pub constant_stamps_skipped: usize,
+    /// Worker threads the run was fanned across by a batch runner
+    /// ([`crate::run_batch`] / [`crate::SpeedComparison::run_batch`]); `0`
+    /// means the solver ran inline, `1` that a batch runner fell back to
+    /// sequential execution (single-core host or singleton batch) — recorded
+    /// so single-core CI timings are attributable instead of quietly honest.
+    pub threads_used: usize,
+    /// `(Re λ, Im λ)` of the eigenvalue that priced the step limit at the
+    /// most recent governor selection — `[0.0, 0.0]` when nothing constrained
+    /// the step below the cap. With the partitioned march active this is a
+    /// mode of the *non-stiff* spectrum by construction; the benchmark
+    /// records use it to show the binding pole is physical (70 Hz mechanics,
+    /// conduction) rather than the rail-regularisation artifact.
+    pub binding_pole: [f64; 2],
     /// Largest observed relative Jacobian change (local-linearisation-error
     /// indicator, Eq. 3).
     pub max_jacobian_change: f64,
@@ -183,6 +251,16 @@ impl SolverStats {
         self.stability_updates += other.stability_updates;
         for (mine, theirs) in self.steps_by_order.iter_mut().zip(&other.steps_by_order) {
             *mine += theirs;
+        }
+        self.stiff_exact_steps += other.stiff_exact_steps;
+        self.constant_stamps_skipped += other.constant_stamps_skipped;
+        // Batch-runner metadata, not per-segment work: the widest fan-out
+        // seen wins, and the most recent segment's binding pole stands for
+        // the merged run (a later segment describes the march's present
+        // bottleneck, which is what the benchmark records are after).
+        self.threads_used = self.threads_used.max(other.threads_used);
+        if other.steps > 0 {
+            self.binding_pole = other.binding_pole;
         }
         self.max_jacobian_change = self.max_jacobian_change.max(other.max_jacobian_change);
         self.cpu_time += other.cpu_time;
@@ -307,6 +385,29 @@ pub struct SolverWorkspace {
     yy_inv_yx: DMatrix,
     /// `Jxy·Jyy⁻¹·Jyx` intermediate of the total-step matrix.
     correction: DMatrix,
+    /// Global indices of the stiff partition (empty on the unpartitioned
+    /// path), as reported by [`AnalogueSystem::stiff_states`] at segment
+    /// start.
+    stiff: Vec<usize>,
+    /// Global indices of the non-stiff partition (complement of `stiff`).
+    nonstiff: Vec<usize>,
+    /// Stiff sub-matrix `A_ss` gathered from `a_total` at each refresh.
+    a_ss: DMatrix,
+    /// Non-stiff sub-matrix `A_ff` gathered from `a_total` at each refresh —
+    /// the matrix the stability plan prices, so the stiff spectrum never
+    /// constrains the explicit step.
+    a_ff: DMatrix,
+    /// Cached exact-update kernel `h·ϕ₁(h·A_ss)` / `h²·ϕ₂(h·A_ss)` for the
+    /// stiff partition.
+    exponential: StiffExponential,
+    /// Stiff state values at the step start (exact-update scratch).
+    x_stiff: Vec<f64>,
+    /// Stiff rows of the state derivative at the step start.
+    dx_stiff: Vec<f64>,
+    /// Geometric step ladder of the partitioned march,
+    /// `ladder[k] = max_step · RUNG^k`, down to `min_step` — precomputed so
+    /// the hot loop moves between rungs by integer index.
+    ladder: Vec<f64>,
 }
 
 impl SolverWorkspace {
@@ -315,12 +416,32 @@ impl SolverWorkspace {
         Self::default()
     }
 
-    /// Sizes every buffer for a system with `n` states, `m` nets and the given
-    /// Adams–Bashforth order, reusing existing storage when the dimensions
-    /// already match. Start-of-segment state (previous linearisation, history)
-    /// is always reset; the cached `Jyy` factorisation is kept, because its
-    /// validity is keyed on the matrix contents, not on the segment.
-    fn prepare(&mut self, n: usize, m: usize, order: usize) {
+    /// Sizes every buffer for a system with `n` states, `m` nets, the given
+    /// Adams–Bashforth order and stiff partition, reusing existing storage
+    /// when the dimensions already match. Start-of-segment state (previous
+    /// linearisation, history) is always reset; the cached `Jyy`
+    /// factorisation and the cached ϕ propagators are kept, because their
+    /// validity is keyed on matrix contents, not on the segment.
+    fn prepare(
+        &mut self,
+        n: usize,
+        m: usize,
+        order: usize,
+        stiff: &[usize],
+        options: &SolverOptions,
+    ) {
+        if !stiff.is_empty()
+            && (self.ladder.first() != Some(&options.max_step)
+                || self.ladder.last().is_none_or(|&low| low > options.min_step))
+        {
+            self.ladder.clear();
+            let mut value = options.max_step;
+            while value > options.min_step {
+                self.ladder.push(value);
+                value *= STEP_LADDER_RUNG;
+            }
+            self.ladder.push(value.max(options.min_step));
+        }
         if self.lin.dimensions() != (n, m, m) {
             self.lin = GlobalLinearisation::zeros(n, m, m);
             self.rhs = DVector::zeros(m);
@@ -330,11 +451,62 @@ impl SolverWorkspace {
             self.yy_inv_yx = DMatrix::zeros(m, n);
             self.correction = DMatrix::zeros(n, n);
         }
+        if self.stiff != stiff || self.nonstiff.len() + self.stiff.len() != n {
+            self.stiff = stiff.to_vec();
+            self.nonstiff = (0..n).filter(|i| !stiff.contains(i)).collect();
+            let ns = self.stiff.len();
+            self.a_ss = DMatrix::zeros(ns, ns);
+            self.a_ff = DMatrix::zeros(n - ns, n - ns);
+            self.exponential = StiffExponential::new();
+            self.x_stiff = vec![0.0; ns];
+            self.dx_stiff = vec![0.0; ns];
+        }
         self.have_prev = false;
         self.y.fill(0.0);
         self.history.prepare(order, n);
+        // The stiff lane's coupling-slope history must not bridge segments
+        // any more than the AB ring may (a digital control action between
+        // segments is a model kink); the ϕ-propagator cache itself survives,
+        // keyed on matrix contents like the terminal factorisation.
+        self.exponential.reset_history();
+    }
+
+    /// Gathers the stiff (`A_ss`) and non-stiff (`A_ff`) sub-matrices of the
+    /// freshly recomputed total-step matrix — the partition split performed
+    /// once per relinearisation-refresh event, never per step.
+    fn gather_partitions(&mut self) {
+        for (i, &si) in self.stiff.iter().enumerate() {
+            for (j, &sj) in self.stiff.iter().enumerate() {
+                self.a_ss[(i, j)] = self.a_total[(si, sj)];
+            }
+        }
+        for (i, &fi) in self.nonstiff.iter().enumerate() {
+            for (j, &fj) in self.nonstiff.iter().enumerate() {
+                self.a_ff[(i, j)] = self.a_total[(fi, fj)];
+            }
+        }
     }
 }
+
+/// Rung ratio of the geometric step ladder the partitioned march walks
+/// (`max_step · RUNG^k`). Quantising the accuracy-controlled step to a ladder
+/// is what lets the stiff lane's ϕ-propagator cache hit: a continuously
+/// varying `h` would force a small matrix exponential on every step, which
+/// measurably dominates the per-step cost, while rung transitions are rare
+/// (a few per conduction front). The march tracks its rung as an *integer*,
+/// so the hot loop never touches a logarithm.
+const STEP_LADDER_RUNG: f64 = 0.75;
+
+/// Error amplification one rung of growth costs the order-`k` formula,
+/// `(1/RUNG)^k` (index = order): the accuracy controller divides its estimate
+/// by this instead of evaluating `powf` on the hot path.
+const LADDER_GAIN: [f64; MAX_ADAMS_BASHFORTH_ORDER + 1] = [
+    1.0,
+    1.0 / STEP_LADDER_RUNG,
+    1.0 / (STEP_LADDER_RUNG * STEP_LADDER_RUNG),
+    1.0 / (STEP_LADDER_RUNG * STEP_LADDER_RUNG * STEP_LADDER_RUNG),
+    1.0 / (STEP_LADDER_RUNG * STEP_LADDER_RUNG * STEP_LADDER_RUNG * STEP_LADDER_RUNG),
+];
 
 /// The linearised state-space march-in-time solver.
 #[derive(Debug, Clone)]
@@ -440,11 +612,47 @@ impl StateSpaceSolver {
 
         let n = system.state_count();
         let m = system.net_count();
-        workspace.prepare(n, m, self.options.ab_order);
+        // The stiff/non-stiff partition is fixed per segment: with `imex` on,
+        // the states the system declares stiff leave the explicit march for
+        // the exact exponential lane; with it off (or nothing declared) the
+        // partition is empty and the loop below is bit-identical to the
+        // classic unpartitioned path.
+        let stiff = if self.options.imex { system.stiff_states() } else { Vec::new() };
+        for &index in &stiff {
+            if index >= n {
+                return Err(CoreError::InvalidConfiguration(format!(
+                    "stiff state index {index} out of range for a {n}-state system"
+                )));
+            }
+        }
+        workspace.prepare(n, m, self.options.ab_order, &stiff, &self.options);
+        let partitioned = !workspace.stiff.is_empty();
 
         let mut t = t0;
         let mut x = x0.clone();
         let mut h = self.options.initial_step;
+        // Partitioned-march step ladder position: start at the rung at or
+        // below `initial_step` (one scan per segment, integer moves per step).
+        // Segments deliberately do NOT resume the previous segment's rung:
+        // digital events at the boundary are where the model kinks (load
+        // switches, retunes), and the segment-opening full stamp cannot see a
+        // cross-boundary discontinuity — re-climbing from `initial_step`
+        // through the boundary transient costs ~1 % of the steps and is what
+        // keeps the cross-engine deviation at the 1e-4 level.
+        let mut rung = if partitioned {
+            workspace
+                .ladder
+                .iter()
+                .position(|&value| value <= self.options.initial_step)
+                .unwrap_or(workspace.ladder.len() - 1)
+        } else {
+            0
+        };
+        // Growth permit of the accuracy controller: cleared while the error
+        // estimate says one rung of growth would overshoot the tolerance
+        // (hysteresis — without it the march oscillates between two rungs,
+        // thrashing the ϕ-propagator cache).
+        let mut grow_rung = true;
         let mut last_recorded = f64::NEG_INFINITY;
         let mut plan: Option<OrderStepLimits> = None;
         let mut accumulated_change = 0.0_f64;
@@ -465,8 +673,10 @@ impl StateSpaceSolver {
                 system.linearise_global_into(t, &x, &workspace.y, &mut workspace.lin)?;
                 (true, false)
             } else {
-                let change =
+                let report =
                     system.relinearise_global_into(t, &x, &workspace.y, &mut workspace.lin)?;
+                stats.constant_stamps_skipped += report.constant_stamps_skipped;
+                let change = report.change;
                 stats.max_jacobian_change = stats.max_jacobian_change.max(change);
                 accumulated_change += change;
                 let discontinuity = change > self.options.relinearise_threshold;
@@ -481,8 +691,11 @@ impl StateSpaceSolver {
                 // pre-switch model (load-mode or PWL-segment change): drop
                 // them so no multi-step update bridges the kink. The
                 // governor falls back to order 1 and regrows within three
-                // steps.
+                // steps; the stiff lane's coupling-slope estimate is dropped
+                // for the same reason (one step of exponential Euler, then
+                // ETD2 regrows).
                 workspace.history.reset();
+                workspace.exponential.reset_history();
             }
             // Bring the cached Jyy factorisation up to date. Outside a refresh
             // Jyy has not moved past the Eq. 3 monitor, and for the assembled
@@ -494,13 +707,13 @@ impl StateSpaceSolver {
             } else {
                 stats.cached_solves += 1;
             }
-            let lu = workspace.terminal.lu().expect("refresh succeeded");
             if refresh {
                 // One shared factorisation serves both the Eq. 7 stability
                 // refresh and the Eq. 4 terminal eliminations, and one
                 // spectral decomposition of the total-step matrix prices all
                 // four Adams–Bashforth orders (the governor's plan costs no
                 // extra matrix traversal over the former single-order check).
+                let lu = workspace.terminal.lu().expect("refresh succeeded");
                 workspace.lin.total_step_matrix_with(
                     lu,
                     &mut workspace.yy_inv_yx,
@@ -508,8 +721,21 @@ impl StateSpaceSolver {
                     &mut workspace.a_total,
                 )?;
                 stats.stability_updates += 1;
+                // Partitioned: the plan prices only the non-stiff spectrum
+                // (`A_ff`), because the stiff partition advances exactly and
+                // must not constrain the explicit step — this is the whole
+                // lever of the IMEX march. The stiff sub-matrix goes to the
+                // exponential kernel, whose ϕ cache survives refreshes that
+                // leave `A_ss` bit-identical.
+                let priced = if partitioned {
+                    workspace.gather_partitions();
+                    workspace.exponential.set_matrix(&workspace.a_ss);
+                    &workspace.a_ff
+                } else {
+                    &workspace.a_total
+                };
                 plan = Some(order_step_limits(
-                    &workspace.a_total,
+                    priced,
                     self.options.stability_safety,
                     self.options.max_step,
                     self.options.ab_order,
@@ -519,6 +745,7 @@ impl StateSpaceSolver {
             let plan_ref = plan.as_ref().expect("stability plan computed on the first step");
 
             // 3. Eliminate the terminal variables (Eq. 4) with the cached LU.
+            let lu = workspace.terminal.lu().expect("refresh succeeded");
             let (lin, y, rhs) = (&workspace.lin, &mut workspace.y, &mut workspace.rhs);
             lin.solve_terminals_with(lu, &x, rhs, y)?;
 
@@ -553,27 +780,144 @@ impl StateSpaceSolver {
                     step: stability_limit,
                 }));
             }
-            h = (h * 1.5)
-                .min(stability_limit)
-                .min(self.options.max_step)
-                .max(self.options.min_step);
+            h = if partitioned {
+                // Ladder-quantised march (one rung ≈ ×1.33 growth, permitted
+                // by the accuracy controller's hysteresis): every value the
+                // march can settle on repeats exactly, so the ϕ-propagator
+                // cache and the AB coefficient pattern stay warm and the hot
+                // loop never computes a logarithm.
+                if grow_rung && rung > 0 {
+                    rung -= 1;
+                }
+                workspace.ladder[rung].min(stability_limit).max(self.options.min_step)
+            } else {
+                (h * 1.5).min(stability_limit).min(self.options.max_step).max(self.options.min_step)
+            };
             let step = h.min(t_end - t);
+            stats.binding_pole = match plan_ref.binding_mode(order) {
+                Some((re, im)) => [re, im],
+                None => [0.0, 0.0],
+            };
 
             // 6. Advance with the variable-step Adams–Bashforth formula (Eq. 5)
             //    at the selected order, rotating the fixed derivative ring
-            //    instead of re-allocating.
+            //    instead of re-allocating. On the partitioned march the
+            //    whole-vector update below also touches the stiff entries;
+            //    their step-start values and derivatives are saved first and
+            //    the entries are then rewritten by the exact exponential
+            //    update, so the stiff partition never sees an explicit
+            //    multi-step formula (and the four-lane axpy kernel stays
+            //    branch-free).
             workspace.history.push(t, &workspace.dx);
             let order = order.min(workspace.history.filled);
-            adams_bashforth_coefficients_into(
-                &workspace.history.times()[..order],
-                step,
-                &mut workspace.coefficients,
-            )?;
+            // On the partitioned march's settled ladder rungs the history is
+            // equispaced at `step` (to rounding), where the variable-step
+            // quadrature reduces to the textbook constants — read them
+            // directly and skip two quadrature evaluations per step. The
+            // unpartitioned path always takes the quadrature so its
+            // arithmetic stays bit-identical to the classic march.
+            let uniform = partitioned
+                && workspace.history.times()[..order]
+                    .windows(2)
+                    .all(|w| ((w[0] - w[1]) - step).abs() <= 1e-12 * step);
+            if uniform {
+                for (slot, b) in workspace.coefficients[..order]
+                    .iter_mut()
+                    .zip(adams_bashforth_uniform_coefficients(order))
+                {
+                    *slot = step * b;
+                }
+            } else {
+                adams_bashforth_coefficients_into(
+                    &workspace.history.times()[..order],
+                    step,
+                    &mut workspace.coefficients,
+                )?;
+            }
+            if partitioned {
+                for (k, &s) in workspace.stiff.iter().enumerate() {
+                    workspace.x_stiff[k] = x[s];
+                    workspace.dx_stiff[k] = workspace.dx[s];
+                }
+            }
             for (coefficient, derivative) in workspace.coefficients[..order]
                 .iter()
                 .zip(&workspace.history.derivatives()[..order])
             {
                 x.axpy(*coefficient, derivative)?;
+            }
+            if partitioned {
+                // Exact stiff advance: second-order ETD — exact for the
+                // linear stiff modes, unconditionally stable, so the
+                // interface poles never constrain `step`.
+                workspace
+                    .exponential
+                    .advance(step, &mut workspace.x_stiff, &workspace.dx_stiff)
+                    .map_err(CoreError::Ode)?;
+                for (k, &s) in workspace.stiff.iter().enumerate() {
+                    x[s] = workspace.x_stiff[k];
+                }
+                stats.stiff_exact_steps += 1;
+
+                // Accuracy controller of the partitioned march. With the
+                // stiff poles priced out, stability stops limiting the step,
+                // so accuracy must: the difference between the order-`k` and
+                // order-`k−1` Adams–Bashforth updates (free — both read the
+                // same derivative ring) estimates the lower order's local
+                // truncation error, and an integer rung controller turns it
+                // into ladder moves. Through the diode conduction fronts the
+                // derivatives bend sharply, the estimate spikes and the step
+                // shrinks to tens of µs; across the linear sleep phases it
+                // rides `max_step`. The unpartitioned path must not run this
+                // (bit-identical PR 3 reproduction), and there stability
+                // binds far below the accuracy limit anyway.
+                if order >= 2 {
+                    let mut low = [0.0_f64; MAX_ADAMS_BASHFORTH_ORDER];
+                    if uniform {
+                        for (slot, b) in low[..order - 1]
+                            .iter_mut()
+                            .zip(adams_bashforth_uniform_coefficients(order - 1))
+                        {
+                            *slot = step * b;
+                        }
+                    } else {
+                        adams_bashforth_coefficients_into(
+                            &workspace.history.times()[..order - 1],
+                            step,
+                            &mut low,
+                        )?;
+                    }
+                    let derivatives = workspace.history.derivatives();
+                    let mut err_norm = 0.0_f64;
+                    for &r in &workspace.nonstiff {
+                        let mut estimate = 0.0;
+                        for i in 0..order {
+                            let low_i = if i < order - 1 { low[i] } else { 0.0 };
+                            estimate += (workspace.coefficients[i] - low_i) * derivatives[i][r];
+                        }
+                        let tolerance = self.options.lte_absolute_tolerance
+                            + self.options.lte_relative_tolerance * x[r].abs();
+                        err_norm = err_norm.max(estimate.abs() / tolerance);
+                    }
+                    // Integer rung control: shrink by the fewest rungs that
+                    // project the estimate back under the 0.9 target (each
+                    // rung divides the order-k error by (1/RUNG)^k), and
+                    // permit growth only when one rung of it would still
+                    // leave the projection under target — transcendental-free
+                    // and hysteretic, so the settled march neither wiggles
+                    // the step nor recomputes a propagator.
+                    let per_rung = LADDER_GAIN[order];
+                    let mut projected = err_norm;
+                    let mut shrink = 0usize;
+                    while projected > 0.9 && shrink < 6 {
+                        projected /= per_rung;
+                        shrink += 1;
+                    }
+                    if shrink > 0 {
+                        rung = (rung + shrink).min(workspace.ladder.len() - 1);
+                    }
+                    grow_rung = projected * per_rung <= 0.9;
+                }
             }
             t += step;
             stats.steps += 1;
@@ -753,6 +1097,10 @@ mod tests {
             cached_solves: 2,
             stability_updates: 1,
             steps_by_order: [1, 1, 1, 2],
+            stiff_exact_steps: 5,
+            constant_stamps_skipped: 4,
+            threads_used: 2,
+            binding_pole: [-440.0, 62.0],
             max_jacobian_change: 0.2,
             cpu_time: Duration::from_millis(2),
         };
@@ -762,8 +1110,19 @@ mod tests {
         assert_eq!(a.factorisations, 3);
         assert_eq!(a.cached_solves, 2);
         assert_eq!(a.steps_by_order, [11, 1, 1, 2]);
+        assert_eq!(a.stiff_exact_steps, 5);
+        assert_eq!(a.constant_stamps_skipped, 4);
+        assert_eq!(a.threads_used, 2, "the widest batch fan-out wins");
+        assert_eq!(a.binding_pole, [-440.0, 62.0], "the most recent segment's pole stands");
         assert_eq!(a.max_jacobian_change, 0.2);
         assert_eq!(a.cpu_time, Duration::from_millis(2));
+        // A zero-step segment must not clobber the binding pole or fan-out.
+        a.absorb(&SolverStats::default());
+        assert_eq!(a.binding_pole, [-440.0, 62.0]);
+        assert_eq!(a.threads_used, 2);
+        // The stiff-exact lane stays separately accounted: the per-order
+        // histogram still sums to the total step count.
+        assert_eq!(a.steps_by_order.iter().sum::<usize>(), a.steps);
     }
 
     /// Acceptance check for the zero-allocation hot path: on a system whose

@@ -1,0 +1,315 @@
+//! Small dense matrix exponential and the ϕ₁ function of exponential
+//! integrators.
+//!
+//! The partitioned stiff/non-stiff march advances its stiff partition — one or
+//! two artificial fast states such as the multiplier's rail-regularisation
+//! mode — with the *exact* solution of the frozen-coupling linear system
+//!
+//! ```text
+//! ẋ_s = A_ss·x_s + u,   u constant over one step
+//! x_s(t + h) = x_s(t) + h·ϕ₁(h·A_ss)·ẋ_s(t),   ϕ₁(Z) = Z⁻¹·(e^Z − I)
+//! ```
+//!
+//! so the only primitives needed are `e^A` and `ϕ₁(A)` for matrices of
+//! dimension one or two (the implementations below are exact for any small
+//! dense matrix — the scaling bound, not the dimension, is hard-coded).
+//!
+//! `e^A` uses classic scaling-and-squaring around a Taylor kernel: `A/2^s` is
+//! brought under an ∞-norm of 1/2, where an 18-term Taylor series is accurate
+//! to well below `f64` round-off (the 19th term of `e^{1/2}` is ≈ 8·10⁻²⁵),
+//! and the result is squared `s` times. `ϕ₁(A)` avoids the singular-`A`
+//! special case entirely through the augmented-matrix identity
+//!
+//! ```text
+//! exp( [A  I] )  =  [e^A  ϕ₁(A)]
+//!      [0  0]       [0      I  ]
+//! ```
+//!
+//! which stays well-defined when `A` is singular (ϕ₁(0) = I).
+
+use crate::{DMatrix, LinalgError};
+
+/// Number of Taylor terms in the scaled kernel; with `‖B‖_∞ ≤ 1/2` the first
+/// omitted term is bounded by `0.5¹⁹/19! ≈ 1.6·10⁻²³`.
+const TAYLOR_TERMS: usize = 18;
+
+/// ∞-norm threshold below which the Taylor kernel is applied directly.
+const SCALING_TARGET: f64 = 0.5;
+
+/// The matrix exponential `e^A` by scaling-and-squaring with a Taylor kernel.
+///
+/// Exact to round-off for the small (≤ 4×4 after ϕ₁ augmentation) matrices the
+/// exponential rail integrator produces; valid for any square matrix, with
+/// cost `O(n³·(18 + s))` for `s = ⌈log₂(‖A‖_∞ / ½)⌉` squarings.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::NotSquare`] for a non-square input and
+/// [`LinalgError::InvalidArgument`] when the input contains NaN/∞ entries (a
+/// non-finite stiff sub-matrix means the linearisation upstream already
+/// failed, and squaring would silently turn it into NaN soup).
+pub fn expm(a: &DMatrix) -> Result<DMatrix, LinalgError> {
+    if !a.is_square() {
+        return Err(LinalgError::NotSquare { rows: a.rows(), cols: a.cols() });
+    }
+    let n = a.rows();
+    if n == 0 {
+        return Ok(DMatrix::zeros(0, 0));
+    }
+    if !a.is_finite() {
+        return Err(LinalgError::InvalidArgument(
+            "matrix exponential of a non-finite matrix".to_string(),
+        ));
+    }
+
+    // Scaling: bring ‖A/2^s‖_∞ under the Taylor target.
+    let norm = a.norm_inf();
+    let squarings =
+        if norm > SCALING_TARGET { ((norm / SCALING_TARGET).log2().ceil()) as u32 } else { 0 };
+    let scaled = a.scaled(0.5_f64.powi(squarings as i32));
+
+    // Taylor kernel by Horner's rule:
+    // e^B ≈ I + B·(I + B/2·(I + B/3·(… (I + B/K) …))).
+    let mut result = DMatrix::identity(n);
+    let mut product = DMatrix::zeros(n, n);
+    for k in (1..=TAYLOR_TERMS).rev() {
+        // product = (B/k)·result, then result = I + product.
+        scaled.mul_matrix_into(&result, &mut product)?;
+        product.scale_mut(1.0 / k as f64);
+        result.copy_from(&product);
+        for i in 0..n {
+            result.add_to(i, i, 1.0);
+        }
+    }
+
+    // Undo the scaling: square s times, ping-ponging between the two
+    // existing buffers instead of allocating per iteration.
+    for _ in 0..squarings {
+        result.mul_matrix_into(&result, &mut product)?;
+        std::mem::swap(&mut result, &mut product);
+    }
+    Ok(result)
+}
+
+/// The first ϕ-function `ϕ₁(A) = A⁻¹·(e^A − I)` (entire in `A`, so also
+/// defined for singular `A`, with `ϕ₁(0) = I`), computed through the
+/// augmented-matrix identity `exp([[A, I], [0, 0]]) = [[e^A, ϕ₁(A)], [0, I]]`
+/// — one `2n × 2n` [`expm`] call and a block extraction, no solve and no
+/// special-casing of defective or singular inputs.
+///
+/// # Errors
+///
+/// Same failure modes as [`expm`].
+pub fn phi1(a: &DMatrix) -> Result<DMatrix, LinalgError> {
+    if !a.is_square() {
+        return Err(LinalgError::NotSquare { rows: a.rows(), cols: a.cols() });
+    }
+    let n = a.rows();
+    if n == 0 {
+        return Ok(DMatrix::zeros(0, 0));
+    }
+    let mut augmented = DMatrix::zeros(2 * n, 2 * n);
+    augmented.set_block(0, 0, a);
+    for i in 0..n {
+        augmented.set(i, n + i, 1.0);
+    }
+    let exponential = expm(&augmented)?;
+    Ok(exponential.block(0, n, n, n))
+}
+
+/// Both ϕ-functions of the second-order exponential integrator in one shot:
+/// `ϕ₁(A) = A⁻¹·(e^A − I)` and `ϕ₂(A) = A⁻²·(e^A − I − A)` (entire, with
+/// `ϕ₂(0) = I/2`), through the three-block extension of the [`phi1`]
+/// identity,
+///
+/// ```text
+/// exp( [A  I  0] )   [e^A  ϕ₁(A)  ϕ₂(A)]
+///      [0  0  I]   = [0      I      I  ]
+///      [0  0  0]     [0      0      I  ]
+/// ```
+///
+/// (the top row of `M^k` is `[A^k, A^{k−1}, A^{k−2}]`, so the exponential's
+/// top blocks sum exactly the two ϕ series). One `3n × 3n` [`expm`] call,
+/// valid for singular and defective `A`.
+///
+/// # Errors
+///
+/// Same failure modes as [`expm`].
+pub fn phi1_phi2(a: &DMatrix) -> Result<(DMatrix, DMatrix), LinalgError> {
+    if !a.is_square() {
+        return Err(LinalgError::NotSquare { rows: a.rows(), cols: a.cols() });
+    }
+    let n = a.rows();
+    if n == 0 {
+        return Ok((DMatrix::zeros(0, 0), DMatrix::zeros(0, 0)));
+    }
+    let mut augmented = DMatrix::zeros(3 * n, 3 * n);
+    augmented.set_block(0, 0, a);
+    for i in 0..n {
+        augmented.set(i, n + i, 1.0);
+        augmented.set(n + i, 2 * n + i, 1.0);
+    }
+    let exponential = expm(&augmented)?;
+    Ok((exponential.block(0, n, n, n), exponential.block(0, 2 * n, n, n)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DVector;
+
+    #[test]
+    fn scalar_exponential_matches_exp() {
+        for &x in &[-30.0, -4.1e4 * 2e-4, -1.0, -1e-9, 0.0, 0.3, 2.0] {
+            let a = DMatrix::from_rows(&[&[x]]).unwrap();
+            let e = expm(&a).unwrap();
+            assert!(
+                (e[(0, 0)] - x.exp()).abs() <= 1e-14 * x.exp().max(1.0),
+                "exp({x}) = {} vs {}",
+                e[(0, 0)],
+                x.exp()
+            );
+        }
+    }
+
+    #[test]
+    fn diagonal_exponential_is_elementwise() {
+        let a = DMatrix::from_diagonal(&DVector::from_slice(&[-2.0, 3.0]));
+        let e = expm(&a).unwrap();
+        assert!((e[(0, 0)] - (-2.0f64).exp()).abs() < 1e-14);
+        assert!((e[(1, 1)] - 3.0f64.exp()).abs() < 1e-13 * 3.0f64.exp());
+        assert_eq!(e[(0, 1)], 0.0);
+        assert_eq!(e[(1, 0)], 0.0);
+    }
+
+    #[test]
+    fn rotation_generator_exponentiates_to_a_rotation() {
+        let theta = 1.1_f64;
+        let a = DMatrix::from_rows(&[&[0.0, -theta], &[theta, 0.0]]).unwrap();
+        let e = expm(&a).unwrap();
+        assert!((e[(0, 0)] - theta.cos()).abs() < 1e-14);
+        assert!((e[(0, 1)] + theta.sin()).abs() < 1e-14);
+        assert!((e[(1, 0)] - theta.sin()).abs() < 1e-14);
+        assert!((e[(1, 1)] - theta.cos()).abs() < 1e-14);
+    }
+
+    #[test]
+    fn nilpotent_exponential_truncates_exactly() {
+        // exp([[0, 1], [0, 0]]) = [[1, 1], [0, 1]].
+        let a = DMatrix::from_rows(&[&[0.0, 1.0], &[0.0, 0.0]]).unwrap();
+        let e = expm(&a).unwrap();
+        assert_eq!(e[(0, 0)], 1.0);
+        assert!((e[(0, 1)] - 1.0).abs() < 1e-15);
+        assert_eq!(e[(1, 0)], 0.0);
+        assert_eq!(e[(1, 1)], 1.0);
+    }
+
+    #[test]
+    fn semigroup_property_under_heavy_scaling() {
+        // exp(A) must equal exp(A/2)², exercising the squaring path on a
+        // stiff-scale matrix (the rail pole magnitude at a large step).
+        let a = DMatrix::from_rows(&[&[-35.0, 4.0], &[1.0, -20.0]]).unwrap();
+        let whole = expm(&a).unwrap();
+        let half = expm(&a.scaled(0.5)).unwrap();
+        let squared = half.mul_matrix(&half).unwrap();
+        let scale = whole.max_abs().max(1e-30);
+        assert!(whole.max_abs_diff(&squared).unwrap() / scale < 1e-12);
+    }
+
+    #[test]
+    fn phi1_of_zero_is_identity() {
+        let z = DMatrix::zeros(2, 2);
+        let p = phi1(&z).unwrap();
+        assert!(p.max_abs_diff(&DMatrix::identity(2)).unwrap() < 1e-15);
+    }
+
+    #[test]
+    fn phi1_scalar_matches_closed_form() {
+        for &x in &[-8.0, -1.0, -1e-8, 0.5, 3.0] {
+            let a = DMatrix::from_rows(&[&[x]]).unwrap();
+            let p = phi1(&a).unwrap();
+            let exact = if x.abs() < 1e-6 { 1.0 + x / 2.0 + x * x / 6.0 } else { x.exp_m1() / x };
+            assert!(
+                (p[(0, 0)] - exact).abs() < 1e-13 * exact.abs().max(1.0),
+                "phi1({x}) = {} vs {exact}",
+                p[(0, 0)]
+            );
+        }
+    }
+
+    #[test]
+    fn phi1_satisfies_its_defining_identity_on_invertible_input() {
+        // A·ϕ₁(A) = e^A − I.
+        let a = DMatrix::from_rows(&[&[-3.0, 1.0], &[0.5, -7.0]]).unwrap();
+        let p = phi1(&a).unwrap();
+        let lhs = a.mul_matrix(&p).unwrap();
+        let mut rhs = expm(&a).unwrap();
+        for i in 0..2 {
+            rhs.add_to(i, i, -1.0);
+        }
+        assert!(lhs.max_abs_diff(&rhs).unwrap() < 1e-13);
+    }
+
+    #[test]
+    fn exact_linear_step_reproduces_the_analytic_solution() {
+        // ẋ = a·x + u with constant u: x(h) = e^{ah}·x0 + (e^{ah} − 1)/a·u,
+        // and the ϕ₁ update x0 + h·ϕ₁(ha)·(a·x0 + u) must match it exactly —
+        // this is the update formula the stiff rail integrator applies.
+        let (a, u, x0, h) = (-4.1e4_f64, 3.7e3_f64, 1.9_f64, 1.5e-4_f64);
+        let am = DMatrix::from_rows(&[&[a * h]]).unwrap();
+        let p = phi1(&am).unwrap();
+        let stepped = x0 + h * p[(0, 0)] * (a * x0 + u);
+        let analytic = (a * h).exp() * x0 + (a * h).exp_m1() / a * u;
+        assert!(
+            (stepped - analytic).abs() < 1e-12 * analytic.abs().max(1.0),
+            "{stepped} vs {analytic}"
+        );
+    }
+
+    #[test]
+    fn phi2_matches_its_series_and_phi1_agrees() {
+        // ϕ₂(0) = I/2.
+        let (p1, p2) = phi1_phi2(&DMatrix::zeros(2, 2)).unwrap();
+        assert!(p1.max_abs_diff(&DMatrix::identity(2)).unwrap() < 1e-15);
+        assert!(p2.max_abs_diff(&DMatrix::identity(2).scaled(0.5)).unwrap() < 1e-15);
+        // Scalar closed forms, across the stiff-scale range.
+        for &x in &[-9.0, -1.0, 0.7, 2.5] {
+            let a = DMatrix::from_rows(&[&[x]]).unwrap();
+            let (p1, p2) = phi1_phi2(&a).unwrap();
+            let exact1 = x.exp_m1() / x;
+            let exact2 = (x.exp_m1() - x) / (x * x);
+            assert!((p1[(0, 0)] - exact1).abs() < 1e-13 * exact1.abs().max(1.0));
+            assert!(
+                (p2[(0, 0)] - exact2).abs() < 1e-13 * exact2.abs().max(1.0),
+                "phi2({x}) = {} vs {exact2}",
+                p2[(0, 0)]
+            );
+        }
+        // The combined call's ϕ₁ block agrees with the standalone one.
+        let a = DMatrix::from_rows(&[&[-3.0, 1.0], &[0.5, -7.0]]).unwrap();
+        let (p1, p2) = phi1_phi2(&a).unwrap();
+        assert!(p1.max_abs_diff(&phi1(&a).unwrap()).unwrap() < 1e-14);
+        // Defining identity A²·ϕ₂(A) = e^A − I − A.
+        let lhs = a.mul_matrix(&a.mul_matrix(&p2).unwrap()).unwrap();
+        let mut rhs = expm(&a).unwrap();
+        rhs -= &a;
+        for i in 0..2 {
+            rhs.add_to(i, i, -1.0);
+        }
+        assert!(lhs.max_abs_diff(&rhs).unwrap() < 1e-13);
+    }
+
+    #[test]
+    fn invalid_inputs_are_rejected() {
+        let rect = DMatrix::zeros(2, 3);
+        assert!(expm(&rect).is_err());
+        assert!(phi1(&rect).is_err());
+        assert!(phi1_phi2(&rect).is_err());
+        let mut bad = DMatrix::zeros(2, 2);
+        bad.set(0, 1, f64::NAN);
+        assert!(expm(&bad).is_err());
+        // Empty matrices pass through untouched.
+        assert_eq!(expm(&DMatrix::zeros(0, 0)).unwrap().shape(), (0, 0));
+        assert_eq!(phi1(&DMatrix::zeros(0, 0)).unwrap().shape(), (0, 0));
+    }
+}

@@ -239,6 +239,26 @@ impl ExplicitIntegrator for RungeKutta4 {
 /// Maximum Adams–Bashforth order supported by this crate.
 pub const MAX_ADAMS_BASHFORTH_ORDER: usize = 4;
 
+/// Uniform-grid Adams–Bashforth coefficients `b_i` (newest first) for the
+/// update `x_{n+1} = x_n + h·Σ b_i·f_{n−i}`, orders 1–4 — the closed forms
+/// the variable-step quadrature of
+/// [`adams_bashforth_coefficients_into`] reduces to on an equispaced history.
+/// The partitioned march's settled rungs hit exactly this case, so its hot
+/// loop reads these constants instead of re-running the quadrature.
+///
+/// # Panics
+///
+/// Panics if `order` is outside `1..=MAX_ADAMS_BASHFORTH_ORDER`.
+pub fn adams_bashforth_uniform_coefficients(order: usize) -> &'static [f64] {
+    match order {
+        1 => &[1.0],
+        2 => &[1.5, -0.5],
+        3 => &[23.0 / 12.0, -16.0 / 12.0, 5.0 / 12.0],
+        4 => &[55.0 / 24.0, -59.0 / 24.0, 37.0 / 24.0, -9.0 / 24.0],
+        _ => panic!("adams-bashforth order must be 1..={MAX_ADAMS_BASHFORTH_ORDER}, got {order}"),
+    }
+}
+
 /// Computes the variable-step Adams–Bashforth coefficients `β_i` for the update
 ///
 /// `x_{n+1} = x_n + Σ_i β_i · f(t_{n-i}, x_{n-i})`

@@ -21,6 +21,9 @@
 //!
 //! Supporting modules:
 //!
+//! * [`exponential`] — the exact (exponential-Euler) update kernel for the
+//!   stiff partition of a partitioned IMEX march, with a cached
+//!   `h·ϕ₁(h·A_ss)` propagator.
 //! * [`newton`] — damped Newton–Raphson with analytic or finite-difference
 //!   Jacobians.
 //! * [`stability`] — the explicit-stability step limit of Eq. 7, via the cheap
@@ -63,6 +66,7 @@
 
 mod error;
 pub mod explicit;
+pub mod exponential;
 pub mod implicit;
 pub mod newton;
 pub mod problem;

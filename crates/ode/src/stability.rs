@@ -136,15 +136,10 @@ fn ab2_mode_is_stable(mu_re: f64, mu_im: f64) -> bool {
 }
 
 /// Uniform-grid Adams–Bashforth coefficients `b_i` (newest first) for the
-/// update `x_{n+1} = x_n + h·Σ b_i·f_{n−i}`, orders 1–4.
+/// update `x_{n+1} = x_n + h·Σ b_i·f_{n−i}`, orders 1–4 (shared with the
+/// solver's uniform fast path through [`crate::explicit`]).
 fn ab_uniform_coefficients(order: usize) -> &'static [f64] {
-    match order {
-        1 => &[1.0],
-        2 => &[1.5, -0.5],
-        3 => &[23.0 / 12.0, -16.0 / 12.0, 5.0 / 12.0],
-        4 => &[55.0 / 24.0, -59.0 / 24.0, 37.0 / 24.0, -9.0 / 24.0],
-        _ => unreachable!("adams-bashforth order out of range"),
-    }
+    crate::explicit::adams_bashforth_uniform_coefficients(order)
 }
 
 /// Complex product `(a·b)` on `(re, im)` pairs.
@@ -238,9 +233,14 @@ fn roots_inside_unit_disc(
 /// best limit cannot lower it, so only the genuinely binding modes pay for a
 /// bisection, and each bisection starts from an already-shrunk bracket.
 ///
-/// Returns `Some(0.0)` when an undamped/unstable mode admits no stable step.
-fn min_ray_limit(eigs: &[eigen::Complex], order: usize, h_cap: f64) -> Option<f64> {
+/// Returns `Some((0.0, mode))` when an undamped/unstable mode admits no
+/// stable step. The second tuple element is the *binding* eigenvalue — the
+/// mode whose boundary crossing set the returned limit — so the caller can
+/// record which pole actually prices the march (is the step bound by the 70 Hz
+/// mechanical pole, a conduction pole, or a regularisation artifact?).
+fn min_ray_limit(eigs: &[eigen::Complex], order: usize, h_cap: f64) -> Option<(f64, (f64, f64))> {
     let mut h_min = h_cap;
+    let mut binding = (0.0_f64, 0.0_f64);
     let mut constrained = false;
     for eig in eigs {
         let (alpha, beta) = (eig.re, eig.im);
@@ -249,12 +249,13 @@ fn min_ray_limit(eigs: &[eigen::Complex], order: usize, h_cap: f64) -> Option<f6
         }
         if alpha >= 0.0 {
             // Undamped or unstable mode: no explicit step is strictly stable.
-            return Some(0.0);
+            return Some((0.0, (alpha, beta)));
         }
         if abk_mode_is_stable(order, h_min * alpha, h_min * beta) {
             continue; // this mode does not bind below the current minimum
         }
         constrained = true;
+        binding = (alpha, beta);
         let mut lo = 0.0_f64;
         let mut hi = h_min;
         for _ in 0..48 {
@@ -267,7 +268,7 @@ fn min_ray_limit(eigs: &[eigen::Complex], order: usize, h_cap: f64) -> Option<f6
         }
         h_min = lo;
     }
-    constrained.then_some(h_min)
+    constrained.then_some((h_min, binding))
 }
 
 fn validate_safety_and_cap(safety: f64, h_cap: f64) -> Result<(), OdeError> {
@@ -309,7 +310,7 @@ pub fn abk_max_stable_step(
     }
     validate_safety_and_cap(safety, h_cap)?;
     let eigs = eigen::eigenvalues(a)?;
-    Ok(min_ray_limit(&eigs, order, h_cap).map(|h| safety * h))
+    Ok(min_ray_limit(&eigs, order, h_cap).map(|(h, _)| safety * h))
 }
 
 /// Per-order stable-step limits of one linearisation point — the plan the
@@ -327,6 +328,12 @@ pub struct OrderStepLimits {
     /// capped; `0.0` marks an order with no stable step (or above
     /// `max_order`, so it is never selected).
     limits: [f64; MAX_ADAMS_BASHFORTH_ORDER],
+    /// The binding eigenvalue `(Re λ, Im λ)` per order — the mode whose
+    /// stability-boundary crossing set the limit. Only meaningful where
+    /// `constrained` is set.
+    binding: [[f64; 2]; MAX_ADAMS_BASHFORTH_ORDER],
+    /// Whether any eigenmode actually constrained the order below the cap.
+    constrained: [bool; MAX_ADAMS_BASHFORTH_ORDER],
     /// Highest order the plan was computed for.
     max_order: usize,
 }
@@ -345,6 +352,22 @@ impl OrderStepLimits {
     /// Highest order this plan was computed for.
     pub fn max_order(&self) -> usize {
         self.max_order
+    }
+
+    /// The binding eigenvalue `(Re λ, Im λ)` for `order` — the mode whose
+    /// stability-boundary crossing set [`OrderStepLimits::limit`] — or `None`
+    /// when no mode constrained the order below the step cap. This is how the
+    /// benchmark records make the march's bottleneck attributable: after the
+    /// stiff rail pole moves to the exact exponential lane, the binding mode
+    /// reported here must be a *physical* pole, not the −4.1·10⁴ s⁻¹
+    /// regularisation artifact.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `order` is outside `1..=MAX_ADAMS_BASHFORTH_ORDER`.
+    pub fn binding_mode(&self, order: usize) -> Option<(f64, f64)> {
+        self.constrained[order - 1]
+            .then(|| (self.binding[order - 1][0], self.binding[order - 1][1]))
     }
 
     /// Picks the `(order, step limit)` pair maximising the step among the
@@ -433,13 +456,19 @@ pub fn order_step_limits(
     validate_safety_and_cap(safety, h_cap)?;
     let eigs = eigen::eigenvalues(a)?;
     let mut limits = [0.0_f64; MAX_ADAMS_BASHFORTH_ORDER];
+    let mut binding = [[0.0_f64; 2]; MAX_ADAMS_BASHFORTH_ORDER];
+    let mut constrained = [false; MAX_ADAMS_BASHFORTH_ORDER];
     for order in 1..=max_order {
         limits[order - 1] = match min_ray_limit(&eigs, order, h_cap) {
-            Some(h) => (safety * h).min(h_cap),
+            Some((h, mode)) => {
+                binding[order - 1] = [mode.0, mode.1];
+                constrained[order - 1] = true;
+                (safety * h).min(h_cap)
+            }
             None => h_cap,
         };
     }
-    Ok(OrderStepLimits { limits, max_order })
+    Ok(OrderStepLimits { limits, binding, constrained, max_order })
 }
 
 /// Largest step `h ≤ h_cap` for which the order-2 Adams–Bashforth formula is
@@ -725,6 +754,28 @@ mod tests {
         // Over-long history is clamped to the planned maximum.
         let (order, _) = plan.select(9);
         assert!(order <= 4);
+    }
+
+    #[test]
+    fn binding_mode_names_the_pole_that_prices_the_step() {
+        // A fast real relaxation pole next to a slow one: the fast pole must
+        // be reported as the binding mode for every constrained order.
+        let a = DMatrix::from_diagonal(&DVector::from_slice(&[-50.0, -40_000.0]));
+        let plan = order_step_limits(&a, 1.0, 1.0, 4).unwrap();
+        for order in 1..=4 {
+            let (re, im) = plan.binding_mode(order).expect("fast pole constrains every order");
+            assert!((re + 40_000.0).abs() < 1e-6, "order {order} binding Re = {re}");
+            assert_eq!(im, 0.0);
+        }
+        // With the fast pole removed (the partitioned march's a_ff view) the
+        // slow pole binds instead — or nothing does below a small cap.
+        let slow = DMatrix::from_diagonal(&DVector::from_slice(&[-50.0]));
+        let plan = order_step_limits(&slow, 1.0, 1.0, 4).unwrap();
+        let (re, _) = plan.binding_mode(2).expect("slow pole constrains AB2 below a 1 s cap");
+        assert!((re + 50.0).abs() < 1e-9);
+        let capped = order_step_limits(&slow, 1.0, 1e-4, 4).unwrap();
+        assert_eq!(capped.binding_mode(2), None, "an unconstrained order has no binding mode");
+        assert_eq!(capped.limit(2), 1e-4);
     }
 
     #[test]

@@ -73,11 +73,44 @@ fn harvester_steps_hit_the_cached_terminal_factorisation() {
     // The stability limit refreshes with relinearisations, orders of
     // magnitude less often than the step count.
     assert!(result.stats.stability_updates < result.stats.steps / 10);
-    // Every accepted step is booked under exactly one Adams–Bashforth order.
+    // Every accepted step is booked under exactly one Adams–Bashforth order,
+    // and the stiff exponential lane is accounted separately (it rides along
+    // on the same steps rather than double-booking the histogram).
     assert_eq!(result.stats.steps_by_order.iter().sum::<usize>(), result.stats.steps);
-    // The regularisation rail pole is real, so the governor rides the
-    // order-2 region (widest real-axis interval above order 1) through the
-    // steady state of the assembled harvester (DESIGN.md §6.2).
+    assert_eq!(
+        result.stats.stiff_exact_steps, result.stats.steps,
+        "the harvester declares stiff interface states, so every partitioned step runs them exact"
+    );
+    // With the stiff interface poles priced out of the stability plan the
+    // governor is free to ride the high-order regions: order 4 dominates the
+    // partitioned march (DESIGN.md §7).
+    assert!(
+        result.stats.steps_by_order[3] > result.stats.steps / 2,
+        "steps_by_order {:?}",
+        result.stats.steps_by_order
+    );
+    // The constant-contract split skips the microgenerator's stamp on every
+    // relinearisation (all steps but each segment's opening full stamp).
+    assert!(
+        result.stats.constant_stamps_skipped >= result.stats.steps - 1,
+        "constant stamps skipped {} of {} steps",
+        result.stats.constant_stamps_skipped,
+        result.stats.steps
+    );
+}
+
+/// The PR 3 behaviour is preserved behind `imex: false`: the real
+/// rail/storage interface poles bind the march, so the governor rides the
+/// order-2 region (widest real-axis interval above order 1) through the
+/// steady state of the assembled harvester (DESIGN.md §6.2).
+#[test]
+fn imex_off_governor_still_rides_ab2_on_the_interface_poles() {
+    let h = harvester();
+    let x0 = h.initial_state(2.5).expect("initial state");
+    let solver =
+        StateSpaceSolver::new(SolverOptions { imex: false, ..Default::default() }).expect("solver");
+    let result = solver.solve(&h, 0.0, 0.1, &x0).expect("segment");
+    assert_eq!(result.stats.stiff_exact_steps, 0, "imex off never runs the exponential lane");
     assert!(
         result.stats.steps_by_order[1] > result.stats.steps / 2,
         "steps_by_order {:?}",
