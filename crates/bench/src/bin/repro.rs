@@ -18,9 +18,10 @@
 
 use harvsim_bench::{scenario1, scenario2, seconds, write_table2_json, Table2Record};
 use harvsim_core::measurement;
-use harvsim_core::scenario::ScenarioConfig;
+use harvsim_core::scenario::{parallel_map, ScenarioConfig};
 use harvsim_core::{
-    BaselineOptions, ComparisonReport, CoreError, SimulationEngine, SpeedComparison, SweepParameter,
+    BaselineOptions, ComparisonReport, CoreError, EnvelopeProbe, Simulation, SimulationEngine,
+    SpeedComparison, StepHistogramProbe, SweepParameter,
 };
 
 fn main() -> Result<(), CoreError> {
@@ -141,33 +142,42 @@ fn table2(long: bool, sweep: bool) -> Result<(), CoreError> {
     if sweep {
         // Parameter-sweep grid: sleep-mode leakage × excitation amplitude on
         // a trimmed Scenario 1, expanded through `ScenarioConfig::sweep` and
-        // fanned through the same scoped-thread batch runner as the headline
-        // scenarios. Each point is a full head-to-head comparison, recorded
-        // as its own row so speed-up robustness across the operating envelope
-        // is visible in one JSON document.
+        // fanned across worker threads. Since the session redesign every
+        // grid point runs **streaming sessions** — both engines observed by
+        // O(1) probes (store envelope + step histogram), no dense
+        // `Trajectory` anywhere — so the sweep's memory footprint is
+        // independent of the simulated span and its width is bounded by CPU,
+        // not by waveform retention. The recorded `peak_probe_bytes` proves
+        // it per row; `max_deviation_v` for sweep rows is the cross-engine
+        // difference of the *final* store voltage (the streaming observable)
+        // rather than a dense waveform scan.
         let base = scenario1(if long { 8.0 } else { 2.5 });
         let loads = [1.0e9, 2.0e4];
         let accelerations = [0.45, 0.6, 0.75];
         let grid: Vec<ScenarioConfig> = base
+            .with_label("sweep")
             .sweep(SweepParameter::SleepLoadOhms, &loads)
             .iter()
             .flat_map(|point| point.sweep(SweepParameter::AccelerationAmplitude, &accelerations))
             .collect();
-        let (load_label, acc_label) =
-            (SweepParameter::SleepLoadOhms.label(), SweepParameter::AccelerationAmplitude.label());
-        let names: Vec<String> = loads
-            .iter()
-            .flat_map(|load| {
-                accelerations
-                    .iter()
-                    .map(move |acc| format!("sweep_{load_label}{load:.0e}_{acc_label}{acc}"))
-            })
-            .collect();
-        println!("\n-- sweep grid: sleep load x acceleration ({} points) --", grid.len());
-        let sweep_reports = comparison.run_batch(&grid)?;
-        for ((name, scenario), report) in names.iter().zip(&grid).zip(&sweep_reports) {
-            print_table2_row(name, report);
-            records.push(record_for(name, scenario, report));
+        println!(
+            "\n-- sweep grid: sleep load x acceleration ({} points, streaming) --",
+            grid.len()
+        );
+        let (sweep_results, threads_used) = parallel_map(&grid, run_streaming_sweep_point);
+        for result in sweep_results {
+            let mut record = result?;
+            record.threads_used = threads_used;
+            println!(
+                "{:<34} {:>18} {:>15} {:>8.1}x {:>12.4} {:>12} B",
+                record.name,
+                format!("{:.3}", record.baseline_cpu_s),
+                format!("{:.3}", record.proposed_cpu_s),
+                record.speedup,
+                record.max_deviation_v,
+                record.peak_probe_bytes,
+            );
+            records.push(record);
         }
     }
 
@@ -211,10 +221,59 @@ fn record_for(name: &str, scenario: &ScenarioConfig, report: &ComparisonReport) 
         steps_by_order: engine.steps_by_order,
         stiff_exact_steps: engine.stiff_exact_steps,
         constant_stamps_skipped: engine.constant_stamps_skipped,
+        pwl_stamps_skipped: engine.pwl_stamps_skipped,
+        peak_probe_bytes: report.proposed.result.peak_probe_bytes,
         threads_used: engine.threads_used,
         binding_pole_re: engine.binding_pole[0],
         binding_pole_im: engine.binding_pole[1],
     }
+}
+
+/// One sweep grid point as a pair of **streaming sessions** (proposed +
+/// baseline engines), observed by O(1) probes only — no dense trajectory is
+/// allocated anywhere on this path. The recorded deviation is the
+/// cross-engine difference of the final store voltage; `peak_probe_bytes`
+/// is the larger of the two sessions' high-water probe footprints.
+fn run_streaming_sweep_point(config: &ScenarioConfig) -> Result<Table2Record, CoreError> {
+    let run = |engine: SimulationEngine| -> Result<(f64, harvsim_core::SessionReport), CoreError> {
+        let mut session = Simulation::from_config(config.clone())
+            .engine(engine)
+            .start()
+            .map_err(|err| err.for_scenario(config.effective_label()))?;
+        let vc = session.harvester().storage_voltage_net();
+        let envelope = session.add_probe(EnvelopeProbe::terminal(vc));
+        session.add_probe(StepHistogramProbe::new());
+        session.run_to_end().map_err(|err| err.for_scenario(config.effective_label()))?;
+        let v_end =
+            session.probe::<EnvelopeProbe>(envelope).expect("envelope keeps its type").last();
+        Ok((v_end, session.report()))
+    };
+    let proposed_engine = config.engine;
+    let (v_proposed, proposed) = run(proposed_engine)?;
+    let (v_baseline, baseline) = run(SimulationEngine::NewtonRaphson(BaselineOptions::default()))?;
+
+    let engine = proposed.engine_stats.state_space;
+    let proposed_cpu = engine.cpu_time.as_secs_f64();
+    let baseline_cpu = baseline.engine_stats.baseline.cpu_time.as_secs_f64();
+    Ok(Table2Record {
+        name: config.effective_label(),
+        simulated_span_s: config.duration_s,
+        baseline_cpu_s: baseline_cpu,
+        proposed_cpu_s: proposed_cpu,
+        speedup: baseline_cpu / proposed_cpu.max(1e-9),
+        max_deviation_v: (v_proposed - v_baseline).abs(),
+        steps: engine.steps,
+        factorisations: engine.factorisations,
+        cached_solves: engine.cached_solves,
+        steps_by_order: engine.steps_by_order,
+        stiff_exact_steps: engine.stiff_exact_steps,
+        constant_stamps_skipped: engine.constant_stamps_skipped,
+        pwl_stamps_skipped: engine.pwl_stamps_skipped,
+        peak_probe_bytes: proposed.peak_probe_bytes.max(baseline.peak_probe_bytes),
+        threads_used: 0,
+        binding_pole_re: engine.binding_pole[0],
+        binding_pole_im: engine.binding_pole[1],
+    })
 }
 
 /// Fig. 8(a): generator output power during the 1 Hz tuning process.

@@ -61,6 +61,15 @@ pub struct Table2Record {
     pub stiff_exact_steps: usize,
     /// Per-block Jacobian stamps skipped under the constant-contract split.
     pub constant_stamps_skipped: usize,
+    /// Per-block stamps skipped under the PWL segment-signature contract (the
+    /// Dickson scatter skip — ROADMAP item b): the segment set was unchanged,
+    /// so neither the scatter nor the Eq. 3 scan ran.
+    pub pwl_stamps_skipped: usize,
+    /// High-water probe memory of the run, in bytes. Headline rows run the
+    /// dense-capture shim (O(recorded samples)); `--sweep` rows run streaming
+    /// sessions whose footprint is O(1) — independent of the simulated span —
+    /// which the CI gate checks.
+    pub peak_probe_bytes: usize,
     /// Worker threads the batch runner fanned the comparison across (`1` =
     /// sequential fallback on a single-core host), so CI timings are
     /// attributable.
@@ -129,6 +138,8 @@ pub fn write_table2_json(path: &Path, records: &[Table2Record]) -> std::io::Resu
         )?;
         writeln!(file, "      \"stiff_exact_steps\": {},", record.stiff_exact_steps)?;
         writeln!(file, "      \"constant_stamps_skipped\": {},", record.constant_stamps_skipped)?;
+        writeln!(file, "      \"pwl_stamps_skipped\": {},", record.pwl_stamps_skipped)?;
+        writeln!(file, "      \"peak_probe_bytes\": {},", record.peak_probe_bytes)?;
         writeln!(file, "      \"threads_used\": {},", record.threads_used)?;
         writeln!(file, "      \"binding_pole_re\": {:.3},", json_number(record.binding_pole_re))?;
         writeln!(file, "      \"binding_pole_im\": {:.3}", json_number(record.binding_pole_im))?;
@@ -186,6 +197,8 @@ mod tests {
                 steps_by_order: [2, 900, 58, 40],
                 stiff_exact_steps: 1000,
                 constant_stamps_skipped: 998,
+                pwl_stamps_skipped: 950,
+                peak_probe_bytes: 123456,
                 threads_used: 2,
                 binding_pole_re: -439.8,
                 binding_pole_im: 62.1,
@@ -203,6 +216,8 @@ mod tests {
                 steps_by_order: [4, 1800, 120, 76],
                 stiff_exact_steps: 2000,
                 constant_stamps_skipped: 1996,
+                pwl_stamps_skipped: 1900,
+                peak_probe_bytes: 4096,
                 threads_used: 1,
                 binding_pole_re: -512.4,
                 binding_pole_im: 0.0,
@@ -221,6 +236,8 @@ mod tests {
         assert!(written.contains("\"steps_by_order\": [2, 900, 58, 40]"));
         assert!(written.contains("\"stiff_exact_steps\": 1000"));
         assert!(written.contains("\"constant_stamps_skipped\": 998"));
+        assert!(written.contains("\"pwl_stamps_skipped\": 950"));
+        assert!(written.contains("\"peak_probe_bytes\": 123456"));
         assert!(written.contains("\"threads_used\": 2"));
         assert!(written.contains("\"binding_pole_re\": -439.800"));
         assert!(written.contains("\"binding_pole_im\": 62.100"));

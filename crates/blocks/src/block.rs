@@ -270,6 +270,55 @@ pub trait StateSpaceBlock {
         Vec::new()
     }
 
+    /// A compact *segment signature* for blocks under the
+    /// [`JacobianStructure::Pwl`] contract: a value that fully determines the
+    /// block's **entire** local linearisation — Jacobians *and* affine terms —
+    /// at `(t, x, y)`. Typically this packs the indices of the PWL table
+    /// segments every nonlinear device currently operates in.
+    ///
+    /// Returning `Some(s)` is a promise: any two calls to
+    /// [`StateSpaceBlock::linearise_into`] whose signatures are both `s`
+    /// produce bit-identical outputs. The assembler uses that promise on the
+    /// relinearisation hot path to skip the block's whole scatter + Eq. 3
+    /// monitor scan when the signature has not moved since the last stamp
+    /// (the dominant remaining per-step cost of the Dickson multiplier —
+    /// ROADMAP item b). The default returns `None`, which disables the skip
+    /// and keeps every existing block correct unchanged; blocks must also
+    /// return `None` whenever they cannot encode their state exactly (e.g.
+    /// too many devices or segments for the packing).
+    fn pwl_signature(&self, _t: f64, _x: &DVector, _y: &DVector) -> Option<u64> {
+        None
+    }
+
+    /// Fused stamp: [`StateSpaceBlock::linearise_into`] plus the
+    /// [`StateSpaceBlock::pwl_signature`] of the same point, returned from
+    /// one pass. Blocks whose stamp already performs the per-device segment
+    /// lookups (the Dickson multiplier) override this so the signature costs
+    /// no second lookup; the default simply calls both. Implementations must
+    /// keep it equivalent to calling the two methods separately.
+    fn linearise_into_with_signature(
+        &self,
+        t: f64,
+        x: &DVector,
+        y: &DVector,
+        out: &mut LocalLinearisation,
+    ) -> Option<u64> {
+        self.linearise_into(t, x, y, out);
+        self.pwl_signature(t, x, y)
+    }
+
+    /// Cheap test that `signature` — previously returned by this block for an
+    /// earlier operating point — is still the signature at `(t, x, y)`,
+    /// without recomputing it. Must be exactly equivalent to
+    /// `self.pwl_signature(t, x, y) == Some(signature)`; the payoff is that a
+    /// membership test ("is every device still inside its recorded segment?")
+    /// needs only comparisons where recomputing indices would pay a lookup
+    /// per device. This runs once per accepted solver step on the
+    /// relinearisation hot path.
+    fn pwl_signature_matches(&self, t: f64, x: &DVector, y: &DVector, signature: u64) -> bool {
+        self.pwl_signature(t, x, y) == Some(signature)
+    }
+
     /// Refreshes only the affine terms `e`/`g` of `out` at `(t, x, y)`,
     /// leaving the Jacobian matrices untouched. The assembler calls this on
     /// the relinearisation hot path for blocks whose
@@ -407,9 +456,10 @@ mod tests {
                 sample_linearisation()
             }
         }
-        // Defaults: restamp everything, declare nothing stiff.
+        // Defaults: restamp everything, declare nothing stiff, no signature.
         assert_eq!(Plain.jacobian_structure(), JacobianStructure::Nonlinear);
         assert!(Plain.stiff_states().is_empty());
+        assert_eq!(Plain.pwl_signature(0.0, &DVector::zeros(2), &DVector::zeros(1)), None);
         // The default affine refresh is a full restamp, so it is always safe.
         let x = DVector::zeros(2);
         let y = DVector::zeros(1);

@@ -3,9 +3,22 @@
 //! The Dickson multiplier's diodes are the only strongly nonlinear devices in
 //! the harvester. Section III-B of the paper linearises the Shockley equation
 //! `Id = Is·(exp(Vd/Vt) − 1)` into a conductance `G` and a companion current
-//! source `J` such that `Id ≈ G·Vd + J` around the operating point, and stores
-//! `G(Vd)` and `J(Vd)` in lookup tables so the march-in-time loop never
-//! evaluates an exponential.
+//! source `J` such that `Id ≈ G·Vd + J` around the operating point, with the
+//! values stored in a lookup table so the march-in-time loop never evaluates
+//! an exponential.
+//!
+//! The companion pair is the *chord* of the tabulated current curve's segment
+//! containing `Vd`: the diode the solver actually integrates is the genuine
+//! piecewise-linear curve through the table breakpoints, so `(G, J)` are
+//! **constant while the operating point stays inside one segment** and jump
+//! only at segment crossings. That invariant is what the paper's
+//! `JacobianStructure::Pwl` contract promises, and it is what lets the
+//! assembler skip the Dickson block's whole Jacobian scatter when the
+//! per-diode segment signature has not moved since the last stamp
+//! (the `pwl_stamps_skipped` counter). The model error against the exact
+//! Shockley curve is the table's interpolation error, which "can be
+//! arbitrarily fine since the size of the look-up tables does not affect the
+//! simulation speed".
 
 use crate::block::BlockError;
 use crate::pwl::PiecewiseLinearTable;
@@ -14,6 +27,102 @@ use crate::pwl::PiecewiseLinearTable;
 /// `GMIN` device) so that the algebraic system of Eq. 4 stays non-singular when
 /// all diodes are off.
 pub const DEFAULT_GMIN: f64 = 1e-9;
+
+/// Number of coarse segments covering the deep-reverse region of the lookup
+/// table (below ~8·n·Vt, where the Shockley curve *is* the straight line
+/// `−Is + GMIN·Vd` to within `Is·e⁻⁸`): exactly one, deliberately — a
+/// reverse-swinging diode then never leaves its segment, which is what keeps
+/// the Dickson block's PWL segment signature stable between conduction
+/// events (the stamp-skip hit rate).
+const COARSE_REVERSE_SEGMENTS: usize = 1;
+
+/// Number of segments covering the overflow-limited region above
+/// `limit_voltage`, where the model is linear by construction.
+const LIMIT_SEGMENTS: usize = 2;
+
+/// Grid-stretch exponent `p` of the knee zone: breakpoints are uniform in
+/// `u = exp(Vd/(p·n·Vt))`. `p = 2` equalises the *absolute* chord error per
+/// segment, `p → ∞` (uniform in `Vd`) equalises the *relative* error; `p = 4`
+/// splits the difference — relative error still shrinks toward conduction
+/// (∝ 1/√I) while sub-threshold segments stay several millivolts wide, which
+/// is what keeps reverse-swinging diodes inside one segment between
+/// conduction events (the stamp-skip hit rate).
+const EXP_GRID_STRETCH: f64 = 4.0;
+
+/// A companion lookup table together with the closed-form segment-index
+/// recipe matching how its breakpoints were generated — so the hot path never
+/// binary-searches.
+#[derive(Debug, Clone)]
+enum TableGrid {
+    /// Uniformly sampled in `Vd` (fallback for degenerate ranges); the
+    /// table's own O(1) uniform lookup applies.
+    Uniform(PiecewiseLinearTable),
+    /// Three-zone knee grid: [`COARSE_REVERSE_SEGMENTS`] uniform-in-`Vd`
+    /// segments below `v_knee`, the full segment budget uniform in
+    /// `u = exp(Vd/(p·n·Vt))` across the knee, and [`LIMIT_SEGMENTS`] above
+    /// the overflow-limiting voltage where the curve is linear again. The
+    /// index is a closed-form expression in every zone; it is verified
+    /// against the breakpoints and adjusted by at most a step, so float
+    /// rounding is harmless.
+    KneeLog {
+        table: PiecewiseLinearTable,
+        v_knee: f64,
+        v_hi_exp: f64,
+        inv_stretched: f64,
+        u_lo: f64,
+        inv_du: f64,
+        coarse_inv_step: f64,
+        knee_segments: usize,
+        v_min: f64,
+    },
+}
+
+impl TableGrid {
+    fn table(&self) -> &PiecewiseLinearTable {
+        match self {
+            TableGrid::Uniform(table) => table,
+            TableGrid::KneeLog { table, .. } => table,
+        }
+    }
+
+    fn segment_index(&self, v: f64) -> usize {
+        match self {
+            TableGrid::Uniform(table) => table.segment_index(v),
+            TableGrid::KneeLog {
+                table,
+                v_knee,
+                v_hi_exp,
+                inv_stretched,
+                u_lo,
+                inv_du,
+                coarse_inv_step,
+                knee_segments,
+                v_min,
+            } => {
+                let candidate = if v < *v_knee {
+                    ((v - v_min) * coarse_inv_step).max(0.0) as usize
+                } else if v < *v_hi_exp {
+                    let u = (v * inv_stretched).exp();
+                    COARSE_REVERSE_SEGMENTS + (((u - u_lo) * inv_du).max(0.0) as usize)
+                } else {
+                    // Limit zone (or extrapolation past it): start at its
+                    // first segment and let the fix-up walk settle it.
+                    COARSE_REVERSE_SEGMENTS + knee_segments
+                };
+                let points = table.breakpoints();
+                let last = points.len() - 2;
+                let mut i = candidate.min(last);
+                while i > 0 && v < points[i].0 {
+                    i -= 1;
+                }
+                while i < last && v >= points[i + 1].0 {
+                    i += 1;
+                }
+                i
+            }
+        }
+    }
+}
 
 /// A diode described by the Shockley equation with a piecewise-linear
 /// companion-model lookup table.
@@ -38,10 +147,13 @@ pub struct DiodeModel {
     thermal_voltage: f64,
     emission_coefficient: f64,
     gmin: f64,
-    /// Conductance lookup table `G(Vd)`.
-    conductance_table: PiecewiseLinearTable,
-    /// Companion current lookup table `J(Vd)`.
-    companion_table: PiecewiseLinearTable,
+    /// Lookup table of the total diode current `Id(Vd) + GMIN·Vd` plus the
+    /// closed-form segment-index recipe for its grid; the chord of the
+    /// segment containing `Vd` is the companion pair `(G, J)`.
+    grid: TableGrid,
+    /// Number of fine segments resolving the forward knee (the constructor's
+    /// `table_segments` — the granularity axis of the PWL ablation).
+    knee_segments: usize,
     /// Diode voltage above which the exponential is linearised to avoid
     /// overflow (standard limiting, ~ breakdown of the model validity).
     limit_voltage: f64,
@@ -102,36 +214,96 @@ impl DiodeModel {
                 saturation_current * ((v / nvt).exp() - 1.0)
             }
         };
-        let conductance = |v: f64| -> f64 {
-            if v > limit_voltage {
-                saturation_current / nvt * (limit_voltage / nvt).exp()
-            } else {
-                saturation_current / nvt * (v / nvt).exp()
-            }
-        };
-
         let gmin = DEFAULT_GMIN;
-        let conductance_table = PiecewiseLinearTable::from_function(
-            table_range.0,
-            table_range.1,
-            table_segments,
-            |v| conductance(v) + gmin,
-        )?;
-        // J(Vd) = Id(Vd) − G(Vd)·Vd : the intercept of the tangent at Vd.
-        let companion_table = PiecewiseLinearTable::from_function(
-            table_range.0,
-            table_range.1,
-            table_segments,
-            |v| (current(v) + gmin * v) - (conductance(v) + gmin) * v,
-        )?;
+        // One table of the total current Id(Vd) + GMIN·Vd; companions are the
+        // segment chords, so the integrated device is the true piecewise-
+        // linear curve through these breakpoints.
+        //
+        // The knee grid is *equal-error*: breakpoints uniform in
+        // `u = exp(Vd/(2·n·Vt))`, which makes the chord interpolation error of
+        // the exponential the same for every segment (≈ Is·Δu²/2) — provably
+        // the optimal way to spend a segment budget on this curve. The
+        // consequences are exactly what the march needs:
+        //
+        // * deep-reverse and sub-threshold segments are tens of millivolts
+        //   wide (the curve is almost straight there), so a diode riding the
+        //   rail oscillation stays inside one segment for most of a cycle —
+        //   this is what gives the Dickson segment-signature stamp skip its
+        //   hit rate;
+        // * conduction-edge segments are fractions of a millivolt, an order
+        //   finer than a uniform grid of the same size, which tightens the
+        //   PWL model against the exact Shockley curve the Newton–Raphson
+        //   baseline evaluates;
+        // * the segment index is a closed-form expression (`u` is uniform),
+        //   so lookups stay O(1) with no binary search on the hot path.
+        //
+        // Below `knee_lo` the curve is `−Is + GMIN·Vd` to within `Is·Δu`, and
+        // a handful of coarse uniform-in-v segments cover it.
+        let stretched = EXP_GRID_STRETCH * nvt;
+        let v_knee = -8.0 * nvt;
+        let v_hi_exp = table_range.1.min(limit_voltage);
+        let u_of = |v: f64| (v / stretched).exp();
+        let (u_lo, u_hi) = (u_of(v_knee), u_of(v_hi_exp));
+        let du = (u_hi - u_lo) / table_segments as f64;
+        let grid = if v_knee > table_range.0
+            && v_hi_exp > v_knee
+            && table_segments >= 2
+            && u_hi.is_finite()
+        {
+            let mut points =
+                Vec::with_capacity(table_segments + COARSE_REVERSE_SEGMENTS + LIMIT_SEGMENTS + 2);
+            // Zone R — deep reverse, uniform in Vd (the curve is the straight
+            // line −Is + GMIN·Vd there).
+            for k in 0..COARSE_REVERSE_SEGMENTS {
+                let v = table_range.0
+                    + (v_knee - table_range.0) * (k as f64) / (COARSE_REVERSE_SEGMENTS as f64);
+                points.push((v, current(v) + gmin * v));
+            }
+            // Zone K — the knee, uniform in u (all `table_segments` of them).
+            for j in 0..=table_segments {
+                let v = if j == table_segments {
+                    v_hi_exp
+                } else {
+                    stretched * (u_lo + du * j as f64).ln()
+                };
+                points.push((v, current(v) + gmin * v));
+            }
+            // Zone L — above the overflow-limiting voltage the curve is
+            // linear again; a couple of segments cover it exactly.
+            if table_range.1 > v_hi_exp + 1e-9 {
+                for k in 1..=LIMIT_SEGMENTS {
+                    let v = v_hi_exp
+                        + (table_range.1 - v_hi_exp) * (k as f64) / (LIMIT_SEGMENTS as f64);
+                    points.push((v, current(v) + gmin * v));
+                }
+            }
+            TableGrid::KneeLog {
+                table: PiecewiseLinearTable::new(points)?,
+                v_knee,
+                v_hi_exp,
+                inv_stretched: 1.0 / stretched,
+                u_lo,
+                inv_du: 1.0 / du,
+                coarse_inv_step: COARSE_REVERSE_SEGMENTS as f64 / (v_knee - table_range.0),
+                knee_segments: table_segments,
+                v_min: table_range.0,
+            }
+        } else {
+            TableGrid::Uniform(PiecewiseLinearTable::from_function(
+                table_range.0,
+                table_range.1,
+                table_segments,
+                |v| current(v) + gmin * v,
+            )?)
+        };
 
         Ok(DiodeModel {
             saturation_current,
             thermal_voltage,
             emission_coefficient,
             gmin,
-            conductance_table,
-            companion_table,
+            grid,
+            knee_segments: table_segments,
             limit_voltage,
         })
     }
@@ -163,7 +335,7 @@ impl DiodeModel {
     ///
     /// Propagates construction errors.
     pub fn with_table_segments(&self, segments: usize) -> Result<Self, BlockError> {
-        let (lo, hi) = self.conductance_table.domain();
+        let (lo, hi) = self.grid.table().domain();
         DiodeModel::new(
             self.saturation_current,
             self.thermal_voltage,
@@ -193,9 +365,18 @@ impl DiodeModel {
         self.gmin
     }
 
-    /// Number of segments in the lookup tables.
+    /// Number of fine segments resolving the forward knee — the granularity
+    /// the constructor was asked for and the axis the PWL ablation sweeps.
+    /// The full table adds a few coarse deep-reverse segments on top; see
+    /// [`DiodeModel::total_segments`].
     pub fn table_segments(&self) -> usize {
-        self.conductance_table.len() - 1
+        self.knee_segments
+    }
+
+    /// Total number of table segments (knee + coarse reverse tail) — the
+    /// range of [`DiodeModel::companion_segment`] indices.
+    pub fn total_segments(&self) -> usize {
+        self.grid.table().len() - 1
     }
 
     /// Exact Shockley current at diode voltage `vd` (including `GMIN` and the
@@ -223,18 +404,58 @@ impl DiodeModel {
         g + self.gmin
     }
 
-    /// Companion-model pair `(G, J)` from the lookup tables, such that
-    /// `Id ≈ G·Vd + J` near the linearisation voltage `vd`.
+    /// Companion-model pair `(G, J)` such that `Id ≈ G·Vd + J` near the
+    /// linearisation voltage `vd`.
     ///
-    /// Both tables are sampled on the same breakpoint grid (they are built by
-    /// [`DiodeModel::new`] from one `from_function` range), so a single segment
-    /// search serves both reads.
+    /// The pair is the chord of the current table's segment containing `vd`
+    /// (see [`PiecewiseLinearTable::segment_chord`]): constant inside a
+    /// segment, jumping only at crossings, and evaluating to exactly the
+    /// tabulated piecewise-linear current at `vd`. One O(1) segment lookup
+    /// serves both values.
     pub fn companion(&self, vd: f64) -> (f64, f64) {
-        let segment = self.conductance_table.segment_index(vd);
-        (
-            self.conductance_table.value_in_segment(segment, vd),
-            self.companion_table.value_in_segment(segment, vd),
-        )
+        self.grid.table().segment_chord(self.grid.segment_index(vd))
+    }
+
+    /// Index of the lookup-table segment the operating point `vd` falls in —
+    /// the diode's contribution to a block-level PWL segment signature. Two
+    /// calls returning the same index are guaranteed to produce bit-identical
+    /// [`DiodeModel::companion`] pairs.
+    pub fn companion_segment(&self, vd: f64) -> usize {
+        self.grid.segment_index(vd)
+    }
+
+    /// Companion pair of a known segment (skipping the index lookup): the
+    /// chord of table segment `segment`. Pair with
+    /// [`DiodeModel::companion_segment`] /
+    /// [`DiodeModel::segment_contains`] on paths that track segments
+    /// explicitly (the Dickson multiplier's fused stamp-and-signature pass).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `segment >= self.total_segments()`.
+    pub fn companion_in_segment(&self, segment: usize) -> (f64, f64) {
+        self.grid.table().segment_chord(segment)
+    }
+
+    /// Whether [`DiodeModel::companion_segment`] at `vd` would return
+    /// `segment` — a pure membership test (two comparisons), no lookup. The
+    /// extrapolation regions belong to the first/last segment, mirroring the
+    /// index clamping.
+    pub fn segment_contains(&self, segment: usize, vd: f64) -> bool {
+        let points = self.grid.table().breakpoints();
+        let last = points.len() - 2;
+        (segment == 0 || vd >= points[segment].0) && (segment >= last || vd < points[segment + 1].0)
+    }
+
+    /// *Exact* companion pair `(G, J)` from the analytic Shockley equations
+    /// (tangent at `vd`, high-voltage limiting included, no table): this is
+    /// what the commercial Newton–Raphson tools the paper benchmarks against
+    /// evaluate at every iteration, so the [`super::DicksonMultiplier`]'s
+    /// exact-evaluation mode hands it to the baseline engine. Costs an
+    /// `exp()` per call — the cost the lookup table exists to avoid.
+    pub fn exact_companion(&self, vd: f64) -> (f64, f64) {
+        let g = self.conductance(vd);
+        (g, self.current(vd) - g * vd)
     }
 }
 
@@ -294,6 +515,30 @@ mod tests {
             assert!(g + 1e-15 >= prev, "conductance must not decrease with vd");
             prev = g;
         }
+    }
+
+    /// The companion pair must be *constant* within a table segment and equal
+    /// the chord of that segment — the invariant the assembler's
+    /// segment-signature stamp skip relies on (two linearisations in the same
+    /// segment produce bit-identical Jacobian contributions).
+    #[test]
+    fn companion_is_constant_within_a_segment() {
+        let d = DiodeModel::schottky().unwrap();
+        for vd in [-1.0, 0.05, 0.25, 0.4] {
+            let segment = d.companion_segment(vd);
+            let reference = d.companion(vd);
+            // Probe a handful of points strictly inside the same segment.
+            for probe in [vd, vd + 1e-5, vd + 2e-5] {
+                if d.companion_segment(probe) != segment {
+                    continue;
+                }
+                assert_eq!(d.companion(probe), reference, "companion moved inside a segment");
+            }
+        }
+        // And the chord evaluates to the tabulated PWL current exactly.
+        let (g, j) = d.companion(0.31);
+        let err = (g * 0.31 + j - d.current(0.31)).abs();
+        assert!(err < 1e-7 + 0.05 * d.current(0.31).abs(), "chord error {err}");
     }
 
     #[test]

@@ -224,6 +224,24 @@ impl PiecewiseLinearTable {
         y0 + (y1 - y0) / (x1 - x0) * (x - x0)
     }
 
+    /// Chord `(slope, intercept)` of a segment: the constants `(s, c)` such
+    /// that the interpolant over the segment is exactly `y(x) = s·x + c`.
+    ///
+    /// This is the piecewise-linear view the companion models need: within a
+    /// segment the pair is *constant*, so two linearisations whose operating
+    /// points fall in the same segment produce bit-identical companion values
+    /// — the invariant behind the assembler's segment-signature stamp skip.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `segment >= self.len() - 1`.
+    pub fn segment_chord(&self, segment: usize) -> (f64, f64) {
+        let (x0, y0) = self.points[segment];
+        let (x1, y1) = self.points[segment + 1];
+        let slope = (y1 - y0) / (x1 - x0);
+        (slope, y0 - slope * x0)
+    }
+
     /// Maximum absolute interpolation error against `f`, probed at `probes`
     /// points per segment. Used by tests and by the PWL-granularity ablation to
     /// verify the "arbitrarily fine granularity" claim.
@@ -287,6 +305,17 @@ mod tests {
         for x in [-2.0, -0.5, 0.5, 1.0, 3.0] {
             let i = t.segment_index(x);
             assert_eq!(t.value_in_segment(i, x), t.value(x));
+        }
+    }
+
+    #[test]
+    fn segment_chord_reproduces_the_interpolant() {
+        let t = table();
+        for x in [-2.0, -0.5, 0.5, 1.0, 3.0] {
+            let i = t.segment_index(x);
+            let (slope, intercept) = t.segment_chord(i);
+            assert!((slope * x + intercept - t.value(x)).abs() < 1e-12, "chord mismatch at {x}");
+            assert_eq!(slope, t.slope(x));
         }
     }
 

@@ -33,6 +33,13 @@ pub struct StampReport {
     /// guarantees the stamped values could not have moved (only their affine
     /// terms were refreshed).
     pub constant_stamps_skipped: usize,
+    /// Number of [`JacobianStructure::Pwl`] blocks whose *entire* stamp
+    /// (scatter, monitor scan and affine refresh) was skipped this pass
+    /// because their [`StateSpaceBlock::pwl_signature`] matched the signature
+    /// of the values already in the buffer — the segment set is unchanged, so
+    /// the contract guarantees a restamp would be bit-identical (ROADMAP item
+    /// b: the Dickson relinearise scatter).
+    pub pwl_stamps_skipped: usize,
 }
 
 /// The global linearisation of the complete analogue model at one time point —
@@ -377,7 +384,7 @@ pub trait AnalogueSystem {
         let fresh = self.linearise_global(t, x, y)?;
         let change = fresh.jacobian_change(out)?;
         *out = fresh;
-        Ok(StampReport { change, constant_stamps_skipped: 0 })
+        Ok(StampReport { change, constant_stamps_skipped: 0, pwl_stamps_skipped: 0 })
     }
 
     /// Global indices of the states this system declares *stiff* — the
@@ -519,6 +526,7 @@ impl AssemblyBuilder {
                     slot.constraint_count,
                 ),
                 static_scale: 0.0,
+                signature: None,
                 stamped: false,
             })
             .collect();
@@ -554,13 +562,19 @@ struct BlockScratch {
     lin: LocalLinearisation,
     /// Largest |entry| over the block's Jacobians at the last full stamp —
     /// the skipped block's contribution to the Eq. 3 monitor's scale, so
-    /// skipping a `Constant` block leaves the monitor value bit-identical to
-    /// a full restamp (its diff contribution is exactly zero, its scale
-    /// contribution is this cached maximum).
+    /// skipping a `Constant` or signature-matched `Pwl` block leaves the
+    /// monitor value bit-identical to a full restamp (its diff contribution
+    /// is exactly zero, its scale contribution is this cached maximum).
     static_scale: f64,
-    /// Whether a full stamp has populated `lin` (and, for `Constant` blocks,
-    /// `static_scale`) since construction — the precondition for the
-    /// affine-only fast path.
+    /// The block's [`StateSpaceBlock::pwl_signature`] at the last full stamp
+    /// (`None` for blocks that decline the contract). A `Pwl` block whose
+    /// fresh signature equals this value is skipped wholesale on the
+    /// relinearisation pass: the contract guarantees the values in the global
+    /// buffer are already exact.
+    signature: Option<u64>,
+    /// Whether a full stamp has populated `lin` (plus `static_scale` and
+    /// `signature`) since construction — the precondition for both fast
+    /// paths.
     stamped: bool,
 }
 
@@ -752,22 +766,27 @@ impl Assembly {
             for (i, &net) in slot.terminal_nets.iter().enumerate() {
                 buffers.y[i] = y[net];
             }
-            block.linearise_into(t, &buffers.x, &buffers.y, &mut buffers.lin);
+            let signature =
+                block.linearise_into_with_signature(t, &buffers.x, &buffers.y, &mut buffers.lin);
             let lin = &buffers.lin;
             debug_assert!(
                 lin.is_consistent(),
                 "block {} returned inconsistent matrices",
                 slot.name
             );
-            if slot.structure == JacobianStructure::Constant {
+            if slot.structure != JacobianStructure::Nonlinear {
                 // Record the block's Eq. 3 scale contribution once: the
-                // relinearisation pass folds this cached maximum in instead
-                // of rescanning Jacobians its contract pins constant.
+                // relinearisation fast paths fold this cached maximum in
+                // instead of rescanning Jacobians their contracts pin (the
+                // `Constant` affine-only refresh and the `Pwl`
+                // signature-matched skip both need it).
                 let jac_max =
                     |m: &DMatrix| m.as_slice().iter().fold(0.0_f64, |a, v| a.max(v.abs()));
                 buffers.static_scale =
                     jac_max(&lin.a).max(jac_max(&lin.b)).max(jac_max(&lin.c)).max(jac_max(&lin.d));
             }
+            buffers.signature =
+                if slot.structure == JacobianStructure::Pwl { signature } else { None };
             buffers.stamped = true;
 
             if self.scatter_by_copy {
@@ -865,7 +884,7 @@ impl Assembly {
             let fresh = self.linearise_global(blocks, t, x, y)?;
             let change = fresh.jacobian_change(out)?;
             *out = fresh;
-            return Ok(StampReport { change, constant_stamps_skipped: 0 });
+            return Ok(StampReport { change, constant_stamps_skipped: 0, pwl_stamps_skipped: 0 });
         }
         self.check_blocks(blocks)?;
         if x.len() != self.state_count || y.len() != self.net_count() {
@@ -928,6 +947,7 @@ impl Assembly {
         }
 
         let mut constant_stamps_skipped = 0_usize;
+        let mut pwl_stamps_skipped = 0_usize;
         for ((slot, block), buffers) in self.slots.iter().zip(blocks).zip(scratch.iter_mut()) {
             buffers.x.copy_from_segment(x, slot.state_offset);
             for (i, &net) in slot.terminal_nets.iter().enumerate() {
@@ -949,13 +969,40 @@ impl Assembly {
                 continue;
             }
 
-            block.linearise_into(t, &buffers.x, &buffers.y, &mut buffers.lin);
+            if slot.structure == JacobianStructure::Pwl && buffers.stamped {
+                // Pwl contract: when the block's segment signature is
+                // unchanged since the values in `out` were stamped, the
+                // contract guarantees a restamp would reproduce them bit for
+                // bit — Jacobians *and* affine terms — so the whole stamp is
+                // skipped. The check is the lookup-free membership test
+                // (`pwl_signature_matches`), the monitor sees a zero diff and
+                // the cached scale, exactly as a full restamp would report.
+                if let Some(signature) = buffers.signature {
+                    if block.pwl_signature_matches(t, &buffers.x, &buffers.y, signature) {
+                        scale_scattered = scale_scattered.max(buffers.static_scale);
+                        pwl_stamps_skipped += 1;
+                        continue;
+                    }
+                }
+            }
+
+            let signature =
+                block.linearise_into_with_signature(t, &buffers.x, &buffers.y, &mut buffers.lin);
             let lin = &buffers.lin;
             debug_assert!(
                 lin.is_consistent(),
                 "block {} returned inconsistent matrices",
                 slot.name
             );
+            if slot.structure == JacobianStructure::Pwl {
+                // Refresh the cached signature and scale so the next
+                // membership-matched skip folds in this stamp's maximum.
+                buffers.signature = signature;
+                let jac_max =
+                    |m: &DMatrix| m.as_slice().iter().fold(0.0_f64, |a, v| a.max(v.abs()));
+                buffers.static_scale =
+                    jac_max(&lin.a).max(jac_max(&lin.b)).max(jac_max(&lin.c)).max(jac_max(&lin.d));
+            }
 
             for row in 0..slot.state_count {
                 let global_row = slot.state_offset + row;
@@ -983,7 +1030,7 @@ impl Assembly {
         let scale =
             scale[0].max(scale[1]).max(scale[2]).max(scale[3]).max(scale_scattered).max(1e-30);
         let diff = diff[0].max(diff[1]).max(diff[2]).max(diff[3]).max(diff_scattered);
-        Ok(StampReport { change: diff / scale, constant_stamps_skipped })
+        Ok(StampReport { change: diff / scale, constant_stamps_skipped, pwl_stamps_skipped })
     }
 }
 

@@ -20,7 +20,7 @@
 use std::time::{Duration, Instant};
 
 use harvsim_linalg::{DMatrix, DVector, LuDecomposition};
-use harvsim_ode::solution::Trajectory;
+use harvsim_ode::solution::{DecimatedRecorder, SampleSink, Trajectory};
 
 use crate::assembly::{AnalogueSystem, GlobalLinearisation};
 use crate::CoreError;
@@ -61,6 +61,15 @@ pub struct BaselineOptions {
     pub damping: f64,
     /// Minimum spacing between recorded samples, in seconds.
     pub record_interval: f64,
+    /// Evaluate the harvester's nonlinear devices through their *exact*
+    /// physical equations (an `exp()` per diode per Newton iteration) instead
+    /// of the PWL companion tables. On by default: the commercial tools this
+    /// baseline stands in for evaluate device equations exactly — the lookup
+    /// table is the proposed technique's contribution, and handing it to the
+    /// baseline would let the comparison race the technique against itself.
+    /// Turn off for the like-for-like ablation (both engines on the same PWL
+    /// model, measuring integration differences only).
+    pub exact_device_evaluation: bool,
 }
 
 impl Default for BaselineOptions {
@@ -72,6 +81,7 @@ impl Default for BaselineOptions {
             max_newton_iterations: 30,
             damping: 1.0,
             record_interval: 1e-3,
+            exact_device_evaluation: true,
         }
     }
 }
@@ -283,6 +293,50 @@ impl NewtonRaphsonBaseline {
         terminals: &mut Trajectory,
         workspace: &mut BaselineWorkspace,
     ) -> Result<(DVector, BaselineStats), CoreError> {
+        let start = Instant::now();
+        let mut march = BaselineMarch::begin(self.options, system, t0, t_end, x0, workspace)?;
+        let mut sink = DecimatedRecorder::new(states, terminals, self.options.record_interval);
+        while !march.is_done() {
+            march.step(system, workspace, &mut sink)?;
+        }
+        let (x, mut stats) = march.finish(&mut sink);
+        stats.cpu_time = start.elapsed();
+        Ok((x, stats))
+    }
+}
+
+/// The baseline's fixed-step implicit loop as a resumable state machine — the
+/// Newton–Raphson mirror of [`crate::solver::StateSpaceMarch`], so a
+/// [`crate::session::Session`] can pause and resume either engine at any
+/// accepted-step boundary with bit-identical arithmetic. Output goes through
+/// a [`SampleSink`]; [`NewtonRaphsonBaseline::solve_into_with`] is a thin
+/// begin/step/finish driver over it.
+#[derive(Debug)]
+pub(crate) struct BaselineMarch {
+    options: BaselineOptions,
+    t_end: f64,
+    t: f64,
+    x: DVector,
+    y: DVector,
+    theta: f64,
+    stats: BaselineStats,
+}
+
+impl BaselineMarch {
+    /// Validates the span, prepares the workspace and solves the algebraic
+    /// equations for consistent initial terminal values.
+    ///
+    /// # Errors
+    ///
+    /// Same validation failures as [`NewtonRaphsonBaseline::solve`].
+    pub(crate) fn begin(
+        options: BaselineOptions,
+        system: &dyn AnalogueSystem,
+        t0: f64,
+        t_end: f64,
+        x0: &DVector,
+        workspace: &mut BaselineWorkspace,
+    ) -> Result<Self, CoreError> {
         if !(t_end > t0) {
             return Err(CoreError::InvalidConfiguration(format!(
                 "integration span must be non-empty (t0 = {t0}, t_end = {t_end})"
@@ -295,138 +349,170 @@ impl NewtonRaphsonBaseline {
                 system.state_count()
             )));
         }
-        let start = Instant::now();
         let n = system.state_count();
         let m = system.net_count();
         workspace.prepare(n, m);
-        let theta = match self.options.method {
+        let theta = match options.method {
             BaselineMethod::BackwardEuler => 1.0,
             BaselineMethod::Trapezoidal => 0.5,
         };
-
-        let mut stats = BaselineStats::default();
-        let mut t = t0;
-        let mut x = x0.clone();
+        let x = x0.clone();
         // Consistent initial terminal values from the algebraic equations.
-        let mut y = {
+        let y = {
             workspace.y_next.fill(0.0);
-            system.linearise_global_into(t, &x, &workspace.y_next, &mut workspace.lin_now)?;
+            system.linearise_global_into(t0, &x, &workspace.y_next, &mut workspace.lin_now)?;
             workspace.lin_now.solve_terminals(&x)?
         };
-        let mut last_recorded = f64::NEG_INFINITY;
+        Ok(BaselineMarch { options, t_end, t: t0, x, y, theta, stats: BaselineStats::default() })
+    }
 
-        while t < t_end - 1e-12 {
-            if t - last_recorded >= self.options.record_interval {
-                states.push(t, x.clone());
-                terminals.push(t, y.clone());
-                last_recorded = t;
+    /// Current integration time.
+    pub(crate) fn time(&self) -> f64 {
+        self.t
+    }
+
+    /// State at the current integration time (mid-segment view).
+    pub(crate) fn state(&self) -> &DVector {
+        &self.x
+    }
+
+    /// Work statistics accumulated so far in this segment (mid-segment view;
+    /// `cpu_time` is tracked by the driver, not here).
+    pub(crate) fn stats(&self) -> &BaselineStats {
+        &self.stats
+    }
+
+    /// Whether the march has reached the span end.
+    pub(crate) fn is_done(&self) -> bool {
+        self.t >= self.t_end - 1e-12
+    }
+
+    /// Advances by one accepted implicit step, offering the pre-step point to
+    /// `sink`. Calling it on a finished march is a no-op.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`NewtonRaphsonBaseline::solve`].
+    pub(crate) fn step(
+        &mut self,
+        system: &dyn AnalogueSystem,
+        workspace: &mut BaselineWorkspace,
+        sink: &mut dyn SampleSink,
+    ) -> Result<(), CoreError> {
+        if self.is_done() {
+            return Ok(());
+        }
+        let n = self.x.len();
+        let m = self.y.len();
+        let t = self.t;
+        let theta = self.theta;
+        sink.sample(t, &self.x, &self.y);
+        let h = self.options.step.min(self.t_end - t);
+        let t_next = t + h;
+
+        // Explicit part of the formula: θ-weighted derivative at (t, x, y).
+        system.linearise_global_into(t, &self.x, &self.y, &mut workspace.lin_now)?;
+        workspace.lin_now.state_derivative_into(&self.x, &self.y, &mut workspace.f_now);
+
+        // Newton iteration on z = [x_next; y_next], initial guess = present values.
+        workspace.x_next.copy_from(&self.x);
+        workspace.y_next.copy_from(&self.y);
+        let x = &self.x;
+        let mut converged = false;
+        for _iteration in 0..self.options.max_newton_iterations {
+            self.stats.newton_iterations += 1;
+            system.linearise_global_into(
+                t_next,
+                &workspace.x_next,
+                &workspace.y_next,
+                &mut workspace.lin,
+            )?;
+            let ws = &mut *workspace;
+            ws.lin.state_derivative_into(&ws.x_next, &ws.y_next, &mut ws.f_next);
+
+            // Residuals.
+            for i in 0..n {
+                ws.residual[i] =
+                    ws.x_next[i] - x[i] - h * (theta * ws.f_next[i] + (1.0 - theta) * ws.f_now[i]);
             }
-            let h = self.options.step.min(t_end - t);
-            let t_next = t + h;
+            ws.lin.jyx.mul_vector_into(&ws.x_next, &mut ws.constraint);
+            ws.lin.jyy.mul_vector_add_into(&ws.y_next, &mut ws.constraint);
+            ws.constraint += &ws.lin.gy;
+            for j in 0..m {
+                ws.residual[n + j] = ws.constraint[j];
+            }
+            if ws.residual.norm_inf() < self.options.newton_tolerance {
+                converged = true;
+                break;
+            }
 
-            // Explicit part of the formula: θ-weighted derivative at (t, x, y).
-            system.linearise_global_into(t, &x, &y, &mut workspace.lin_now)?;
-            workspace.lin_now.state_derivative_into(&x, &y, &mut workspace.f_now);
-
-            // Newton iteration on z = [x_next; y_next], initial guess = present values.
-            workspace.x_next.copy_from(&x);
-            workspace.y_next.copy_from(&y);
-            let mut converged = false;
-            for _iteration in 0..self.options.max_newton_iterations {
-                stats.newton_iterations += 1;
-                system.linearise_global_into(
-                    t_next,
-                    &workspace.x_next,
-                    &workspace.y_next,
-                    &mut workspace.lin,
-                )?;
-                let ws = &mut *workspace;
-                ws.lin.state_derivative_into(&ws.x_next, &ws.y_next, &mut ws.f_next);
-
-                // Residuals.
-                for i in 0..n {
-                    ws.residual[i] = ws.x_next[i]
-                        - x[i]
-                        - h * (theta * ws.f_next[i] + (1.0 - theta) * ws.f_now[i]);
+            // Jacobian of the residual, stamped block by block into the
+            // preallocated (N+M)² buffer; the four loops below assign
+            // every entry, so no clearing pass is needed.
+            let ht = h * theta;
+            for i in 0..n {
+                for j in 0..n {
+                    let identity = if i == j { 1.0 } else { 0.0 };
+                    ws.jac[(i, j)] = identity - ht * ws.lin.jxx[(i, j)];
                 }
-                ws.lin.jyx.mul_vector_into(&ws.x_next, &mut ws.constraint);
-                ws.lin.jyy.mul_vector_add_into(&ws.y_next, &mut ws.constraint);
-                ws.constraint += &ws.lin.gy;
                 for j in 0..m {
-                    ws.residual[n + j] = ws.constraint[j];
+                    ws.jac[(i, n + j)] = -ht * ws.lin.jxy[(i, j)];
                 }
-                if ws.residual.norm_inf() < self.options.newton_tolerance {
-                    converged = true;
-                    break;
-                }
-
-                // Jacobian of the residual, stamped block by block into the
-                // preallocated (N+M)² buffer; the four loops below assign
-                // every entry, so no clearing pass is needed.
-                let ht = h * theta;
-                for i in 0..n {
-                    for j in 0..n {
-                        let identity = if i == j { 1.0 } else { 0.0 };
-                        ws.jac[(i, j)] = identity - ht * ws.lin.jxx[(i, j)];
-                    }
-                    for j in 0..m {
-                        ws.jac[(i, n + j)] = -ht * ws.lin.jxy[(i, j)];
-                    }
-                }
-                for i in 0..m {
-                    for j in 0..n {
-                        ws.jac[(n + i, j)] = ws.lin.jyx[(i, j)];
-                    }
-                    for j in 0..m {
-                        ws.jac[(n + i, n + j)] = ws.lin.jyy[(i, j)];
-                    }
-                }
-
-                // Honest per-iteration factorisation, but into reused storage.
-                let factorised = match ws.lu.as_mut() {
-                    Some(lu) => lu.factor_into(&ws.jac),
-                    None => ws.jac.lu().map(|lu| {
-                        ws.lu = Some(lu);
-                    }),
-                };
-                factorised.map_err(|err| {
-                    CoreError::IllPosedSystem(format!(
-                        "baseline Newton Jacobian is singular: {err}"
-                    ))
-                })?;
-                stats.factorisations += 1;
-                let lu = ws.lu.as_ref().expect("factorised above");
-                ws.residual.scale_mut(-1.0);
-                lu.solve_into(&ws.residual, &mut ws.delta)?;
-                for i in 0..n {
-                    ws.x_next[i] += self.options.damping * ws.delta[i];
+            }
+            for i in 0..m {
+                for j in 0..n {
+                    ws.jac[(n + i, j)] = ws.lin.jyx[(i, j)];
                 }
                 for j in 0..m {
-                    ws.y_next[j] += self.options.damping * ws.delta[n + j];
+                    ws.jac[(n + i, n + j)] = ws.lin.jyy[(i, j)];
                 }
-                if !ws.x_next.is_finite() || !ws.y_next.is_finite() {
-                    return Err(CoreError::Ode(harvsim_ode::OdeError::NonFiniteState {
-                        time: t_next,
-                    }));
-                }
-            }
-            if !converged {
-                return Err(CoreError::Ode(harvsim_ode::OdeError::NewtonDidNotConverge {
-                    iterations: self.options.max_newton_iterations,
-                    residual: f64::NAN,
-                }));
             }
 
-            x.copy_from(&workspace.x_next);
-            y.copy_from(&workspace.y_next);
-            t = t_next;
-            stats.steps += 1;
+            // Honest per-iteration factorisation, but into reused storage.
+            let factorised = match ws.lu.as_mut() {
+                Some(lu) => lu.factor_into(&ws.jac),
+                None => ws.jac.lu().map(|lu| {
+                    ws.lu = Some(lu);
+                }),
+            };
+            factorised.map_err(|err| {
+                CoreError::IllPosedSystem(format!("baseline Newton Jacobian is singular: {err}"))
+            })?;
+            self.stats.factorisations += 1;
+            let lu = ws.lu.as_ref().expect("factorised above");
+            ws.residual.scale_mut(-1.0);
+            lu.solve_into(&ws.residual, &mut ws.delta)?;
+            for i in 0..n {
+                ws.x_next[i] += self.options.damping * ws.delta[i];
+            }
+            for j in 0..m {
+                ws.y_next[j] += self.options.damping * ws.delta[n + j];
+            }
+            if !ws.x_next.is_finite() || !ws.y_next.is_finite() {
+                return Err(CoreError::Ode(harvsim_ode::OdeError::NonFiniteState { time: t_next }));
+            }
+        }
+        if !converged {
+            return Err(CoreError::Ode(harvsim_ode::OdeError::NewtonDidNotConverge {
+                iterations: self.options.max_newton_iterations,
+                residual: f64::NAN,
+            }));
         }
 
-        states.push(t, x.clone());
-        terminals.push(t, y.clone());
-        stats.cpu_time = start.elapsed();
-        Ok((x, stats))
+        self.x.copy_from(&workspace.x_next);
+        self.y.copy_from(&workspace.y_next);
+        self.t = t_next;
+        self.stats.steps += 1;
+        Ok(())
+    }
+
+    /// Completes the span: offers the forced `t_end` sample through the sink
+    /// and returns the final state and the segment statistics (`cpu_time`
+    /// left at zero — wall-clock accounting belongs to the driver).
+    pub(crate) fn finish(self, sink: &mut dyn SampleSink) -> (DVector, BaselineStats) {
+        debug_assert!(self.is_done(), "finish() called with the span incomplete");
+        sink.final_sample(self.t, &self.x, &self.y);
+        (self.x, self.stats)
     }
 }
 

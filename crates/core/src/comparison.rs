@@ -91,13 +91,15 @@ impl SpeedComparison {
     /// # Errors
     ///
     /// Propagates simulation failures from any scenario; the first error (in
-    /// input order) wins.
+    /// input order) wins, wrapped in a [`CoreError::Scenario`] naming the
+    /// originating configuration's label.
     pub fn run_batch(
         &self,
         scenarios: &[ScenarioConfig],
     ) -> Result<Vec<ComparisonReport>, CoreError> {
-        let (results, threads_used) =
-            crate::scenario::parallel_map(scenarios, |scenario| self.run(scenario));
+        let (results, threads_used) = crate::scenario::parallel_map(scenarios, |scenario| {
+            self.run(scenario).map_err(|err| err.for_scenario(scenario.effective_label()))
+        });
         let mut reports: Vec<ComparisonReport> = results.into_iter().collect::<Result<_, _>>()?;
         for report in &mut reports {
             report.proposed.result.engine_stats.state_space.threads_used = threads_used;

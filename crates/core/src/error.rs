@@ -23,6 +23,29 @@ pub enum CoreError {
     Ode(OdeError),
     /// An underlying digital-kernel error.
     Kernel(KernelError),
+    /// A failure attributed to one scenario of a batch or sweep: `label`
+    /// names the originating configuration (the scenario id, or the sweep
+    /// point's `scenario+param=value` path), so a failed grid point is
+    /// identifiable from the error alone instead of by its position in a
+    /// `Vec<Result<…>>`.
+    Scenario {
+        /// Label of the scenario/sweep point that failed.
+        label: String,
+        /// The underlying failure.
+        source: Box<CoreError>,
+    },
+}
+
+impl CoreError {
+    /// Wraps this error with the label of the scenario that produced it
+    /// (idempotent for already-labelled errors: the innermost label wins and
+    /// no second layer is added).
+    pub fn for_scenario(self, label: impl Into<String>) -> CoreError {
+        match self {
+            already @ CoreError::Scenario { .. } => already,
+            source => CoreError::Scenario { label: label.into(), source: Box::new(source) },
+        }
+    }
 }
 
 impl fmt::Display for CoreError {
@@ -34,6 +57,7 @@ impl fmt::Display for CoreError {
             CoreError::Linalg(err) => write!(f, "linear algebra error: {err}"),
             CoreError::Ode(err) => write!(f, "integration error: {err}"),
             CoreError::Kernel(err) => write!(f, "digital kernel error: {err}"),
+            CoreError::Scenario { label, source } => write!(f, "scenario `{label}`: {source}"),
         }
     }
 }
@@ -45,6 +69,7 @@ impl std::error::Error for CoreError {
             CoreError::Linalg(err) => Some(err),
             CoreError::Ode(err) => Some(err),
             CoreError::Kernel(err) => Some(err),
+            CoreError::Scenario { source, .. } => Some(source.as_ref()),
             _ => None,
         }
     }
@@ -96,5 +121,24 @@ mod tests {
         assert!(CoreError::InvalidConfiguration("bad".into()).to_string().contains("bad"));
         assert!(CoreError::IllPosedSystem("why".into()).to_string().contains("why"));
         assert!(std::error::Error::source(&err).is_some());
+    }
+
+    #[test]
+    fn scenario_labelling_wraps_once_and_chains_the_source() {
+        let inner = CoreError::InvalidConfiguration("duration must be positive".into());
+        let labelled = inner.clone().for_scenario("scenario1+load=2e4");
+        assert!(labelled.to_string().contains("scenario1+load=2e4"));
+        assert!(labelled.to_string().contains("duration must be positive"));
+        match &labelled {
+            CoreError::Scenario { label, source } => {
+                assert_eq!(label, "scenario1+load=2e4");
+                assert_eq!(source.as_ref(), &inner);
+            }
+            other => panic!("expected a Scenario wrapper, got {other:?}"),
+        }
+        // Idempotent: a second labelling keeps the innermost attribution.
+        let twice = labelled.clone().for_scenario("outer");
+        assert_eq!(twice, labelled);
+        assert!(std::error::Error::source(&labelled).is_some());
     }
 }

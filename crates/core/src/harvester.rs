@@ -119,6 +119,23 @@ impl TunableHarvester {
         self.multiplier.set_diode(diode);
     }
 
+    /// Switches the multiplier's diodes between PWL-table companions (the
+    /// paper's technique, default) and exact analytic Shockley evaluation —
+    /// the device-evaluation policy of the commercial tools the
+    /// Newton–Raphson baseline stands in for. The session layer flips this
+    /// on for baseline runs so the speed comparison measures the technique
+    /// against honest exact device evaluation, not against its own lookup
+    /// trick.
+    pub fn set_exact_diode_companions(&mut self, exact: bool) {
+        self.multiplier.set_exact_companions(exact);
+    }
+
+    /// Whether the multiplier evaluates its diodes exactly (see
+    /// [`TunableHarvester::set_exact_diode_companions`]).
+    pub fn exact_diode_companions(&self) -> bool {
+        self.multiplier.exact_companions()
+    }
+
     fn blocks(&self) -> [&dyn StateSpaceBlock; 3] {
         [&self.microgenerator, &self.multiplier, &self.supercapacitor]
     }

@@ -34,19 +34,31 @@
 //!
 //! ## Quick start
 //!
+//! The streaming [`session`] facade is the primary entry point: a
+//! [`Simulation`] builder produces a resumable [`Session`] observed by typed
+//! [`probe`]s.
+//!
 //! ```
-//! use harvsim_core::scenario::ScenarioConfig;
+//! use harvsim_core::{EnvelopeProbe, Simulation};
 //!
 //! # fn main() -> Result<(), harvsim_core::CoreError> {
 //! // A very short Scenario-1 style run (70 -> 71 Hz retune).
-//! let mut config = ScenarioConfig::scenario1();
-//! config.duration_s = 0.25;          // keep the doc test fast
-//! config.frequency_step_time_s = 0.1;
-//! let result = config.run()?;
-//! assert!(result.states.len() > 10);
+//! let mut session = Simulation::scenario1()
+//!     .duration(0.25)                // keep the doc test fast
+//!     .frequency_step_at(0.1)
+//!     .start()?;
+//! let vc = session.harvester().storage_voltage_net();
+//! let store = session.add_probe(EnvelopeProbe::terminal(vc));
+//! session.run_to_end()?;
+//! assert!(session.report().engine_stats.state_space.steps > 10);
+//! assert!(session.probe::<EnvelopeProbe>(store).expect("typed").samples() > 10);
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! The run-to-completion API ([`ScenarioConfig::run`]) remains available as a
+//! shim over sessions, returning dense trajectories bit-identical to the
+//! pre-session engines.
 //!
 //! [Wang et al.]: https://doi.org/10.1109/DATE.2011.5763084
 
@@ -65,7 +77,9 @@ mod error;
 pub mod harvester;
 pub mod measurement;
 pub mod mixed;
+pub mod probe;
 pub mod scenario;
+pub mod session;
 pub mod solver;
 
 pub use assembly::{
@@ -78,7 +92,11 @@ pub use error::CoreError;
 pub use harvester::TunableHarvester;
 pub use measurement::{PowerReport, WaveformComparison};
 pub use mixed::{MixedSignalResult, MixedSignalSimulation, SimulationEngine};
+pub use probe::{
+    DigitalEvent, EnvelopeProbe, PowerProbe, Probe, StepHistogramProbe, WaveformProbe,
+};
 pub use scenario::{run_batch, ScenarioConfig, ScenarioResult, SweepParameter};
+pub use session::{ProbeId, Session, SessionReport, SessionStatus, Simulation};
 pub use solver::{SolveResult, SolverOptions, SolverStats, StateSpaceSolver};
 
 /// Convenient result alias used across the crate.

@@ -7,6 +7,14 @@
 //!
 //! The functions here work on the terminal trajectory recorded by the solver;
 //! the net indices come from [`crate::TunableHarvester`].
+//!
+//! Since the session redesign these are the *post-hoc* measurement tools —
+//! they need dense recorded waveforms. The streaming equivalents in
+//! [`crate::probe`] compute the same figures live with O(1) memory
+//! ([`crate::probe::PowerProbe`] subsumes [`power_report`] over the full
+//! accepted-step grid instead of the decimated recording;
+//! [`crate::probe::EnvelopeProbe`] replaces min/max scans); prefer them when
+//! a run does not otherwise need its trajectories retained.
 
 use harvsim_ode::Trajectory;
 

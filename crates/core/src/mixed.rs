@@ -12,14 +12,15 @@
 //! any need to backtrack across a digital event — the property the paper
 //! highlights as making the technique easy to couple with a digital kernel.
 
-use harvsim_blocks::{ControllerConfig, HarvesterEnvironment, LoadMode, MicroController};
-use harvsim_digital::{Kernel, SimTime};
+use harvsim_blocks::{ControllerConfig, LoadMode};
 use harvsim_linalg::DVector;
 use harvsim_ode::solution::Trajectory;
 
-use crate::baseline::{BaselineOptions, BaselineStats, BaselineWorkspace, NewtonRaphsonBaseline};
+use crate::baseline::{BaselineOptions, BaselineStats};
 use crate::harvester::TunableHarvester;
-use crate::solver::{SolverOptions, SolverStats, SolverWorkspace, StateSpaceSolver};
+use crate::probe::WaveformProbe;
+use crate::session;
+use crate::solver::{SolverOptions, SolverStats};
 use crate::CoreError;
 
 /// Which analogue engine drives the co-simulation.
@@ -77,39 +78,22 @@ pub struct MixedSignalResult {
     pub digital_events: u64,
     /// Control actions applied during the run.
     pub control_events: Vec<ControlEvent>,
-}
-
-/// Snapshot/mailbox through which the digital controller observes and commands
-/// the analogue model. Reads are filled in from the analogue state before every
-/// kernel activation; writes are collected and applied to the blocks afterwards.
-#[derive(Debug, Clone, Default)]
-struct ControlMailbox {
-    supercap_voltage: f64,
-    ambient_hz: f64,
-    resonant_hz: f64,
-    requested_load_mode: Option<LoadMode>,
-    requested_resonance_hz: Option<f64>,
-}
-
-impl HarvesterEnvironment for ControlMailbox {
-    fn supercapacitor_voltage(&self) -> f64 {
-        self.supercap_voltage
-    }
-    fn ambient_frequency_hz(&self) -> f64 {
-        self.ambient_hz
-    }
-    fn resonant_frequency_hz(&self) -> f64 {
-        self.requested_resonance_hz.unwrap_or(self.resonant_hz)
-    }
-    fn set_load_mode(&mut self, mode: LoadMode) {
-        self.requested_load_mode = Some(mode);
-    }
-    fn set_resonant_frequency(&mut self, frequency_hz: f64) {
-        self.requested_resonance_hz = Some(frequency_hz);
-    }
+    /// High-water probe memory of the underlying session. For this dense
+    /// shim it is dominated by the waveform capture (O(recorded samples));
+    /// streaming sessions keep it O(1) — see
+    /// [`crate::session::SessionReport::peak_probe_bytes`].
+    pub peak_probe_bytes: usize,
 }
 
 /// The mixed analogue/digital co-simulation driver.
+///
+/// Since the session redesign this is a **compatibility shim**: `run` opens a
+/// [`crate::session::Session`], attaches one dense
+/// [`crate::probe::WaveformProbe`] at the engine's record interval, and runs
+/// it to the end. The arithmetic is bit-identical to the pre-session driver
+/// (pinned by `tests/session_shim.rs`); new code that wants mid-run
+/// observation, pause/resume or O(1) sweeps should use the session API
+/// directly.
 #[derive(Debug)]
 pub struct MixedSignalSimulation {
     engine: SimulationEngine,
@@ -137,7 +121,8 @@ impl MixedSignalSimulation {
     /// Runs the complete mixed-technology simulation from `t = 0` to
     /// `duration_s`, starting with the supercapacitor pre-charged to
     /// `initial_supercap_voltage` and the microcontroller asleep until its
-    /// first watchdog wake-up.
+    /// first watchdog wake-up. The caller's harvester is left in the run's
+    /// final state (retuned resonance, final load mode).
     ///
     /// # Errors
     ///
@@ -149,127 +134,32 @@ impl MixedSignalSimulation {
         duration_s: f64,
         initial_supercap_voltage: f64,
     ) -> Result<MixedSignalResult, CoreError> {
-        if !(duration_s > 0.0) {
-            return Err(CoreError::InvalidConfiguration(format!(
-                "simulation duration must be positive, got {duration_s}"
-            )));
-        }
-        let controller =
-            MicroController::new(controller_config, harvester.resonant_frequency_hz())?;
-
-        let mut kernel: Kernel<ControlMailbox> = Kernel::new();
-        kernel.spawn_at(SimTime::from_secs_f64(controller_config.watchdog_period_s), controller);
-
-        let mut states = Trajectory::new();
-        let mut terminals = Trajectory::new();
-        let mut engine_stats = EngineStats::default();
-        let mut control_events = Vec::new();
-
-        let mut t = 0.0_f64;
-        let mut x = harvester.initial_state(initial_supercap_voltage)?;
-
-        // One engine and one workspace for the whole run: the co-simulation
-        // alternates many short analogue segments with digital events, and
-        // rebuilding the solver buffers per segment would put the allocator
-        // back on the hot path the workspaces exist to clear.
-        // The workspaces are boxed: they are long-lived (one per run), and
-        // keeping the enum variants slim avoids shuffling the solver's whole
-        // buffer block around when the runtime is constructed and matched.
-        enum EngineRuntime {
-            StateSpace(StateSpaceSolver, Box<SolverWorkspace>),
-            NewtonRaphson(NewtonRaphsonBaseline, Box<BaselineWorkspace>),
-        }
-        let mut runtime = match &self.engine {
-            SimulationEngine::StateSpace(options) => EngineRuntime::StateSpace(
-                StateSpaceSolver::new(*options)?,
-                Box::new(SolverWorkspace::new()),
-            ),
-            SimulationEngine::NewtonRaphson(options) => EngineRuntime::NewtonRaphson(
-                NewtonRaphsonBaseline::new(*options)?,
-                Box::new(BaselineWorkspace::new()),
-            ),
-        };
-
-        while t < duration_s - 1e-9 {
-            // The next synchronisation point: the earliest pending digital event
-            // or the end of the run, whichever comes first.
-            let next_event = kernel
-                .next_event_time()
-                .map(|time| time.as_secs_f64())
-                .unwrap_or(duration_s)
-                .min(duration_s);
-            let segment_end = next_event.max(t + 1e-9);
-
-            // Analogue segment.
-            if segment_end > t + 1e-12 {
-                match &mut runtime {
-                    EngineRuntime::StateSpace(solver, workspace) => {
-                        let (x_end, stats) = solver.solve_into_with(
-                            harvester,
-                            t,
-                            segment_end,
-                            &x,
-                            &mut states,
-                            &mut terminals,
-                            workspace,
-                        )?;
-                        x = x_end;
-                        engine_stats.state_space.absorb(&stats);
-                    }
-                    EngineRuntime::NewtonRaphson(solver, workspace) => {
-                        let (x_end, stats) = solver.solve_into_with(
-                            harvester,
-                            t,
-                            segment_end,
-                            &x,
-                            &mut states,
-                            &mut terminals,
-                            workspace,
-                        )?;
-                        x = x_end;
-                        engine_stats.baseline.absorb(&stats);
-                    }
-                }
-                t = segment_end;
-            }
-
-            // Digital events due at the synchronisation point.
-            if kernel.next_event_time().map(|time| time.as_secs_f64() <= t + 1e-12).unwrap_or(false)
-            {
-                let mut mailbox = ControlMailbox {
-                    supercap_voltage: harvester.supercapacitor_voltage(&x),
-                    ambient_hz: harvester.ambient_frequency_hz(t),
-                    resonant_hz: harvester.resonant_frequency_hz(),
-                    requested_load_mode: None,
-                    requested_resonance_hz: None,
-                };
-                kernel.run_until(SimTime::from_secs_f64(t), &mut mailbox)?;
-                let mut acted = false;
-                if let Some(mode) = mailbox.requested_load_mode {
-                    harvester.set_load_mode(mode);
-                    acted = true;
-                }
-                if let Some(frequency) = mailbox.requested_resonance_hz {
-                    harvester.set_resonant_frequency(frequency);
-                    acted = true;
-                }
-                if acted {
-                    control_events.push(ControlEvent {
-                        time_s: t,
-                        load_mode: harvester.load_mode(),
-                        resonant_frequency_hz: harvester.resonant_frequency_hz(),
-                    });
-                }
-            }
-        }
-
+        let mut session = session::dense_capture_session(
+            harvester.clone(),
+            controller_config,
+            self.engine,
+            duration_s,
+            initial_supercap_voltage,
+        )?;
+        session.run_to_end()?;
+        let (report, probes, final_harvester) = session.into_parts();
+        *harvester = final_harvester;
+        let capture = probes
+            .into_iter()
+            .find_map(|probe| {
+                let probe: Box<dyn std::any::Any> = probe;
+                probe.downcast::<WaveformProbe>().ok()
+            })
+            .expect("the dense-capture session attached a waveform probe");
+        let (states, terminals) = capture.into_trajectories();
         Ok(MixedSignalResult {
             states,
             terminals,
-            final_state: x,
-            engine_stats,
-            digital_events: kernel.events_processed(),
-            control_events,
+            final_state: report.final_state,
+            engine_stats: report.engine_stats,
+            digital_events: report.digital_events,
+            control_events: report.control_events,
+            peak_probe_bytes: report.peak_probe_bytes,
         })
     }
 }

@@ -42,6 +42,11 @@ pub struct ScenarioConfig {
     pub controller: ControllerConfig,
     /// Analogue engine used for the run.
     pub engine: SimulationEngine,
+    /// Optional human-readable label. [`ScenarioConfig::sweep`] stamps each
+    /// expanded point with its `param=value` path, and the batch runners
+    /// carry the label into error attribution ([`CoreError::Scenario`]) so a
+    /// failed grid point is identifiable without positional bookkeeping.
+    pub label: Option<String>,
 }
 
 impl ScenarioConfig {
@@ -63,7 +68,21 @@ impl ScenarioConfig {
             parameters,
             controller,
             engine: SimulationEngine::StateSpace(SolverOptions::default()),
+            label: None,
         }
+    }
+
+    /// The label batch errors and sweep rows identify this configuration by:
+    /// the explicit [`ScenarioConfig::label`] when set, the scenario id
+    /// otherwise.
+    pub fn effective_label(&self) -> String {
+        self.label.clone().unwrap_or_else(|| self.scenario.id().to_string())
+    }
+
+    /// Sets the label carried into sweep rows and batch error attribution.
+    pub fn with_label(mut self, label: impl Into<String>) -> Self {
+        self.label = Some(label.into());
+        self
     }
 
     /// Scenario 1 (70 → 71 Hz) with default, quick-running settings.
@@ -191,6 +210,11 @@ impl ScenarioConfig {
                         point.initial_supercap_voltage = value;
                     }
                 }
+                // Chained sweeps build up the full `scenario+p1=v1+p2=v2`
+                // path, so every grid point is identifiable in errors and
+                // sweep records without positional bookkeeping.
+                point.label =
+                    Some(format!("{}+{}={value:e}", self.effective_label(), param.label()));
                 point
             })
             .collect()
@@ -237,8 +261,16 @@ impl SweepParameter {
 /// stamped with the worker count actually used (`1` for the sequential
 /// fallback), so a single-core CI timing is attributable from the records
 /// alone.
+///
+/// Failures come back labelled: each error slot is a
+/// [`CoreError::Scenario`] carrying the originating configuration's
+/// [`ScenarioConfig::effective_label`] (the scenario id, or the sweep
+/// point's `scenario+param=value` path), so a failed grid point is
+/// identifiable from the error alone.
 pub fn run_batch(configs: &[ScenarioConfig]) -> Vec<Result<ScenarioResult, CoreError>> {
-    let (mut results, threads_used) = parallel_map(configs, |config| config.run());
+    let (mut results, threads_used) = parallel_map(configs, |config| {
+        config.run().map_err(|err| err.for_scenario(config.effective_label()))
+    });
     for result in results.iter_mut().flatten() {
         // Only the engine that actually ran gets the fan-out stamped —
         // writing it into a zeroed stats block would misattribute the
@@ -251,18 +283,20 @@ pub fn run_batch(configs: &[ScenarioConfig]) -> Vec<Result<ScenarioResult, CoreE
     results
 }
 
-/// Shared batch plumbing for [`run_batch`] and
-/// [`crate::SpeedComparison::run_batch`]: applies `work` to every item,
-/// running at most `available_parallelism()` scoped worker threads at a time,
-/// and reports how many workers actually ran concurrently (`1` = sequential
-/// fallback) so the callers can surface it instead of hiding it.
+/// Shared batch plumbing for [`run_batch`],
+/// [`crate::SpeedComparison::run_batch`] and external sweep drivers (the
+/// `repro --sweep` grid fans streaming sessions through it): applies `work`
+/// to every item, running at most `available_parallelism()` scoped worker
+/// threads at a time, and reports how many workers actually ran concurrently
+/// (`1` = sequential fallback) so the callers can surface it instead of
+/// hiding it.
 /// The chunking matters for more than throughput — the per-engine CPU times
 /// in the comparison reports are `Instant`-based wall-clock measurements, so
 /// oversubscribing the cores (16 sweeps on a 2-core runner) would fold
 /// scheduler wait into the very numbers the speed-up gates check. On a
 /// single-hardware-thread host (or a single item) everything runs
 /// sequentially for the same reason.
-pub(crate) fn parallel_map<T: Sync, R: Send>(
+pub fn parallel_map<T: Sync, R: Send>(
     items: &[T],
     work: impl Fn(&T) -> Result<R, CoreError> + Sync,
 ) -> (Vec<Result<R, CoreError>>, usize) {

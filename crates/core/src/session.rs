@@ -1,0 +1,944 @@
+//! The streaming simulation facade: a [`Simulation`] builder producing an
+//! observable, resumable [`Session`].
+//!
+//! The pre-session API ran every simulation to completion and materialised
+//! two dense trajectories per run — O(steps) memory per sweep point, no
+//! mid-run observation, no early exit, and every measurement a post-hoc walk
+//! over recorded waveforms. A `Session` inverts that: the mixed-signal
+//! co-simulation (analogue march segments interleaved with digital-kernel
+//! events) becomes a state machine the caller advances explicitly —
+//! [`Session::step`], [`Session::run_until`], [`Session::run_to_end`] — while
+//! typed [`Probe`]s observe every accepted analogue point and every digital
+//! event as they happen. Pausing is simply returning from `run_until`;
+//! resuming is calling it again.
+//!
+//! Two properties are load-bearing (and pinned by tests):
+//!
+//! * **Pause/resume is bit-identical.** `run_until(t)` never truncates an
+//!   integration step to land on `t`: it pauses at the first accepted step
+//!   boundary at or past `t`, with the in-flight march (Adams–Bashforth
+//!   history, step-ladder rung, stability plan, Newton iterate) kept alive in
+//!   the session. The step sequence — and therefore every recorded number —
+//!   is identical to an uninterrupted run, for both engines, IMEX on or off.
+//! * **Streaming runs are O(1) in the simulated span.** A session whose
+//!   probes are all streaming (envelope, power windows, histograms) allocates
+//!   no dense [`harvsim_ode::Trajectory`]; the high-water probe footprint is
+//!   reported as [`SessionReport::peak_probe_bytes`].
+//!
+//! The old entry points survive as thin shims re-seated on sessions:
+//! [`crate::MixedSignalSimulation::run`] (and through it
+//! [`crate::ScenarioConfig::run`]) attaches one dense [`WaveformProbe`] and
+//! runs to the end, reproducing the pre-session trajectories bit for bit.
+//! See DESIGN.md §8 for the ownership diagram and the probe dispatch cost
+//! budget.
+
+use std::any::Any;
+use std::time::{Duration, Instant};
+
+use harvsim_blocks::{ControllerConfig, HarvesterEnvironment, LoadMode, MicroController};
+use harvsim_digital::{Kernel, SimTime};
+use harvsim_linalg::DVector;
+use harvsim_ode::SampleSink;
+
+use crate::baseline::{BaselineMarch, BaselineOptions, BaselineWorkspace};
+use crate::harvester::TunableHarvester;
+use crate::mixed::{ControlEvent, EngineStats, SimulationEngine};
+use crate::probe::{DigitalEvent, Probe, WaveformProbe};
+use crate::scenario::ScenarioConfig;
+use crate::solver::{SolverOptions, SolverWorkspace, StateSpaceMarch};
+use crate::CoreError;
+
+/// Builder for a [`Session`]: a [`ScenarioConfig`] plus fluent overrides for
+/// the knobs a caller usually touches (span, engine, solver options, label).
+/// `Simulation` is cheap to clone and reusable — every [`Simulation::start`]
+/// call produces an independent session.
+///
+/// ```
+/// use harvsim_core::session::Simulation;
+/// use harvsim_core::probe::EnvelopeProbe;
+///
+/// # fn main() -> Result<(), harvsim_core::CoreError> {
+/// let mut session = Simulation::scenario1()
+///     .duration(0.2)
+///     .frequency_step_at(0.05)
+///     .start()?;
+/// let vc = session.harvester().storage_voltage_net();
+/// let store = session.add_probe(EnvelopeProbe::terminal(vc));
+/// session.run_to_end()?;
+/// let envelope = session.probe::<EnvelopeProbe>(store).expect("probe kept its type");
+/// assert!(envelope.min() > 1.5 && envelope.max() < 4.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Simulation {
+    config: ScenarioConfig,
+}
+
+impl Simulation {
+    /// Wraps an existing scenario configuration.
+    pub fn from_config(config: ScenarioConfig) -> Self {
+        Simulation { config }
+    }
+
+    /// Scenario 1 of the paper (70 → 71 Hz narrow tuning).
+    pub fn scenario1() -> Self {
+        Self::from_config(ScenarioConfig::scenario1())
+    }
+
+    /// Scenario 2 of the paper (70 → 84 Hz wide tuning).
+    pub fn scenario2() -> Self {
+        Self::from_config(ScenarioConfig::scenario2())
+    }
+
+    /// Sets the simulated span, in seconds.
+    pub fn duration(mut self, duration_s: f64) -> Self {
+        self.config.duration_s = duration_s;
+        self
+    }
+
+    /// Sets the time of the ambient-frequency step, in seconds.
+    pub fn frequency_step_at(mut self, time_s: f64) -> Self {
+        self.config.frequency_step_time_s = time_s;
+        self
+    }
+
+    /// Sets the initial supercapacitor pre-charge, in volts.
+    pub fn initial_supercap_voltage(mut self, volts: f64) -> Self {
+        self.config.initial_supercap_voltage = volts;
+        self
+    }
+
+    /// Selects the analogue engine.
+    pub fn engine(mut self, engine: SimulationEngine) -> Self {
+        self.config.engine = engine;
+        self
+    }
+
+    /// Shorthand for the state-space engine with explicit solver options.
+    pub fn solver_options(self, options: SolverOptions) -> Self {
+        self.engine(SimulationEngine::StateSpace(options))
+    }
+
+    /// Shorthand for the Newton–Raphson baseline with explicit options.
+    pub fn baseline_options(self, options: BaselineOptions) -> Self {
+        self.engine(SimulationEngine::NewtonRaphson(options))
+    }
+
+    /// Attaches a label carried into batch/sweep error attribution
+    /// (see [`CoreError::Scenario`]).
+    pub fn label(mut self, label: impl Into<String>) -> Self {
+        self.config.label = Some(label.into());
+        self
+    }
+
+    /// The wrapped configuration.
+    pub fn config(&self) -> &ScenarioConfig {
+        &self.config
+    }
+
+    /// Validates the configuration, builds the harvester and opens a session
+    /// positioned at `t = 0`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration validation and model assembly failures.
+    pub fn start(&self) -> Result<Session, CoreError> {
+        self.config.validate()?;
+        let harvester = self.config.build_harvester()?;
+        Session::start(
+            harvester,
+            self.config.controller,
+            self.config.engine,
+            self.config.duration_s,
+            self.config.initial_supercap_voltage,
+        )
+    }
+}
+
+/// Handle to a probe registered with [`Session::add_probe`], used to retrieve
+/// it (typed) during or after the run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProbeId(usize);
+
+/// Progress signal returned by [`Session::step`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SessionStatus {
+    /// The session has more work; the payload is the current simulation time.
+    Running {
+        /// Current simulation time, in seconds.
+        time_s: f64,
+    },
+    /// The span is complete (all analogue segments marched, all due digital
+    /// events processed).
+    Finished,
+}
+
+/// Snapshot of a session's outcome (valid at any time; final once
+/// [`Session::is_finished`]).
+#[derive(Debug, Clone)]
+pub struct SessionReport {
+    /// Simulation time the report was taken at, in seconds.
+    pub time_s: f64,
+    /// Whether the configured span is complete.
+    pub finished: bool,
+    /// Global analogue state at report time (the final state once finished).
+    pub final_state: DVector,
+    /// Analogue-engine work statistics accumulated so far.
+    pub engine_stats: EngineStats,
+    /// Digital-kernel process activations executed so far.
+    pub digital_events: u64,
+    /// Control actions applied by the digital side so far.
+    pub control_events: Vec<ControlEvent>,
+    /// High-water sum of [`Probe::memory_bytes`] across all attached probes —
+    /// the observable memory cost of observation. Streaming-only sessions
+    /// keep this constant in the simulated duration.
+    pub peak_probe_bytes: usize,
+}
+
+/// The analogue engine behind a session: the engine options, the reusable
+/// workspace, and — while an analogue segment is in flight (possibly paused)
+/// — its resumable march.
+enum EngineRuntime {
+    StateSpace {
+        options: SolverOptions,
+        workspace: Box<SolverWorkspace>,
+        march: Option<Box<StateSpaceMarch>>,
+    },
+    NewtonRaphson {
+        options: BaselineOptions,
+        workspace: Box<BaselineWorkspace>,
+        march: Option<Box<BaselineMarch>>,
+    },
+}
+
+impl EngineRuntime {
+    fn march_time(&self) -> Option<f64> {
+        match self {
+            EngineRuntime::StateSpace { march, .. } => march.as_deref().map(StateSpaceMarch::time),
+            EngineRuntime::NewtonRaphson { march, .. } => march.as_deref().map(BaselineMarch::time),
+        }
+    }
+
+    fn march_active(&self) -> bool {
+        self.march_time().is_some()
+    }
+}
+
+/// Fans solver samples out to every attached probe — the [`SampleSink`] the
+/// session hands to the marches. One dynamic dispatch per probe per accepted
+/// step; with no probes attached the march output vanishes entirely.
+struct ProbeFan<'a>(&'a mut [Box<dyn Probe>]);
+
+impl SampleSink for ProbeFan<'_> {
+    fn sample(&mut self, t: f64, states: &DVector, terminals: &DVector) {
+        for probe in self.0.iter_mut() {
+            probe.on_sample(t, states, terminals);
+        }
+    }
+
+    fn final_sample(&mut self, t: f64, states: &DVector, terminals: &DVector) {
+        for probe in self.0.iter_mut() {
+            probe.on_final_sample(t, states, terminals);
+        }
+    }
+}
+
+/// Snapshot/mailbox through which the digital controller observes and
+/// commands the analogue model. Reads are filled in from the analogue state
+/// before every kernel activation; writes are collected and applied to the
+/// blocks afterwards.
+#[derive(Debug, Clone, Default)]
+struct ControlMailbox {
+    supercap_voltage: f64,
+    ambient_hz: f64,
+    resonant_hz: f64,
+    requested_load_mode: Option<LoadMode>,
+    requested_resonance_hz: Option<f64>,
+}
+
+impl HarvesterEnvironment for ControlMailbox {
+    fn supercapacitor_voltage(&self) -> f64 {
+        self.supercap_voltage
+    }
+    fn ambient_frequency_hz(&self) -> f64 {
+        self.ambient_hz
+    }
+    fn resonant_frequency_hz(&self) -> f64 {
+        self.requested_resonance_hz.unwrap_or(self.resonant_hz)
+    }
+    fn set_load_mode(&mut self, mode: LoadMode) {
+        self.requested_load_mode = Some(mode);
+    }
+    fn set_resonant_frequency(&mut self, frequency_hz: f64) {
+        self.requested_resonance_hz = Some(frequency_hz);
+    }
+}
+
+/// A running (or paused, or finished) mixed-signal simulation.
+///
+/// Created by [`Simulation::start`] (or [`Session::start`] from an explicit
+/// harvester). The session owns the harvester, the digital kernel, the
+/// engine workspace and the probes; advancing it interleaves resumable
+/// analogue march segments with digital-kernel event processing exactly as
+/// the pre-session driver did — the arithmetic is bit-identical, only the
+/// control flow is inverted.
+pub struct Session {
+    harvester: TunableHarvester,
+    kernel: Kernel<ControlMailbox>,
+    runtime: EngineRuntime,
+    duration: f64,
+    /// Committed time: the end of the last fully closed segment (the
+    /// in-flight march, if any, is ahead of this).
+    t: f64,
+    /// Committed state matching `t`.
+    x: DVector,
+    /// End of the in-flight segment (meaningful while a march is active).
+    segment_end: f64,
+    probes: Vec<Box<dyn Probe>>,
+    engine_stats: EngineStats,
+    control_events: Vec<ControlEvent>,
+    /// Engine wall-clock accumulated for the in-flight segment, booked into
+    /// the segment's stats when it closes (pauses are not billed).
+    pending_cpu: Duration,
+    /// The diode-evaluation mode the caller's harvester arrived with. The
+    /// session flips the live flag to match the engine policy (exact for the
+    /// baseline, table companions for the state-space engine) and restores
+    /// this value when handing the harvester back, so the policy never leaks
+    /// into caller-owned configuration.
+    caller_exact_companions: bool,
+    peak_probe_bytes: usize,
+    finished: bool,
+}
+
+impl Session {
+    /// Opens a session over an explicit harvester model (the builder
+    /// [`Simulation::start`] is the common entry point). The digital
+    /// controller is spawned on its watchdog schedule and the supercapacitor
+    /// pre-charged to `initial_supercap_voltage`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine option validation, controller construction and
+    /// initial-state failures; rejects a non-positive duration.
+    pub fn start(
+        mut harvester: TunableHarvester,
+        controller_config: ControllerConfig,
+        engine: SimulationEngine,
+        duration_s: f64,
+        initial_supercap_voltage: f64,
+    ) -> Result<Self, CoreError> {
+        if !(duration_s > 0.0) {
+            return Err(CoreError::InvalidConfiguration(format!(
+                "simulation duration must be positive, got {duration_s}"
+            )));
+        }
+        // The baseline stands in for the commercial Newton–Raphson tools,
+        // which evaluate the physical device equations at every iteration —
+        // the PWL lookup table is the *proposed* technique's contribution, so
+        // handing it to the baseline would let the comparison race the
+        // technique against itself. Exact evaluation for the baseline
+        // (unless its options opt out for the like-for-like ablation), table
+        // companions for the state-space engine. The caller's own setting is
+        // remembered and restored by [`Session::into_parts`].
+        let caller_exact_companions = harvester.exact_diode_companions();
+        harvester.set_exact_diode_companions(matches!(
+            engine,
+            SimulationEngine::NewtonRaphson(options) if options.exact_device_evaluation
+        ));
+        let runtime = match engine {
+            SimulationEngine::StateSpace(options) => {
+                options.validate()?;
+                EngineRuntime::StateSpace {
+                    options,
+                    workspace: Box::new(SolverWorkspace::new()),
+                    march: None,
+                }
+            }
+            SimulationEngine::NewtonRaphson(options) => {
+                options.validate()?;
+                EngineRuntime::NewtonRaphson {
+                    options,
+                    workspace: Box::new(BaselineWorkspace::new()),
+                    march: None,
+                }
+            }
+        };
+        let controller =
+            MicroController::new(controller_config, harvester.resonant_frequency_hz())?;
+        let mut kernel: Kernel<ControlMailbox> = Kernel::new();
+        kernel.spawn_at(SimTime::from_secs_f64(controller_config.watchdog_period_s), controller);
+        let x = harvester.initial_state(initial_supercap_voltage)?;
+        Ok(Session {
+            harvester,
+            kernel,
+            runtime,
+            duration: duration_s,
+            t: 0.0,
+            x,
+            segment_end: 0.0,
+            probes: Vec::new(),
+            engine_stats: EngineStats::default(),
+            control_events: Vec::new(),
+            pending_cpu: Duration::ZERO,
+            caller_exact_companions,
+            peak_probe_bytes: 0,
+            finished: false,
+        })
+    }
+
+    /// Registers a probe; the returned id retrieves it later through
+    /// [`Session::probe`] / [`Session::probe_mut`]. Probes added after the
+    /// session has advanced only observe from the current time onward.
+    pub fn add_probe<P: Probe>(&mut self, probe: P) -> ProbeId {
+        self.probes.push(Box::new(probe));
+        self.update_peak_probe_bytes();
+        ProbeId(self.probes.len() - 1)
+    }
+
+    /// Typed access to a registered probe.
+    pub fn probe<P: Probe>(&self, id: ProbeId) -> Option<&P> {
+        let probe: &dyn Any = self.probes.get(id.0)?.as_ref();
+        probe.downcast_ref::<P>()
+    }
+
+    /// Typed mutable access to a registered probe.
+    pub fn probe_mut<P: Probe>(&mut self, id: ProbeId) -> Option<&mut P> {
+        let probe: &mut dyn Any = self.probes.get_mut(id.0)?.as_mut();
+        probe.downcast_mut::<P>()
+    }
+
+    /// The harvester model (retuned resonance, load mode evolve as the
+    /// digital side acts). Net/state index lookups for probe construction
+    /// live here.
+    pub fn harvester(&self) -> &TunableHarvester {
+        &self.harvester
+    }
+
+    /// Current simulation time, in seconds: the in-flight march position, or
+    /// the last committed segment boundary.
+    pub fn time(&self) -> f64 {
+        self.runtime.march_time().unwrap_or(self.t)
+    }
+
+    /// Configured span, in seconds.
+    pub fn duration(&self) -> f64 {
+        self.duration
+    }
+
+    /// Whether the whole span has been simulated.
+    pub fn is_finished(&self) -> bool {
+        self.finished
+    }
+
+    /// Analogue-engine statistics accumulated over the closed segments.
+    pub fn engine_stats(&self) -> &EngineStats {
+        &self.engine_stats
+    }
+
+    /// Control actions applied so far.
+    pub fn control_events(&self) -> &[ControlEvent] {
+        &self.control_events
+    }
+
+    /// Advances the session by one unit of work — opening the next analogue
+    /// segment, taking one accepted integration step, or closing a completed
+    /// segment and processing its due digital events — and reports progress.
+    /// This is the finest observation granularity; [`Session::run_until`]
+    /// drives the same machine in a tight loop.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine and kernel failures; the session is not usable after
+    /// an error.
+    pub fn step(&mut self) -> Result<SessionStatus, CoreError> {
+        if self.finished {
+            return Ok(SessionStatus::Finished);
+        }
+        if !self.runtime.march_active() {
+            if self.t >= self.duration - 1e-9 {
+                self.finished = true;
+                return Ok(SessionStatus::Finished);
+            }
+            self.open_segment()?;
+            return Ok(SessionStatus::Running { time_s: self.time() });
+        }
+        let clock = Instant::now();
+        let segment_done = self.march_steps(f64::INFINITY, true)?;
+        self.pending_cpu += clock.elapsed();
+        if segment_done {
+            self.close_segment()?;
+        }
+        if self.finished {
+            Ok(SessionStatus::Finished)
+        } else {
+            Ok(SessionStatus::Running { time_s: self.time() })
+        }
+    }
+
+    /// Runs until the simulation time reaches `target` seconds (clamped to
+    /// the configured duration), then pauses and returns the actual time.
+    ///
+    /// Pausing never truncates an integration step: the session stops at the
+    /// first accepted step boundary at or past `target`, keeping the
+    /// in-flight march alive, so a paused-and-resumed run takes *exactly* the
+    /// steps an uninterrupted run takes — bit-identical trajectories, stats
+    /// and control actions. Resume by calling `run_until` (or
+    /// [`Session::run_to_end`]) again.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine and kernel failures.
+    pub fn run_until(&mut self, target: f64) -> Result<f64, CoreError> {
+        let target = target.min(self.duration);
+        while !self.finished && self.time() < target - 1e-12 {
+            if self.runtime.march_active() {
+                let clock = Instant::now();
+                let segment_done = self.march_steps(target, false)?;
+                self.pending_cpu += clock.elapsed();
+                if segment_done {
+                    self.close_segment()?;
+                }
+            } else if self.t >= self.duration - 1e-9 {
+                self.finished = true;
+            } else {
+                self.open_segment()?;
+            }
+        }
+        self.update_peak_probe_bytes();
+        Ok(self.time())
+    }
+
+    /// Runs the remaining span to completion.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine and kernel failures.
+    pub fn run_to_end(&mut self) -> Result<(), CoreError> {
+        while !self.finished {
+            self.run_until(self.duration)?;
+            // `run_until(duration)` leaves the loop once time reaches the
+            // duration; one more pass closes the final segment bookkeeping.
+            if !self.finished && !self.runtime.march_active() && self.t >= self.duration - 1e-9 {
+                self.finished = true;
+            }
+        }
+        Ok(())
+    }
+
+    /// Snapshot of the session outcome (final once the session finished).
+    /// Mid-segment reports are current: the state and the engine statistics
+    /// include the in-flight march's progress (with the segment's
+    /// accumulated engine time billed provisionally), not just the last
+    /// closed segment.
+    pub fn report(&self) -> SessionReport {
+        let mut engine_stats = self.engine_stats;
+        let final_state = match &self.runtime {
+            EngineRuntime::StateSpace { march: Some(march), .. } => {
+                engine_stats.state_space.absorb(march.stats());
+                engine_stats.state_space.cpu_time += self.pending_cpu;
+                march.state().clone()
+            }
+            EngineRuntime::NewtonRaphson { march: Some(march), .. } => {
+                engine_stats.baseline.absorb(march.stats());
+                engine_stats.baseline.cpu_time += self.pending_cpu;
+                march.state().clone()
+            }
+            _ => self.x.clone(),
+        };
+        SessionReport {
+            time_s: self.time(),
+            finished: self.finished,
+            final_state,
+            engine_stats,
+            digital_events: self.kernel.events_processed(),
+            control_events: self.control_events.clone(),
+            peak_probe_bytes: self.peak_probe_bytes,
+        }
+    }
+
+    /// Consumes the session, returning the report, the probes (for typed
+    /// downcasting by the caller) and the harvester in its final state —
+    /// with the diode-evaluation mode restored to what the caller configured
+    /// (the engine policy the session applied is session-internal).
+    pub fn into_parts(mut self) -> (SessionReport, Vec<Box<dyn Probe>>, TunableHarvester) {
+        let report = self.report();
+        self.harvester.set_exact_diode_companions(self.caller_exact_companions);
+        (report, self.probes, self.harvester)
+    }
+
+    /// Opens the next analogue segment `[t, min(next_event, duration)]` and
+    /// arms the engine march over it.
+    fn open_segment(&mut self) -> Result<(), CoreError> {
+        let clock = Instant::now();
+        let next_event = self
+            .kernel
+            .next_event_time()
+            .map(|time| time.as_secs_f64())
+            .unwrap_or(self.duration)
+            .min(self.duration);
+        let segment_end = next_event.max(self.t + 1e-9);
+        self.segment_end = segment_end;
+        for probe in &mut self.probes {
+            probe.on_segment(self.t, segment_end);
+        }
+        let Session { runtime, harvester, t, x, .. } = self;
+        match runtime {
+            EngineRuntime::StateSpace { options, workspace, march } => {
+                *march = Some(Box::new(StateSpaceMarch::begin(
+                    *options,
+                    &*harvester,
+                    *t,
+                    segment_end,
+                    x,
+                    workspace,
+                )?));
+            }
+            EngineRuntime::NewtonRaphson { options, workspace, march } => {
+                *march = Some(Box::new(BaselineMarch::begin(
+                    *options,
+                    &*harvester,
+                    *t,
+                    segment_end,
+                    x,
+                    workspace,
+                )?));
+            }
+        }
+        self.pending_cpu += clock.elapsed();
+        Ok(())
+    }
+
+    /// Advances the in-flight march until it completes its segment or its
+    /// time reaches `target` (`single` limits it to one accepted step).
+    /// Returns whether the segment is complete.
+    fn march_steps(&mut self, target: f64, single: bool) -> Result<bool, CoreError> {
+        let Session { runtime, harvester, probes, .. } = self;
+        let mut fan = ProbeFan(probes);
+        match runtime {
+            EngineRuntime::StateSpace { workspace, march: Some(march), .. } => {
+                while !march.is_done() && march.time() < target - 1e-12 {
+                    march.step(&*harvester, workspace, &mut fan)?;
+                    if single {
+                        break;
+                    }
+                }
+                Ok(march.is_done())
+            }
+            EngineRuntime::NewtonRaphson { workspace, march: Some(march), .. } => {
+                while !march.is_done() && march.time() < target - 1e-12 {
+                    march.step(&*harvester, workspace, &mut fan)?;
+                    if single {
+                        break;
+                    }
+                }
+                Ok(march.is_done())
+            }
+            _ => Ok(true),
+        }
+    }
+
+    /// Closes a completed segment: emits the forced segment-end sample,
+    /// books the segment statistics (including the accumulated engine
+    /// wall-clock), commits time and state, and processes the digital events
+    /// due at the boundary.
+    fn close_segment(&mut self) -> Result<(), CoreError> {
+        let clock = Instant::now();
+        {
+            let Session { runtime, harvester, probes, x, engine_stats, .. } = self;
+            let mut fan = ProbeFan(probes);
+            match runtime {
+                EngineRuntime::StateSpace { workspace, march, .. } => {
+                    if let Some(march) = march.take() {
+                        let (x_end, stats) = march.finish(&*harvester, workspace, &mut fan)?;
+                        *x = x_end;
+                        engine_stats.state_space.absorb(&stats);
+                    }
+                }
+                EngineRuntime::NewtonRaphson { march, .. } => {
+                    if let Some(march) = march.take() {
+                        let (x_end, stats) = march.finish(&mut fan);
+                        *x = x_end;
+                        engine_stats.baseline.absorb(&stats);
+                    }
+                }
+            }
+        }
+        // Bill the segment's accumulated engine time (march time + the open
+        // and close bookkeeping, matching what the run-to-completion drivers
+        // measured) into the engine that ran it.
+        let segment_cpu = self.pending_cpu + clock.elapsed();
+        self.pending_cpu = Duration::ZERO;
+        match &self.runtime {
+            EngineRuntime::StateSpace { .. } => {
+                self.engine_stats.state_space.cpu_time += segment_cpu
+            }
+            EngineRuntime::NewtonRaphson { .. } => {
+                self.engine_stats.baseline.cpu_time += segment_cpu
+            }
+        }
+        self.t = self.segment_end;
+        self.update_peak_probe_bytes();
+        self.process_due_events()?;
+        if self.t >= self.duration - 1e-9 {
+            self.finished = true;
+        }
+        Ok(())
+    }
+
+    /// Executes the digital-kernel events due at the current time, forwarding
+    /// every activation and any resulting control action to the probes.
+    fn process_due_events(&mut self) -> Result<(), CoreError> {
+        let due = self
+            .kernel
+            .next_event_time()
+            .map(|time| time.as_secs_f64() <= self.t + 1e-12)
+            .unwrap_or(false);
+        if !due {
+            return Ok(());
+        }
+        let mut mailbox = ControlMailbox {
+            supercap_voltage: self.harvester.supercapacitor_voltage(&self.x),
+            ambient_hz: self.harvester.ambient_frequency_hz(self.t),
+            resonant_hz: self.harvester.resonant_frequency_hz(),
+            requested_load_mode: None,
+            requested_resonance_hz: None,
+        };
+        {
+            let Session { kernel, probes, t, .. } = self;
+            kernel.run_until_with(SimTime::from_secs_f64(*t), &mut mailbox, |time, name| {
+                let event = DigitalEvent::Activation {
+                    time_s: time.as_secs_f64(),
+                    process: name.to_string(),
+                };
+                for probe in probes.iter_mut() {
+                    probe.on_event(&event);
+                }
+            })?;
+        }
+        let mut acted = false;
+        if let Some(mode) = mailbox.requested_load_mode {
+            self.harvester.set_load_mode(mode);
+            acted = true;
+        }
+        if let Some(frequency) = mailbox.requested_resonance_hz {
+            self.harvester.set_resonant_frequency(frequency);
+            acted = true;
+        }
+        if acted {
+            let event = ControlEvent {
+                time_s: self.t,
+                load_mode: self.harvester.load_mode(),
+                resonant_frequency_hz: self.harvester.resonant_frequency_hz(),
+            };
+            self.control_events.push(event);
+            let wrapped = DigitalEvent::Control(event);
+            for probe in self.probes.iter_mut() {
+                probe.on_event(&wrapped);
+            }
+        }
+        Ok(())
+    }
+
+    fn update_peak_probe_bytes(&mut self) {
+        let current: usize = self.probes.iter().map(|probe| probe.memory_bytes()).sum();
+        self.peak_probe_bytes = self.peak_probe_bytes.max(current);
+    }
+}
+
+impl std::fmt::Debug for Session {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Session")
+            .field("time_s", &self.time())
+            .field("duration_s", &self.duration)
+            .field("finished", &self.finished)
+            .field("probes", &self.probes.len())
+            .field("control_events", &self.control_events.len())
+            .finish()
+    }
+}
+
+/// Convenience used by the mixed-signal shim: a session pre-loaded with one
+/// dense [`WaveformProbe`] at the engine's record interval — the exact
+/// recording policy the pre-session engines had built in.
+pub(crate) fn dense_capture_session(
+    harvester: TunableHarvester,
+    controller_config: ControllerConfig,
+    engine: SimulationEngine,
+    duration_s: f64,
+    initial_supercap_voltage: f64,
+) -> Result<Session, CoreError> {
+    let record_interval = match &engine {
+        SimulationEngine::StateSpace(options) => options.record_interval,
+        SimulationEngine::NewtonRaphson(options) => options.record_interval,
+    };
+    let mut session =
+        Session::start(harvester, controller_config, engine, duration_s, initial_supercap_voltage)?;
+    session.add_probe(WaveformProbe::new(record_interval));
+    Ok(session)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::probe::{EnvelopeProbe, StepHistogramProbe};
+
+    fn quick_simulation() -> Simulation {
+        let mut config = ScenarioConfig::scenario1();
+        config.duration_s = 0.2;
+        config.frequency_step_time_s = 0.05;
+        // Short watchdog so even sub-second spans exercise digital events.
+        config.controller.watchdog_period_s = 0.08;
+        config.controller.measurement_duration_s = 0.02;
+        config.controller.tuning_update_interval_s = 0.01;
+        config.controller.tuning_rate_hz_per_s = 10.0;
+        config.controller.energy_threshold_v = 2.0;
+        Simulation::from_config(config)
+    }
+
+    #[test]
+    fn builder_round_trips_the_config() {
+        let simulation = Simulation::scenario1()
+            .duration(1.5)
+            .frequency_step_at(0.25)
+            .initial_supercap_voltage(2.4)
+            .label("unit");
+        assert_eq!(simulation.config().duration_s, 1.5);
+        assert_eq!(simulation.config().frequency_step_time_s, 0.25);
+        assert_eq!(simulation.config().initial_supercap_voltage, 2.4);
+        assert_eq!(simulation.config().label.as_deref(), Some("unit"));
+        assert!(Simulation::scenario2().config().duration_s > 0.0);
+        // Invalid configurations fail at start, not at build.
+        assert!(quick_simulation().duration(-1.0).start().is_err());
+        let bad =
+            quick_simulation().solver_options(SolverOptions { ab_order: 0, ..Default::default() });
+        assert!(bad.start().is_err());
+    }
+
+    #[test]
+    fn session_runs_to_end_and_reports() {
+        let mut session = quick_simulation().start().unwrap();
+        assert_eq!(session.time(), 0.0);
+        assert!(!session.is_finished());
+        let vc = session.harvester().storage_voltage_net();
+        let envelope = session.add_probe(EnvelopeProbe::terminal(vc));
+        let steps = session.add_probe(StepHistogramProbe::new());
+        session.run_to_end().unwrap();
+        assert!(session.is_finished());
+        assert!((session.time() - 0.2).abs() < 1e-9);
+        let report = session.report();
+        assert!(report.finished);
+        assert!(report.final_state.is_finite());
+        assert!(report.engine_stats.state_space.steps > 100);
+        assert!(report.digital_events > 0);
+        assert!(report.peak_probe_bytes > 0);
+        let envelope = session.probe::<EnvelopeProbe>(envelope).unwrap();
+        // The storage-port voltage starts at the 2.5 V pre-charge and sags
+        // under the tuning load, but stays positive and bounded.
+        assert!(envelope.max() > 2.0 && envelope.max() < 4.0, "max {}", envelope.max());
+        assert!(envelope.min() > 0.0, "min {}", envelope.min());
+        assert!(envelope.samples() > 100);
+        let histogram = session.probe::<StepHistogramProbe>(steps).unwrap();
+        assert!(histogram.total_steps() > 0);
+        assert!(histogram.min_dt() > 0.0 && histogram.max_dt() >= histogram.min_dt());
+        // Wrong-typed retrieval is a clean None, not a panic.
+        assert!(session.probe::<EnvelopeProbe>(steps).is_none());
+        // Stepping a finished session reports Finished and changes nothing.
+        assert_eq!(session.step().unwrap(), SessionStatus::Finished);
+    }
+
+    #[test]
+    fn single_stepping_reaches_the_same_end() {
+        let mut session =
+            quick_simulation().duration(0.05).frequency_step_at(0.02).start().unwrap();
+        let mut guard = 0usize;
+        while !matches!(session.step().unwrap(), SessionStatus::Finished) {
+            guard += 1;
+            assert!(guard < 200_000, "session failed to finish");
+        }
+        assert!(session.is_finished());
+        assert!((session.time() - 0.05).abs() < 1e-9);
+    }
+
+    #[test]
+    fn run_until_pauses_and_resumes() {
+        let mut session = quick_simulation().start().unwrap();
+        let paused_at = session.run_until(0.07).unwrap();
+        // Pausing overshoots to the next accepted boundary, never undershoots.
+        assert!(paused_at >= 0.07 - 1e-12);
+        assert!(!session.is_finished());
+        let report = session.report();
+        assert!(!report.finished);
+        assert!(report.time_s >= 0.07 - 1e-12);
+        session.run_to_end().unwrap();
+        assert!(session.is_finished());
+    }
+
+    /// A report taken mid-segment must be *current*: the in-flight march's
+    /// state and step count, not the last committed segment boundary.
+    #[test]
+    fn mid_segment_reports_include_the_in_flight_march() {
+        let mut session = quick_simulation().start().unwrap();
+        // The first watchdog event is at 0.08 s, so 0.03 s is mid-segment.
+        session.run_until(0.03).unwrap();
+        let report = session.report();
+        assert!(report.time_s >= 0.03 - 1e-12);
+        assert!(
+            report.engine_stats.state_space.steps > 100,
+            "mid-segment steps visible: {}",
+            report.engine_stats.state_space.steps
+        );
+        // The state reflects the march position, not the t = 0 initial
+        // conditions (the generator states have left rest by 30 ms).
+        let moving: f64 = report.final_state.as_slice()[..3].iter().map(|value| value.abs()).sum();
+        assert!(moving > 1e-9, "state still at initial conditions: {:?}", report.final_state);
+        session.run_to_end().unwrap();
+        let done = session.report();
+        assert!(done.finished);
+        assert!(done.engine_stats.state_space.steps > report.engine_stats.state_space.steps);
+    }
+
+    /// The engine's device-evaluation policy is session-internal: a baseline
+    /// session runs on exact Shockley companions, but the harvester handed
+    /// back by `into_parts` (and therefore the shims' `ScenarioResult`)
+    /// keeps the caller's configuration.
+    #[test]
+    fn engine_evaluation_policy_does_not_leak_into_the_returned_harvester() {
+        let simulation = quick_simulation()
+            .duration(0.05)
+            .frequency_step_at(0.02)
+            .baseline_options(crate::BaselineOptions::default());
+        let mut session = simulation.start().unwrap();
+        // Live during the run: the baseline evaluates exactly.
+        assert!(session.harvester().exact_diode_companions());
+        session.run_to_end().unwrap();
+        let (_, _, harvester) = session.into_parts();
+        assert!(
+            !harvester.exact_diode_companions(),
+            "the caller's harvester was configured with table companions"
+        );
+        // And the run-to-completion shim inherits the guarantee.
+        let mut config = quick_simulation().config().clone();
+        config.duration_s = 0.05;
+        config.frequency_step_time_s = 0.02;
+        config.engine = crate::SimulationEngine::NewtonRaphson(crate::BaselineOptions::default());
+        let result = config.run().unwrap();
+        assert!(!result.harvester.exact_diode_companions());
+    }
+
+    #[test]
+    fn streaming_probe_memory_is_duration_independent() {
+        let peak_for = |duration: f64| {
+            let mut session = quick_simulation().duration(duration).start().unwrap();
+            let vc = session.harvester().storage_voltage_net();
+            session.add_probe(EnvelopeProbe::terminal(vc));
+            session.add_probe(StepHistogramProbe::new());
+            session.run_to_end().unwrap();
+            session.report().peak_probe_bytes
+        };
+        let short = peak_for(0.1);
+        let long = peak_for(0.3);
+        assert_eq!(short, long, "streaming probes must be O(1) in the simulated span");
+        assert!(short > 0);
+    }
+}

@@ -58,7 +58,7 @@ use harvsim_ode::explicit::{
     MAX_ADAMS_BASHFORTH_ORDER,
 };
 use harvsim_ode::exponential::StiffExponential;
-use harvsim_ode::solution::Trajectory;
+use harvsim_ode::solution::{DecimatedRecorder, SampleSink, Trajectory};
 use harvsim_ode::stability::{order_step_limits, OrderStepLimits};
 
 use crate::assembly::{AnalogueSystem, GlobalLinearisation, TerminalFactorisation};
@@ -131,8 +131,14 @@ impl Default for SolverOptions {
             relinearise_threshold: 0.05,
             record_interval: 1e-3,
             imex: true,
-            lte_relative_tolerance: 8e-6,
-            lte_absolute_tolerance: 8e-13,
+            // Retuned for the chord-companion diode model (this PR): the
+            // model's segment kinks inject error the embedded estimator
+            // cannot see, so the explicit tolerance is tightened until the
+            // measured cross-engine deviation sits back under the 2e-4 V
+            // acceptance band (1.2e-4/1.9e-4 measured) — ~15 % more steps
+            // than the old 8e-6 setting.
+            lte_relative_tolerance: 3e-6,
+            lte_absolute_tolerance: 3e-13,
         }
     }
 }
@@ -220,6 +226,14 @@ pub struct SolverStats {
     /// the [`harvsim_blocks::JacobianStructure::Constant`] contract — the
     /// observable payoff of the constant-part/delta stamp split.
     pub constant_stamps_skipped: usize,
+    /// Per-block stamps skipped wholesale under the
+    /// [`harvsim_blocks::JacobianStructure::Pwl`] segment-signature contract:
+    /// the block's PWL segment set was unchanged since the last stamp, so the
+    /// values in the buffer are exact and neither the scatter nor the Eq. 3
+    /// scan ran (ROADMAP item b — the Dickson relinearise cost). For the
+    /// assembled harvester this counts the steps between diode
+    /// conduction-state changes, i.e. nearly all of them.
+    pub pwl_stamps_skipped: usize,
     /// Worker threads the run was fanned across by a batch runner
     /// ([`crate::run_batch`] / [`crate::SpeedComparison::run_batch`]); `0`
     /// means the solver ran inline, `1` that a batch runner fell back to
@@ -254,6 +268,7 @@ impl SolverStats {
         }
         self.stiff_exact_steps += other.stiff_exact_steps;
         self.constant_stamps_skipped += other.constant_stamps_skipped;
+        self.pwl_stamps_skipped += other.pwl_stamps_skipped;
         // Batch-runner metadata, not per-segment work: the widest fan-out
         // seen wins, and the most recent segment's binding pole stands for
         // the merged run (a later segment describes the march's present
@@ -595,6 +610,67 @@ impl StateSpaceSolver {
         terminals: &mut Trajectory,
         workspace: &mut SolverWorkspace,
     ) -> Result<(DVector, SolverStats), CoreError> {
+        let start = Instant::now();
+        let mut march = StateSpaceMarch::begin(self.options, system, t0, t_end, x0, workspace)?;
+        let mut sink = DecimatedRecorder::new(states, terminals, self.options.record_interval);
+        while !march.is_done() {
+            march.step(system, workspace, &mut sink)?;
+        }
+        let (x, mut stats) = march.finish(system, workspace, &mut sink)?;
+        stats.cpu_time = start.elapsed();
+        Ok((x, stats))
+    }
+}
+
+/// The march-in-time loop of [`StateSpaceSolver`] as a *resumable state
+/// machine*: everything the run-to-completion loop used to keep in local
+/// variables (current time and state, step ladder rung, growth permit,
+/// stability plan, drift accumulator, statistics) lives in this struct, so
+/// the march can be advanced one accepted step at a time, paused at any
+/// boundary and resumed later with **bit-identical** arithmetic — the
+/// property the streaming [`crate::session::Session`] facade is built on.
+///
+/// The march does not borrow the system or the workspace; both are passed to
+/// every call, which is what lets a session own the harvester, mutate it
+/// between analogue segments (digital control actions) and still keep an
+/// in-flight march alive across `run_until` pauses. Output goes through a
+/// [`SampleSink`] — the march offers every accepted point and the sink
+/// decides what to retain, so a dense recorder and an O(1) streaming probe
+/// fan drive the identical loop.
+///
+/// [`StateSpaceSolver::solve_into_with`] is now a thin driver: begin, step
+/// until done, finish.
+#[derive(Debug)]
+pub(crate) struct StateSpaceMarch {
+    options: SolverOptions,
+    t_end: f64,
+    t: f64,
+    x: DVector,
+    h: f64,
+    rung: usize,
+    grow_rung: bool,
+    plan: Option<OrderStepLimits>,
+    accumulated_change: f64,
+    partitioned: bool,
+    stats: SolverStats,
+}
+
+impl StateSpaceMarch {
+    /// Validates the span and initial state, prepares the workspace for the
+    /// segment and returns the march positioned at `t0`. The first call to
+    /// [`StateSpaceMarch::step`] performs the segment-opening full stamp.
+    ///
+    /// # Errors
+    ///
+    /// Same validation failures as [`StateSpaceSolver::solve`].
+    pub(crate) fn begin(
+        options: SolverOptions,
+        system: &dyn AnalogueSystem,
+        t0: f64,
+        t_end: f64,
+        x0: &DVector,
+        workspace: &mut SolverWorkspace,
+    ) -> Result<Self, CoreError> {
         if !(t_end > t0) {
             return Err(CoreError::InvalidConfiguration(format!(
                 "integration span must be non-empty (t0 = {t0}, t_end = {t_end})"
@@ -607,9 +683,6 @@ impl StateSpaceSolver {
                 system.state_count()
             )));
         }
-        let start = Instant::now();
-        let mut stats = SolverStats::default();
-
         let n = system.state_count();
         let m = system.net_count();
         // The stiff/non-stiff partition is fixed per segment: with `imex` on,
@@ -617,7 +690,7 @@ impl StateSpaceSolver {
         // the exact exponential lane; with it off (or nothing declared) the
         // partition is empty and the loop below is bit-identical to the
         // classic unpartitioned path.
-        let stiff = if self.options.imex { system.stiff_states() } else { Vec::new() };
+        let stiff = if options.imex { system.stiff_states() } else { Vec::new() };
         for &index in &stiff {
             if index >= n {
                 return Err(CoreError::InvalidConfiguration(format!(
@@ -625,12 +698,9 @@ impl StateSpaceSolver {
                 )));
             }
         }
-        workspace.prepare(n, m, self.options.ab_order, &stiff, &self.options);
+        workspace.prepare(n, m, options.ab_order, &stiff, &options);
         let partitioned = !workspace.stiff.is_empty();
 
-        let mut t = t0;
-        let mut x = x0.clone();
-        let mut h = self.options.initial_step;
         // Partitioned-march step ladder position: start at the rung at or
         // below `initial_step` (one scan per segment, integer moves per step).
         // Segments deliberately do NOT resume the previous segment's rung:
@@ -639,312 +709,378 @@ impl StateSpaceSolver {
         // cross-boundary discontinuity — re-climbing from `initial_step`
         // through the boundary transient costs ~1 % of the steps and is what
         // keeps the cross-engine deviation at the 1e-4 level.
-        let mut rung = if partitioned {
+        let rung = if partitioned {
             workspace
                 .ladder
                 .iter()
-                .position(|&value| value <= self.options.initial_step)
+                .position(|&value| value <= options.initial_step)
                 .unwrap_or(workspace.ladder.len() - 1)
         } else {
             0
         };
-        // Growth permit of the accuracy controller: cleared while the error
-        // estimate says one rung of growth would overshoot the tolerance
-        // (hysteresis — without it the march oscillates between two rungs,
-        // thrashing the ϕ-propagator cache).
-        let mut grow_rung = true;
-        let mut last_recorded = f64::NEG_INFINITY;
-        let mut plan: Option<OrderStepLimits> = None;
-        let mut accumulated_change = 0.0_f64;
 
-        while t < t_end - 1e-12 {
-            // 1.+2. Linearise at the present operating point (Eq. 2),
-            //    re-stamping the preallocated global matrices in place, and
-            //    monitor the local linearisation error through Jacobian
-            //    changes (Eq. 3) — fused into the same stamping pass on the
-            //    steady-state path. The stability plan refreshes on exactly
-            //    two monitor events: a one-step discontinuity, or the summed
-            //    drift since the last refresh passing the same threshold (the
-            //    per-step change scales with the step size, so after the
-            //    limit forces a small step only the *accumulated* change can
-            //    reach the threshold — this replaces PR 1's periodic
-            //    wall-clock refresh without letting the limit go stale).
-            let (refresh, discontinuity) = if !workspace.have_prev {
-                system.linearise_global_into(t, &x, &workspace.y, &mut workspace.lin)?;
-                (true, false)
-            } else {
-                let report =
-                    system.relinearise_global_into(t, &x, &workspace.y, &mut workspace.lin)?;
-                stats.constant_stamps_skipped += report.constant_stamps_skipped;
-                let change = report.change;
-                stats.max_jacobian_change = stats.max_jacobian_change.max(change);
-                accumulated_change += change;
-                let discontinuity = change > self.options.relinearise_threshold;
-                (
-                    discontinuity || accumulated_change > self.options.relinearise_threshold,
-                    discontinuity,
-                )
-            };
-            stats.linearisations += 1;
-            if discontinuity {
-                // The derivatives behind this point were sampled from the
-                // pre-switch model (load-mode or PWL-segment change): drop
-                // them so no multi-step update bridges the kink. The
-                // governor falls back to order 1 and regrows within three
-                // steps; the stiff lane's coupling-slope estimate is dropped
-                // for the same reason (one step of exponential Euler, then
-                // ETD2 regrows).
-                workspace.history.reset();
-                workspace.exponential.reset_history();
-            }
-            // Bring the cached Jyy factorisation up to date. Outside a refresh
-            // Jyy has not moved past the Eq. 3 monitor, and for the assembled
-            // harvester it is bit-identical between load-mode switches, so this
-            // is a pure cache hit on the steady-state path.
-            let factorised = workspace.terminal.refresh(&workspace.lin)?;
-            if factorised {
-                stats.factorisations += 1;
-            } else {
-                stats.cached_solves += 1;
-            }
-            if refresh {
-                // One shared factorisation serves both the Eq. 7 stability
-                // refresh and the Eq. 4 terminal eliminations, and one
-                // spectral decomposition of the total-step matrix prices all
-                // four Adams–Bashforth orders (the governor's plan costs no
-                // extra matrix traversal over the former single-order check).
-                let lu = workspace.terminal.lu().expect("refresh succeeded");
-                workspace.lin.total_step_matrix_with(
-                    lu,
-                    &mut workspace.yy_inv_yx,
-                    &mut workspace.correction,
-                    &mut workspace.a_total,
-                )?;
-                stats.stability_updates += 1;
-                // Partitioned: the plan prices only the non-stiff spectrum
-                // (`A_ff`), because the stiff partition advances exactly and
-                // must not constrain the explicit step — this is the whole
-                // lever of the IMEX march. The stiff sub-matrix goes to the
-                // exponential kernel, whose ϕ cache survives refreshes that
-                // leave `A_ss` bit-identical.
-                let priced = if partitioned {
-                    workspace.gather_partitions();
-                    workspace.exponential.set_matrix(&workspace.a_ss);
-                    &workspace.a_ff
-                } else {
-                    &workspace.a_total
-                };
-                plan = Some(order_step_limits(
-                    priced,
-                    self.options.stability_safety,
-                    self.options.max_step,
-                    self.options.ab_order,
-                )?);
-                accumulated_change = 0.0;
-            }
-            let plan_ref = plan.as_ref().expect("stability plan computed on the first step");
+        Ok(StateSpaceMarch {
+            h: options.initial_step,
+            options,
+            t_end,
+            t: t0,
+            x: x0.clone(),
+            rung,
+            // Growth permit of the accuracy controller: cleared while the
+            // error estimate says one rung of growth would overshoot the
+            // tolerance (hysteresis — without it the march oscillates between
+            // two rungs, thrashing the ϕ-propagator cache).
+            grow_rung: true,
+            plan: None,
+            accumulated_change: 0.0,
+            partitioned,
+            stats: SolverStats::default(),
+        })
+    }
 
-            // 3. Eliminate the terminal variables (Eq. 4) with the cached LU.
-            let lu = workspace.terminal.lu().expect("refresh succeeded");
-            let (lin, y, rhs) = (&workspace.lin, &mut workspace.y, &mut workspace.rhs);
-            lin.solve_terminals_with(lu, &x, rhs, y)?;
+    /// Current integration time (advances with every accepted step).
+    pub(crate) fn time(&self) -> f64 {
+        self.t
+    }
 
-            // 4. State derivative at this point.
-            lin.state_derivative_into(&x, y, &mut workspace.dx);
+    /// State at the current integration time (mid-segment view).
+    pub(crate) fn state(&self) -> &DVector {
+        &self.x
+    }
 
-            // Record before stepping so the sample grid includes t0.
-            if t - last_recorded >= self.options.record_interval {
-                states.push(t, x.clone());
-                terminals.push(t, workspace.y.clone());
-                last_recorded = t;
-            }
+    /// Work statistics accumulated so far in this segment (mid-segment view;
+    /// `cpu_time` is tracked by the driver, not here).
+    pub(crate) fn stats(&self) -> &SolverStats {
+        &self.stats
+    }
 
-            // 5. The governor picks the (order, step-limit) pair among the
-            //    orders admissible with the current history (+1 for the
-            //    derivative about to be pushed): the highest order whose
-            //    region covers the step actually about to be taken (free
-            //    accuracy at the same step — this is what runs order 3/4 at
-            //    segment bootstraps and span ends), otherwise the order
-            //    maximising the stable step. With adaptivity off, the pinned
-            //    order.
-            let available = (workspace.history.filled + 1).min(self.options.ab_order);
-            let h_target = (h * 1.5).min(self.options.max_step).min(t_end - t);
-            let (order, stability_limit) = if self.options.adaptive_order {
-                plan_ref.select_for_target(available, h_target)
-            } else {
-                (available, plan_ref.limit(available))
-            };
-            if stability_limit < self.options.min_step {
-                return Err(CoreError::Ode(harvsim_ode::OdeError::StepSizeUnderflow {
-                    time: t,
-                    step: stability_limit,
-                }));
-            }
-            h = if partitioned {
-                // Ladder-quantised march (one rung ≈ ×1.33 growth, permitted
-                // by the accuracy controller's hysteresis): every value the
-                // march can settle on repeats exactly, so the ϕ-propagator
-                // cache and the AB coefficient pattern stay warm and the hot
-                // loop never computes a logarithm.
-                if grow_rung && rung > 0 {
-                    rung -= 1;
-                }
-                workspace.ladder[rung].min(stability_limit).max(self.options.min_step)
-            } else {
-                (h * 1.5).min(stability_limit).min(self.options.max_step).max(self.options.min_step)
-            };
-            let step = h.min(t_end - t);
-            stats.binding_pole = match plan_ref.binding_mode(order) {
-                Some((re, im)) => [re, im],
-                None => [0.0, 0.0],
-            };
+    /// Whether the march has reached the span end; once true, only
+    /// [`StateSpaceMarch::finish`] remains to be called.
+    pub(crate) fn is_done(&self) -> bool {
+        self.t >= self.t_end - 1e-12
+    }
 
-            // 6. Advance with the variable-step Adams–Bashforth formula (Eq. 5)
-            //    at the selected order, rotating the fixed derivative ring
-            //    instead of re-allocating. On the partitioned march the
-            //    whole-vector update below also touches the stiff entries;
-            //    their step-start values and derivatives are saved first and
-            //    the entries are then rewritten by the exact exponential
-            //    update, so the stiff partition never sees an explicit
-            //    multi-step formula (and the four-lane axpy kernel stays
-            //    branch-free).
-            workspace.history.push(t, &workspace.dx);
-            let order = order.min(workspace.history.filled);
-            // On the partitioned march's settled ladder rungs the history is
-            // equispaced at `step` (to rounding), where the variable-step
-            // quadrature reduces to the textbook constants — read them
-            // directly and skip two quadrature evaluations per step. The
-            // unpartitioned path always takes the quadrature so its
-            // arithmetic stays bit-identical to the classic march.
-            let uniform = partitioned
-                && workspace.history.times()[..order]
-                    .windows(2)
-                    .all(|w| ((w[0] - w[1]) - step).abs() <= 1e-12 * step);
-            if uniform {
-                for (slot, b) in workspace.coefficients[..order]
-                    .iter_mut()
-                    .zip(adams_bashforth_uniform_coefficients(order))
-                {
-                    *slot = step * b;
-                }
-            } else {
-                adams_bashforth_coefficients_into(
-                    &workspace.history.times()[..order],
-                    step,
-                    &mut workspace.coefficients,
-                )?;
-            }
-            if partitioned {
-                for (k, &s) in workspace.stiff.iter().enumerate() {
-                    workspace.x_stiff[k] = x[s];
-                    workspace.dx_stiff[k] = workspace.dx[s];
-                }
-            }
-            for (coefficient, derivative) in workspace.coefficients[..order]
-                .iter()
-                .zip(&workspace.history.derivatives()[..order])
-            {
-                x.axpy(*coefficient, derivative)?;
-            }
-            if partitioned {
-                // Exact stiff advance: second-order ETD — exact for the
-                // linear stiff modes, unconditionally stable, so the
-                // interface poles never constrain `step`.
-                workspace
-                    .exponential
-                    .advance(step, &mut workspace.x_stiff, &workspace.dx_stiff)
-                    .map_err(CoreError::Ode)?;
-                for (k, &s) in workspace.stiff.iter().enumerate() {
-                    x[s] = workspace.x_stiff[k];
-                }
-                stats.stiff_exact_steps += 1;
-
-                // Accuracy controller of the partitioned march. With the
-                // stiff poles priced out, stability stops limiting the step,
-                // so accuracy must: the difference between the order-`k` and
-                // order-`k−1` Adams–Bashforth updates (free — both read the
-                // same derivative ring) estimates the lower order's local
-                // truncation error, and an integer rung controller turns it
-                // into ladder moves. Through the diode conduction fronts the
-                // derivatives bend sharply, the estimate spikes and the step
-                // shrinks to tens of µs; across the linear sleep phases it
-                // rides `max_step`. The unpartitioned path must not run this
-                // (bit-identical PR 3 reproduction), and there stability
-                // binds far below the accuracy limit anyway.
-                if order >= 2 {
-                    let mut low = [0.0_f64; MAX_ADAMS_BASHFORTH_ORDER];
-                    if uniform {
-                        for (slot, b) in low[..order - 1]
-                            .iter_mut()
-                            .zip(adams_bashforth_uniform_coefficients(order - 1))
-                        {
-                            *slot = step * b;
-                        }
-                    } else {
-                        adams_bashforth_coefficients_into(
-                            &workspace.history.times()[..order - 1],
-                            step,
-                            &mut low,
-                        )?;
-                    }
-                    let derivatives = workspace.history.derivatives();
-                    let mut err_norm = 0.0_f64;
-                    for &r in &workspace.nonstiff {
-                        let mut estimate = 0.0;
-                        for i in 0..order {
-                            let low_i = if i < order - 1 { low[i] } else { 0.0 };
-                            estimate += (workspace.coefficients[i] - low_i) * derivatives[i][r];
-                        }
-                        let tolerance = self.options.lte_absolute_tolerance
-                            + self.options.lte_relative_tolerance * x[r].abs();
-                        err_norm = err_norm.max(estimate.abs() / tolerance);
-                    }
-                    // Integer rung control: shrink by the fewest rungs that
-                    // project the estimate back under the 0.9 target (each
-                    // rung divides the order-k error by (1/RUNG)^k), and
-                    // permit growth only when one rung of it would still
-                    // leave the projection under target — transcendental-free
-                    // and hysteretic, so the settled march neither wiggles
-                    // the step nor recomputes a propagator.
-                    let per_rung = LADDER_GAIN[order];
-                    let mut projected = err_norm;
-                    let mut shrink = 0usize;
-                    while projected > 0.9 && shrink < 6 {
-                        projected /= per_rung;
-                        shrink += 1;
-                    }
-                    if shrink > 0 {
-                        rung = (rung + shrink).min(workspace.ladder.len() - 1);
-                    }
-                    grow_rung = projected * per_rung <= 0.9;
-                }
-            }
-            t += step;
-            stats.steps += 1;
-            stats.steps_by_order[order - 1] += 1;
-
-            if !x.is_finite() {
-                return Err(CoreError::Ode(harvsim_ode::OdeError::NonFiniteState { time: t }));
-            }
-            workspace.have_prev = true;
+    /// Advances the march by one accepted step, offering the pre-step point
+    /// to `sink`. Calling it on a finished march is a no-op.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`StateSpaceSolver::solve`].
+    pub(crate) fn step(
+        &mut self,
+        system: &dyn AnalogueSystem,
+        workspace: &mut SolverWorkspace,
+        sink: &mut dyn SampleSink,
+    ) -> Result<(), CoreError> {
+        if self.is_done() {
+            return Ok(());
         }
-
-        // Final sample at t_end.
-        system.linearise_global_into(t, &x, &workspace.y, &mut workspace.lin)?;
-        stats.linearisations += 1;
-        if workspace.terminal.refresh(&workspace.lin)? {
-            stats.factorisations += 1;
+        let t = self.t;
+        let t_end = self.t_end;
+        let partitioned = self.partitioned;
+        // 1.+2. Linearise at the present operating point (Eq. 2),
+        //    re-stamping the preallocated global matrices in place, and
+        //    monitor the local linearisation error through Jacobian
+        //    changes (Eq. 3) — fused into the same stamping pass on the
+        //    steady-state path. The stability plan refreshes on exactly
+        //    two monitor events: a one-step discontinuity, or the summed
+        //    drift since the last refresh passing the same threshold (the
+        //    per-step change scales with the step size, so after the
+        //    limit forces a small step only the *accumulated* change can
+        //    reach the threshold — this replaces PR 1's periodic
+        //    wall-clock refresh without letting the limit go stale).
+        let (refresh, discontinuity) = if !workspace.have_prev {
+            system.linearise_global_into(t, &self.x, &workspace.y, &mut workspace.lin)?;
+            (true, false)
         } else {
-            stats.cached_solves += 1;
+            let report =
+                system.relinearise_global_into(t, &self.x, &workspace.y, &mut workspace.lin)?;
+            self.stats.constant_stamps_skipped += report.constant_stamps_skipped;
+            self.stats.pwl_stamps_skipped += report.pwl_stamps_skipped;
+            let change = report.change;
+            self.stats.max_jacobian_change = self.stats.max_jacobian_change.max(change);
+            self.accumulated_change += change;
+            let discontinuity = change > self.options.relinearise_threshold;
+            (
+                discontinuity || self.accumulated_change > self.options.relinearise_threshold,
+                discontinuity,
+            )
+        };
+        self.stats.linearisations += 1;
+        if discontinuity {
+            // The derivatives behind this point were sampled from the
+            // pre-switch model (load-mode or PWL-segment change): drop
+            // them so no multi-step update bridges the kink. The
+            // governor falls back to order 1 and regrows within three
+            // steps; the stiff lane's coupling-slope estimate is dropped
+            // for the same reason (one step of exponential Euler, then
+            // ETD2 regrows).
+            workspace.history.reset();
+            workspace.exponential.reset_history();
+        }
+        // Bring the cached Jyy factorisation up to date. Outside a refresh
+        // Jyy has not moved past the Eq. 3 monitor, and for the assembled
+        // harvester it is bit-identical between load-mode switches, so this
+        // is a pure cache hit on the steady-state path.
+        let factorised = workspace.terminal.refresh(&workspace.lin)?;
+        if factorised {
+            self.stats.factorisations += 1;
+        } else {
+            self.stats.cached_solves += 1;
+        }
+        if refresh {
+            // One shared factorisation serves both the Eq. 7 stability
+            // refresh and the Eq. 4 terminal eliminations, and one
+            // spectral decomposition of the total-step matrix prices all
+            // four Adams–Bashforth orders (the governor's plan costs no
+            // extra matrix traversal over the former single-order check).
+            let lu = workspace.terminal.lu().expect("refresh succeeded");
+            workspace.lin.total_step_matrix_with(
+                lu,
+                &mut workspace.yy_inv_yx,
+                &mut workspace.correction,
+                &mut workspace.a_total,
+            )?;
+            self.stats.stability_updates += 1;
+            // Partitioned: the plan prices only the non-stiff spectrum
+            // (`A_ff`), because the stiff partition advances exactly and
+            // must not constrain the explicit step — this is the whole
+            // lever of the IMEX march. The stiff sub-matrix goes to the
+            // exponential kernel, whose ϕ cache survives refreshes that
+            // leave `A_ss` bit-identical.
+            let priced = if partitioned {
+                workspace.gather_partitions();
+                workspace.exponential.set_matrix(&workspace.a_ss);
+                &workspace.a_ff
+            } else {
+                &workspace.a_total
+            };
+            self.plan = Some(order_step_limits(
+                priced,
+                self.options.stability_safety,
+                self.options.max_step,
+                self.options.ab_order,
+            )?);
+            self.accumulated_change = 0.0;
+        }
+        let plan_ref = self.plan.as_ref().expect("stability plan computed on the first step");
+
+        // 3. Eliminate the terminal variables (Eq. 4) with the cached LU.
+        let lu = workspace.terminal.lu().expect("refresh succeeded");
+        let (lin, y, rhs) = (&workspace.lin, &mut workspace.y, &mut workspace.rhs);
+        lin.solve_terminals_with(lu, &self.x, rhs, y)?;
+
+        // 4. State derivative at this point.
+        lin.state_derivative_into(&self.x, y, &mut workspace.dx);
+
+        // Offer the pre-step point so the sample grid includes t0; the sink
+        // owns the recording policy (decimation, streaming, nothing — see
+        // `SampleSink`).
+        sink.sample(t, &self.x, &workspace.y);
+
+        // 5. The governor picks the (order, step-limit) pair among the
+        //    orders admissible with the current history (+1 for the
+        //    derivative about to be pushed): the highest order whose
+        //    region covers the step actually about to be taken (free
+        //    accuracy at the same step — this is what runs order 3/4 at
+        //    segment bootstraps and span ends), otherwise the order
+        //    maximising the stable step. With adaptivity off, the pinned
+        //    order.
+        let available = (workspace.history.filled + 1).min(self.options.ab_order);
+        let h_target = (self.h * 1.5).min(self.options.max_step).min(t_end - t);
+        let (order, stability_limit) = if self.options.adaptive_order {
+            plan_ref.select_for_target(available, h_target)
+        } else {
+            (available, plan_ref.limit(available))
+        };
+        if stability_limit < self.options.min_step {
+            return Err(CoreError::Ode(harvsim_ode::OdeError::StepSizeUnderflow {
+                time: t,
+                step: stability_limit,
+            }));
+        }
+        self.h = if partitioned {
+            // Ladder-quantised march (one rung ≈ ×1.33 growth, permitted
+            // by the accuracy controller's hysteresis): every value the
+            // march can settle on repeats exactly, so the ϕ-propagator
+            // cache and the AB coefficient pattern stay warm and the hot
+            // loop never computes a logarithm.
+            if self.grow_rung && self.rung > 0 {
+                self.rung -= 1;
+            }
+            workspace.ladder[self.rung].min(stability_limit).max(self.options.min_step)
+        } else {
+            (self.h * 1.5)
+                .min(stability_limit)
+                .min(self.options.max_step)
+                .max(self.options.min_step)
+        };
+        let step = self.h.min(t_end - t);
+        self.stats.binding_pole = match plan_ref.binding_mode(order) {
+            Some((re, im)) => [re, im],
+            None => [0.0, 0.0],
+        };
+
+        // 6. Advance with the variable-step Adams–Bashforth formula (Eq. 5)
+        //    at the selected order, rotating the fixed derivative ring
+        //    instead of re-allocating. On the partitioned march the
+        //    whole-vector update below also touches the stiff entries;
+        //    their step-start values and derivatives are saved first and
+        //    the entries are then rewritten by the exact exponential
+        //    update, so the stiff partition never sees an explicit
+        //    multi-step formula (and the four-lane axpy kernel stays
+        //    branch-free).
+        workspace.history.push(t, &workspace.dx);
+        let order = order.min(workspace.history.filled);
+        // On the partitioned march's settled ladder rungs the history is
+        // equispaced at `step` (to rounding), where the variable-step
+        // quadrature reduces to the textbook constants — read them
+        // directly and skip two quadrature evaluations per step. The
+        // unpartitioned path always takes the quadrature so its
+        // arithmetic stays bit-identical to the classic march.
+        let uniform = partitioned
+            && workspace.history.times()[..order]
+                .windows(2)
+                .all(|w| ((w[0] - w[1]) - step).abs() <= 1e-12 * step);
+        if uniform {
+            for (slot, b) in workspace.coefficients[..order]
+                .iter_mut()
+                .zip(adams_bashforth_uniform_coefficients(order))
+            {
+                *slot = step * b;
+            }
+        } else {
+            adams_bashforth_coefficients_into(
+                &workspace.history.times()[..order],
+                step,
+                &mut workspace.coefficients,
+            )?;
+        }
+        if partitioned {
+            for (k, &s) in workspace.stiff.iter().enumerate() {
+                workspace.x_stiff[k] = self.x[s];
+                workspace.dx_stiff[k] = workspace.dx[s];
+            }
+        }
+        for (coefficient, derivative) in
+            workspace.coefficients[..order].iter().zip(&workspace.history.derivatives()[..order])
+        {
+            self.x.axpy(*coefficient, derivative)?;
+        }
+        if partitioned {
+            // Exact stiff advance: second-order ETD — exact for the
+            // linear stiff modes, unconditionally stable, so the
+            // interface poles never constrain `step`.
+            workspace
+                .exponential
+                .advance(step, &mut workspace.x_stiff, &workspace.dx_stiff)
+                .map_err(CoreError::Ode)?;
+            for (k, &s) in workspace.stiff.iter().enumerate() {
+                self.x[s] = workspace.x_stiff[k];
+            }
+            self.stats.stiff_exact_steps += 1;
+
+            // Accuracy controller of the partitioned march. With the
+            // stiff poles priced out, stability stops limiting the step,
+            // so accuracy must: the difference between the order-`k` and
+            // order-`k−1` Adams–Bashforth updates (free — both read the
+            // same derivative ring) estimates the lower order's local
+            // truncation error, and an integer rung controller turns it
+            // into ladder moves. Through the diode conduction fronts the
+            // derivatives bend sharply, the estimate spikes and the step
+            // shrinks to tens of µs; across the linear sleep phases it
+            // rides `max_step`. The unpartitioned path must not run this
+            // (bit-identical PR 3 reproduction), and there stability
+            // binds far below the accuracy limit anyway.
+            if order >= 2 {
+                let mut low = [0.0_f64; MAX_ADAMS_BASHFORTH_ORDER];
+                if uniform {
+                    for (slot, b) in low[..order - 1]
+                        .iter_mut()
+                        .zip(adams_bashforth_uniform_coefficients(order - 1))
+                    {
+                        *slot = step * b;
+                    }
+                } else {
+                    adams_bashforth_coefficients_into(
+                        &workspace.history.times()[..order - 1],
+                        step,
+                        &mut low,
+                    )?;
+                }
+                let derivatives = workspace.history.derivatives();
+                let mut err_norm = 0.0_f64;
+                for &r in &workspace.nonstiff {
+                    let mut estimate = 0.0;
+                    for i in 0..order {
+                        let low_i = if i < order - 1 { low[i] } else { 0.0 };
+                        estimate += (workspace.coefficients[i] - low_i) * derivatives[i][r];
+                    }
+                    let tolerance = self.options.lte_absolute_tolerance
+                        + self.options.lte_relative_tolerance * self.x[r].abs();
+                    err_norm = err_norm.max(estimate.abs() / tolerance);
+                }
+                // Integer rung control: shrink by the fewest rungs that
+                // project the estimate back under the 0.9 target (each
+                // rung divides the order-k error by (1/RUNG)^k), and
+                // permit growth only when one rung of it would still
+                // leave the projection under target — transcendental-free
+                // and hysteretic, so the settled march neither wiggles
+                // the step nor recomputes a propagator.
+                let per_rung = LADDER_GAIN[order];
+                let mut projected = err_norm;
+                let mut shrink = 0usize;
+                while projected > 0.9 && shrink < 6 {
+                    projected /= per_rung;
+                    shrink += 1;
+                }
+                if shrink > 0 {
+                    self.rung = (self.rung + shrink).min(workspace.ladder.len() - 1);
+                }
+                self.grow_rung = projected * per_rung <= 0.9;
+            }
+        }
+        self.t = t + step;
+        self.stats.steps += 1;
+        self.stats.steps_by_order[order - 1] += 1;
+
+        if !self.x.is_finite() {
+            return Err(CoreError::Ode(harvsim_ode::OdeError::NonFiniteState { time: self.t }));
+        }
+        workspace.have_prev = true;
+        Ok(())
+    }
+
+    /// Completes the span: performs the forced `t_end` linearisation, offers
+    /// the final sample through the sink and returns the final state together
+    /// with the segment statistics. `cpu_time` is left at zero — wall-clock
+    /// accounting belongs to the driver, which knows how much real time the
+    /// march actually spent running (a paused session must not bill its
+    /// pauses to the engine).
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`StateSpaceSolver::solve`].
+    pub(crate) fn finish(
+        mut self,
+        system: &dyn AnalogueSystem,
+        workspace: &mut SolverWorkspace,
+        sink: &mut dyn SampleSink,
+    ) -> Result<(DVector, SolverStats), CoreError> {
+        debug_assert!(self.is_done(), "finish() called with the span incomplete");
+        // Final sample at t_end.
+        system.linearise_global_into(self.t, &self.x, &workspace.y, &mut workspace.lin)?;
+        self.stats.linearisations += 1;
+        if workspace.terminal.refresh(&workspace.lin)? {
+            self.stats.factorisations += 1;
+        } else {
+            self.stats.cached_solves += 1;
         }
         let lu = workspace.terminal.lu().expect("refresh succeeded");
         let (lin, y, rhs) = (&workspace.lin, &mut workspace.y, &mut workspace.rhs);
-        lin.solve_terminals_with(lu, &x, rhs, y)?;
-        states.push(t, x.clone());
-        terminals.push(t, workspace.y.clone());
-
-        stats.cpu_time = start.elapsed();
-        Ok((x, stats))
+        lin.solve_terminals_with(lu, &self.x, rhs, y)?;
+        sink.final_sample(self.t, &self.x, &workspace.y);
+        Ok((self.x, self.stats))
     }
 }
 
@@ -1099,6 +1235,7 @@ mod tests {
             steps_by_order: [1, 1, 1, 2],
             stiff_exact_steps: 5,
             constant_stamps_skipped: 4,
+            pwl_stamps_skipped: 3,
             threads_used: 2,
             binding_pole: [-440.0, 62.0],
             max_jacobian_change: 0.2,
@@ -1112,6 +1249,7 @@ mod tests {
         assert_eq!(a.steps_by_order, [11, 1, 1, 2]);
         assert_eq!(a.stiff_exact_steps, 5);
         assert_eq!(a.constant_stamps_skipped, 4);
+        assert_eq!(a.pwl_stamps_skipped, 3);
         assert_eq!(a.threads_used, 2, "the widest batch fan-out wins");
         assert_eq!(a.binding_pole, [-440.0, 62.0], "the most recent segment's pole stands");
         assert_eq!(a.max_jacobian_change, 0.2);

@@ -184,6 +184,26 @@ impl<E> Kernel<E> {
     /// * [`KernelError::WakeUpInThePast`] if a process asks to be woken before
     ///   the time at which it was resumed.
     pub fn run_until(&mut self, target: SimTime, env: &mut E) -> Result<(), KernelError> {
+        self.run_until_with(target, env, |_, _| {})
+    }
+
+    /// [`Kernel::run_until`] with an *event tap*: `tap(time, name)` is called
+    /// once per executed process activation, after the process has resumed
+    /// (so the environment already reflects its effects). This is the
+    /// observation channel a streaming simulation facade forwards to its
+    /// probes — the kernel stays free of any probe vocabulary, the tap is
+    /// just a borrow-scoped callback, and `run_until` is the no-op-tap
+    /// special case.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`Kernel::run_until`].
+    pub fn run_until_with(
+        &mut self,
+        target: SimTime,
+        env: &mut E,
+        mut tap: impl FnMut(SimTime, &str),
+    ) -> Result<(), KernelError> {
         if target < self.now {
             return Err(KernelError::TargetInThePast { target, now: self.now });
         }
@@ -196,6 +216,7 @@ impl<E> Kernel<E> {
             self.events_processed += 1;
             let process_index = event.process;
             let next = self.processes[process_index].resume(self.now, env);
+            tap(self.now, self.processes[process_index].name());
             if let Some(next_time) = next {
                 if next_time < self.now {
                     return Err(KernelError::WakeUpInThePast {
@@ -366,6 +387,31 @@ mod tests {
         let err = kernel.run_until(SimTime::from_secs(2), &mut log).unwrap_err();
         assert!(matches!(err, KernelError::WakeUpInThePast { .. }));
         assert!(err.to_string().contains("wake-up"));
+    }
+
+    /// The event tap observes every activation in order, with the process
+    /// name, and the no-tap `run_until` behaves identically.
+    #[test]
+    fn event_tap_sees_every_activation() {
+        let mut kernel: Kernel<Log> = Kernel::new();
+        kernel.spawn_at(
+            SimTime::from_millis(2),
+            Periodic { label: "ticker".into(), period: SimTime::from_millis(2), remaining: 3 },
+        );
+        let mut log = Log::default();
+        let mut tapped: Vec<(SimTime, String)> = Vec::new();
+        kernel
+            .run_until_with(SimTime::from_millis(10), &mut log, |time, name| {
+                tapped.push((time, name.to_string()));
+            })
+            .unwrap();
+        // Activations at 2, 4, 6, 8 ms; the tap mirrors the environment log.
+        assert_eq!(tapped.len(), 4);
+        assert_eq!(tapped.len(), log.entries.len());
+        for ((tap_time, tap_name), (log_time, _)) in tapped.iter().zip(&log.entries) {
+            assert_eq!(tap_time, log_time);
+            assert_eq!(tap_name, "ticker");
+        }
     }
 
     #[test]

@@ -29,8 +29,10 @@
 //! * [`stability`] — the explicit-stability step limit of Eq. 7, via the cheap
 //!   diagonal-dominance rule or the exact spectral radius.
 //! * [`step_control`] — local-truncation-error based adaptive step sizing.
-//! * [`solution`] — trajectory recording, interpolation and waveform metrics
-//!   (RMS windows, maximum deviation between waveforms, …).
+//! * [`solution`] — the [`SampleSink`] output channel the march-in-time
+//!   solvers write through (dense decimated recording is just one sink),
+//!   trajectory recording, interpolation and waveform metrics (RMS windows,
+//!   maximum deviation between waveforms, …).
 //!
 //! # Example: integrating a damped oscillator with Adams–Bashforth
 //!
@@ -76,7 +78,7 @@ pub mod step_control;
 
 pub use error::OdeError;
 pub use problem::{FnOdeSystem, LinearOde, OdeSystem};
-pub use solution::Trajectory;
+pub use solution::{DecimatedRecorder, SampleSink, Trajectory};
 
 /// Convenient result alias used across the crate.
 pub type Result<T, E = OdeError> = std::result::Result<T, E>;

@@ -4,24 +4,32 @@
 //! using multiple simulations".
 //!
 //! This example sweeps the number of voltage-multiplier stages and the
-//! supercapacitor energy threshold, running one short closed-loop simulation
-//! per design point, and reports the energy delivered to the store — something
-//! that would be impractical with an hours-per-run commercial simulator.
+//! supercapacitor energy threshold, running one short closed-loop **streaming
+//! session** per design point: the only observers are O(1) probes (power
+//! windows, store envelope), so no design point ever materialises a dense
+//! trajectory — the sweep's memory footprint is independent of both the grid
+//! width and the simulated span, which is what makes "as many scenarios as
+//! you can imagine" a memory non-event.
 //!
 //! ```bash
 //! cargo run --release --example design_sweep
 //! ```
 
-use harvsim::core::measurement;
-use harvsim::{HarvesterParameters, ScenarioConfig};
+use harvsim::{EnvelopeProbe, HarvesterParameters, PowerProbe, ScenarioConfig, Simulation};
 
 fn main() -> Result<(), harvsim::CoreError> {
-    println!("== design sweep: multiplier stages x energy threshold ==");
+    println!("== design sweep: multiplier stages x energy threshold (streaming sessions) ==");
     println!(
-        "{:>7} {:>12} {:>16} {:>16} {:>14}",
-        "stages", "thresh [V]", "P_rms(70Hz) [uW]", "P_rms(71Hz) [uW]", "dV_store [mV]"
+        "{:>7} {:>12} {:>16} {:>16} {:>14} {:>12}",
+        "stages",
+        "thresh [V]",
+        "P_rms(70Hz) [uW]",
+        "P_rms(71Hz) [uW]",
+        "dV_store [mV]",
+        "probe mem [B]"
     );
 
+    let mut peak_bytes_overall = 0usize;
     for stages in [3usize, 4, 5, 6] {
         for threshold in [2.2f64, 2.4] {
             let mut parameters = HarvesterParameters::practical_device();
@@ -34,18 +42,36 @@ fn main() -> Result<(), harvsim::CoreError> {
             scenario.duration_s = 5.0;
             scenario.frequency_step_time_s = 1.0;
 
-            let outcome = scenario.run()?;
-            let report = measurement::power_report(&outcome)?;
-            let trace = measurement::supercap_voltage_waveform(&outcome);
-            let dv = (trace.last().expect("samples").1 - trace.first().expect("samples").1) * 1e3;
+            let mut session = Simulation::from_config(scenario.clone())
+                .label(format!("design+stages={stages}+thresh={threshold}"))
+                .start()?;
+            let vm = session.harvester().generator_voltage_net();
+            let im = session.harvester().generator_current_net();
+            let vc = session.harvester().storage_voltage_net();
+            let power = session.add_probe(PowerProbe::new(
+                vm,
+                im,
+                scenario.frequency_step_time_s,
+                scenario.duration_s,
+            ));
+            let store = session.add_probe(EnvelopeProbe::terminal(vc));
+            session.run_to_end()?;
+
+            let report = session.probe::<PowerProbe>(power).expect("typed probe").report();
+            let envelope = session.probe::<EnvelopeProbe>(store).expect("typed probe");
+            let dv = (envelope.last() - envelope.first()) * 1e3;
+            let peak = session.report().peak_probe_bytes;
+            peak_bytes_overall = peak_bytes_overall.max(peak);
             println!(
-                "{:>7} {:>12.1} {:>16.1} {:>16.1} {:>14.2}",
-                stages, threshold, report.rms_before_uw, report.rms_after_uw, dv
+                "{:>7} {:>12.1} {:>16.1} {:>16.1} {:>14.2} {:>12}",
+                stages, threshold, report.rms_before_uw, report.rms_after_uw, dv, peak
             );
         }
     }
 
-    println!("\nEach design point is a full mixed-signal closed-loop simulation;");
-    println!("the sweep finishes in seconds thanks to the linearised state-space engine.");
+    println!("\nEach design point is a full mixed-signal closed-loop simulation observed by");
+    println!(
+        "streaming probes only — peak probe memory across the whole sweep: {peak_bytes_overall} B."
+    );
     Ok(())
 }

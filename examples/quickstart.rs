@@ -1,50 +1,74 @@
-//! Quickstart: simulate a few seconds of the tunable harvester and print the
-//! generated power and supercapacitor voltage.
+//! Quickstart: drive a streaming simulation session of the tunable harvester
+//! and read the generated power and supercapacitor voltage off live probes.
 //!
 //! ```bash
 //! cargo run --release --example quickstart
 //! ```
 
-use harvsim::core::measurement;
-use harvsim::ScenarioConfig;
+use harvsim::{EnvelopeProbe, PowerProbe, Simulation, StepHistogramProbe, WaveformProbe};
 
 fn main() -> Result<(), harvsim::CoreError> {
     // Scenario 1 of the paper: the ambient vibration shifts from 70 Hz to 71 Hz
     // and the microcontroller retunes the generator to follow it.
-    let mut scenario = ScenarioConfig::scenario1();
-    scenario.duration_s = 6.0;
-    scenario.frequency_step_time_s = 1.0;
+    let simulation = Simulation::scenario1().duration(6.0).frequency_step_at(1.0);
+    let config = simulation.config().clone();
+    println!("simulating {} ({} s span) ...", config.scenario.id(), config.duration_s);
 
-    println!("simulating {} ({} s span) ...", scenario.scenario.id(), scenario.duration_s);
-    let outcome = scenario.run()?;
+    let mut session = simulation.start()?;
 
-    let stats = outcome.result.engine_stats.state_space;
+    // Probes observe the run as it happens: streaming power windows, a
+    // supercapacitor envelope and a step histogram are all O(1) memory; the
+    // decimated waveform capture retains the trace for the ASCII sketch.
+    let vm = session.harvester().generator_voltage_net();
+    let im = session.harvester().generator_current_net();
+    let vc = session.harvester().storage_voltage_net();
+    let power =
+        session.add_probe(PowerProbe::new(vm, im, config.frequency_step_time_s, config.duration_s));
+    let envelope = session.add_probe(EnvelopeProbe::terminal(vc));
+    let steps = session.add_probe(StepHistogramProbe::new());
+    let trace = session.add_probe(WaveformProbe::new(5e-3));
+
+    // Sessions pause and resume freely: peek at the store mid-run.
+    session.run_until(config.duration_s * 0.5)?;
+    let halfway = session.probe::<EnvelopeProbe>(envelope).expect("typed probe");
     println!(
-        "  solver: {} steps, {} linearisations, {:.2} s CPU",
+        "  at t = {:.2} s the store spans [{:.3}, {:.3}] V — resuming",
+        session.time(),
+        halfway.min(),
+        halfway.max()
+    );
+    session.run_to_end()?;
+
+    let report = session.report();
+    let stats = report.engine_stats.state_space;
+    println!(
+        "  solver: {} steps, {} linearisations, {} PWL stamp skips, {:.2} s CPU",
         stats.steps,
         stats.linearisations,
+        stats.pwl_stamps_skipped,
         stats.cpu_time.as_secs_f64()
     );
-    println!("  digital kernel: {} events", outcome.result.digital_events);
+    println!("  digital kernel: {} events", report.digital_events);
+    println!("  probe memory high-water: {} B", report.peak_probe_bytes);
+
+    let power_report = session.probe::<PowerProbe>(power).expect("typed probe").report();
+    println!("  RMS generated power before the step: {:.1} uW", power_report.rms_before_uw);
+    println!("  RMS generated power after retuning:  {:.1} uW", power_report.rms_after_uw);
+
+    let histogram = session.probe::<StepHistogramProbe>(steps).expect("typed probe");
     println!(
-        "  resonance after the run: {:.2} Hz (ambient {:.2} Hz)",
-        outcome.harvester.resonant_frequency_hz(),
-        outcome.harvester.ambient_frequency_hz(scenario.duration_s)
+        "  accepted steps: {} spanning {:.1} .. {:.1} us",
+        histogram.total_steps(),
+        histogram.min_dt() * 1e6,
+        histogram.max_dt() * 1e6
     );
 
-    let report = measurement::power_report(&outcome)?;
-    println!("  RMS generated power before the step: {:.1} uW", report.rms_before_uw);
-    println!("  RMS generated power after retuning:  {:.1} uW", report.rms_after_uw);
-
-    let supercap = measurement::supercap_voltage_waveform(&outcome);
-    let (t_last, v_last) = supercap.last().expect("samples were recorded");
-    println!("  supercapacitor voltage at t = {:.1} s: {:.3} V", t_last, v_last);
-
     // Print a coarse ASCII sketch of the supercapacitor voltage trace.
+    let capture = session.probe::<WaveformProbe>(trace).expect("typed probe");
+    let samples: Vec<(f64, f64)> = capture.terminals().component(vc);
     println!("\n  supercapacitor voltage trace:");
-    let stride = (supercap.len() / 20).max(1);
-    for sample in supercap.iter().step_by(stride) {
-        let (t, v) = sample;
+    let stride = (samples.len() / 20).max(1);
+    for (t, v) in samples.iter().step_by(stride) {
         let bars = ((v - 2.0).max(0.0) * 60.0) as usize;
         println!("  t={t:6.2}s  {v:5.3} V  |{}", "#".repeat(bars.min(70)));
     }

@@ -6,7 +6,7 @@
 //! ```
 
 use harvsim::core::measurement;
-use harvsim::ScenarioConfig;
+use harvsim::{EnvelopeProbe, PowerProbe, ScenarioConfig, Simulation};
 
 fn main() -> Result<(), harvsim::CoreError> {
     let mut scenario = ScenarioConfig::scenario2();
@@ -16,6 +16,28 @@ fn main() -> Result<(), harvsim::CoreError> {
     scenario.initial_supercap_voltage = 2.6;
 
     println!("== Scenario 2: 70 Hz -> 84 Hz (maximum tuning range) ==");
+    // Stream the power figures and the store envelope off a live session.
+    let mut streaming = Simulation::from_config(scenario.clone()).start()?;
+    let vm = streaming.harvester().generator_voltage_net();
+    let im = streaming.harvester().generator_current_net();
+    let vc = streaming.harvester().storage_voltage_net();
+    let power = streaming.add_probe(PowerProbe::new(
+        vm,
+        im,
+        scenario.frequency_step_time_s,
+        scenario.duration_s,
+    ));
+    let store = streaming.add_probe(EnvelopeProbe::terminal(vc));
+    streaming.run_to_end()?;
+    let power_report = streaming.probe::<PowerProbe>(power).expect("typed probe").report();
+    let envelope = streaming.probe::<EnvelopeProbe>(store).expect("typed probe");
+    println!(
+        "store envelope over the retune: [{:.3}, {:.3}] V ({} B of probe memory)",
+        envelope.min(),
+        envelope.max(),
+        streaming.report().peak_probe_bytes
+    );
+
     let simulation = scenario.run()?;
 
     println!(
@@ -23,10 +45,9 @@ fn main() -> Result<(), harvsim::CoreError> {
         simulation.harvester.resonant_frequency_hz(),
         scenario.scenario.target_frequency_hz()
     );
-    let report = measurement::power_report(&simulation)?;
-    println!("RMS generated power before the shift: {:8.1} uW", report.rms_before_uw);
-    println!("RMS generated power after retuning:   {:8.1} uW", report.rms_after_uw);
-    println!("minimum power while detuned by 14 Hz: {:8.1} uW", report.dip_uw);
+    println!("RMS generated power before the shift: {:8.1} uW", power_report.rms_before_uw);
+    println!("RMS generated power after retuning:   {:8.1} uW", power_report.rms_after_uw);
+    println!("minimum power while detuned by 14 Hz: {:8.1} uW", power_report.dip_uw);
 
     println!("\nFig. 9 — supercapacitor voltage, simulation vs experimental surrogate:");
     let surrogate = scenario.run_experimental_surrogate()?;

@@ -18,20 +18,42 @@
 //!   model, the mixed-signal co-simulation, the evaluation scenarios and the
 //!   Newton–Raphson baseline.
 //!
-//! The most common entry points are re-exported at the top level.
+//! The most common entry points are re-exported at the top level. The
+//! primary way to run a simulation is the streaming [`Simulation`] builder:
+//! it produces an observable, resumable [`Session`] whose typed [`Probe`]s
+//! watch the run as it happens — so a long sweep point needs O(1) memory
+//! instead of retaining dense waveforms.
 //!
 //! ```
-//! use harvsim::ScenarioConfig;
+//! use harvsim::{EnvelopeProbe, Simulation};
 //!
 //! # fn main() -> Result<(), harvsim::CoreError> {
-//! let mut scenario = ScenarioConfig::scenario1();
-//! scenario.duration_s = 0.2;            // keep the doc test fast
-//! scenario.frequency_step_time_s = 0.05;
-//! let outcome = scenario.run()?;
-//! println!("recorded {} samples", outcome.states().len());
+//! // Scenario 1 (70 → 71 Hz retune), trimmed so the doc test stays fast.
+//! let mut session = Simulation::scenario1()
+//!     .duration(0.2)
+//!     .frequency_step_at(0.05)
+//!     .start()?;
+//! // Watch the supercapacitor terminal with an O(1) streaming probe.
+//! let vc = session.harvester().storage_voltage_net();
+//! let store = session.add_probe(EnvelopeProbe::terminal(vc));
+//! // Observe mid-run, pause at any boundary, resume — bit-identically.
+//! session.run_until(0.1)?;
+//! session.run_to_end()?;
+//! let report = session.report();
+//! let envelope = session.probe::<EnvelopeProbe>(store).expect("typed retrieval");
+//! println!(
+//!     "{} steps, store ended at {:.3} V, {} B of probe memory",
+//!     report.engine_stats.state_space.steps,
+//!     envelope.last(),
+//!     report.peak_probe_bytes,
+//! );
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! The pre-session API ([`ScenarioConfig::run`] and friends) keeps working as
+//! a thin shim over sessions, returning dense trajectories bit-identical to
+//! earlier releases.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -46,7 +68,9 @@ pub use harvsim_blocks::{
     HarvesterParameters, LoadMode, Scenario, StateSpaceBlock, VibrationExcitation,
 };
 pub use harvsim_core::{
-    BaselineOptions, ComparisonReport, CoreError, MixedSignalSimulation, NewtonRaphsonBaseline,
-    ScenarioConfig, ScenarioResult, SimulationEngine, SolverOptions, SpeedComparison,
-    StateSpaceSolver, TunableHarvester,
+    BaselineOptions, ComparisonReport, CoreError, DigitalEvent, EnvelopeProbe,
+    MixedSignalSimulation, NewtonRaphsonBaseline, PowerProbe, Probe, ScenarioConfig,
+    ScenarioResult, Session, SessionReport, SessionStatus, Simulation, SimulationEngine,
+    SolverOptions, SpeedComparison, StateSpaceSolver, StepHistogramProbe, TunableHarvester,
+    WaveformProbe,
 };

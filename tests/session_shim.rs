@@ -1,0 +1,285 @@
+//! Acceptance pin for the deprecated run-to-completion shims: driving
+//! `ScenarioConfig::run()` (which now routes scenario → mixed shim → session
+//! → resumable march) must produce **bit-identical** trajectories and work
+//! statistics to the direct pre-session mixed-signal loop — reimplemented
+//! here exactly as PR 4's driver had it: one kernel, one solver workspace,
+//! `solve_into_with` per analogue segment, control actions applied between
+//! segments.
+//!
+//! Plus the streaming-memory half of the acceptance criteria: a sweep point
+//! run with streaming probes only allocates no dense trajectory — its probe
+//! footprint is a few hundred bytes, independent of the simulated span, while
+//! the dense shim's grows with it.
+
+use harvsim::blocks::{ControllerConfig, HarvesterEnvironment, LoadMode, MicroController};
+use harvsim::core::measurement;
+use harvsim::core::solver::SolverWorkspace;
+use harvsim::core::StateSpaceSolver;
+use harvsim::digital::{Kernel, SimTime};
+use harvsim::linalg::DVector;
+use harvsim::ode::Trajectory;
+use harvsim::{
+    EnvelopeProbe, PowerProbe, ScenarioConfig, Simulation, SimulationEngine, StepHistogramProbe,
+    TunableHarvester,
+};
+
+/// The PR 4 control mailbox, reproduced verbatim for the reference loop.
+#[derive(Debug, Clone, Default)]
+struct Mailbox {
+    supercap_voltage: f64,
+    ambient_hz: f64,
+    resonant_hz: f64,
+    requested_load_mode: Option<LoadMode>,
+    requested_resonance_hz: Option<f64>,
+}
+
+impl HarvesterEnvironment for Mailbox {
+    fn supercapacitor_voltage(&self) -> f64 {
+        self.supercap_voltage
+    }
+    fn ambient_frequency_hz(&self) -> f64 {
+        self.ambient_hz
+    }
+    fn resonant_frequency_hz(&self) -> f64 {
+        self.requested_resonance_hz.unwrap_or(self.resonant_hz)
+    }
+    fn set_load_mode(&mut self, mode: LoadMode) {
+        self.requested_load_mode = Some(mode);
+    }
+    fn set_resonant_frequency(&mut self, frequency_hz: f64) {
+        self.requested_resonance_hz = Some(frequency_hz);
+    }
+}
+
+/// What the direct loop returns: `(states, terminals, final_state,
+/// accepted_steps, control_events)`.
+type DirectRunOutput = (Trajectory, Trajectory, DVector, usize, Vec<(f64, LoadMode, f64)>);
+
+/// PR 4's mixed-signal driver: run-to-completion, dense trajectories, one
+/// reused workspace, digital events processed at segment boundaries.
+fn direct_mixed_loop(
+    harvester: &mut TunableHarvester,
+    controller_config: ControllerConfig,
+    solver: &StateSpaceSolver,
+    duration_s: f64,
+    initial_supercap_voltage: f64,
+) -> DirectRunOutput {
+    let controller =
+        MicroController::new(controller_config, harvester.resonant_frequency_hz()).unwrap();
+    let mut kernel: Kernel<Mailbox> = Kernel::new();
+    kernel.spawn_at(SimTime::from_secs_f64(controller_config.watchdog_period_s), controller);
+
+    let mut states = Trajectory::new();
+    let mut terminals = Trajectory::new();
+    let mut workspace = SolverWorkspace::new();
+    let mut control_events = Vec::new();
+    let mut steps = 0usize;
+
+    let mut t = 0.0_f64;
+    let mut x = harvester.initial_state(initial_supercap_voltage).unwrap();
+
+    while t < duration_s - 1e-9 {
+        let next_event = kernel
+            .next_event_time()
+            .map(|time| time.as_secs_f64())
+            .unwrap_or(duration_s)
+            .min(duration_s);
+        let segment_end = next_event.max(t + 1e-9);
+
+        if segment_end > t + 1e-12 {
+            let (x_end, stats) = solver
+                .solve_into_with(
+                    &*harvester,
+                    t,
+                    segment_end,
+                    &x,
+                    &mut states,
+                    &mut terminals,
+                    &mut workspace,
+                )
+                .expect("segment integrates");
+            x = x_end;
+            steps += stats.steps;
+            t = segment_end;
+        }
+
+        if kernel.next_event_time().map(|time| time.as_secs_f64() <= t + 1e-12).unwrap_or(false) {
+            let mut mailbox = Mailbox {
+                supercap_voltage: harvester.supercapacitor_voltage(&x),
+                ambient_hz: harvester.ambient_frequency_hz(t),
+                resonant_hz: harvester.resonant_frequency_hz(),
+                requested_load_mode: None,
+                requested_resonance_hz: None,
+            };
+            kernel.run_until(SimTime::from_secs_f64(t), &mut mailbox).unwrap();
+            let mut acted = false;
+            if let Some(mode) = mailbox.requested_load_mode {
+                harvester.set_load_mode(mode);
+                acted = true;
+            }
+            if let Some(frequency) = mailbox.requested_resonance_hz {
+                harvester.set_resonant_frequency(frequency);
+                acted = true;
+            }
+            if acted {
+                control_events.push((t, harvester.load_mode(), harvester.resonant_frequency_hz()));
+            }
+        }
+    }
+
+    (states, terminals, x, steps, control_events)
+}
+
+fn busy_scenario() -> ScenarioConfig {
+    let mut scenario = ScenarioConfig::scenario1();
+    scenario.duration_s = 0.9;
+    scenario.frequency_step_time_s = 0.1;
+    scenario.controller.watchdog_period_s = 0.25;
+    scenario.controller.energy_threshold_v = 2.0;
+    scenario.controller.measurement_duration_s = 0.05;
+    scenario.controller.tuning_rate_hz_per_s = 10.0;
+    scenario.controller.tuning_update_interval_s = 0.02;
+    scenario
+}
+
+/// The headline pin: shim output ≡ PR 4 direct loop, bit for bit.
+#[test]
+fn scenario_run_through_the_shim_matches_the_direct_pr4_loop() {
+    let scenario = busy_scenario();
+    let shim = scenario.run().expect("shim run");
+
+    let solver_options = match scenario.engine {
+        SimulationEngine::StateSpace(options) => options,
+        SimulationEngine::NewtonRaphson(_) => unreachable!("scenario1 defaults to state-space"),
+    };
+    let solver = StateSpaceSolver::new(solver_options).expect("solver");
+    let mut harvester = scenario.build_harvester().expect("harvester");
+    let (states, terminals, final_state, steps, control_events) = direct_mixed_loop(
+        &mut harvester,
+        scenario.controller,
+        &solver,
+        scenario.duration_s,
+        scenario.initial_supercap_voltage,
+    );
+
+    assert_eq!(shim.final_state, final_state, "final state must match bit for bit");
+    assert_eq!(shim.result.engine_stats.state_space.steps, steps, "same accepted steps");
+    assert_eq!(shim.states().len(), states.len(), "same recorded grid");
+    assert_eq!(shim.states().times(), states.times());
+    for (i, (sample, expected)) in shim.states().states().iter().zip(states.states()).enumerate() {
+        assert_eq!(sample, expected, "state sample {i}");
+    }
+    for (i, (sample, expected)) in
+        shim.terminals().states().iter().zip(terminals.states()).enumerate()
+    {
+        assert_eq!(sample, expected, "terminal sample {i}");
+    }
+    // Identical control trajectory (time, mode, frequency per action).
+    assert_eq!(shim.result.control_events.len(), control_events.len());
+    for (event, (time, mode, hz)) in shim.result.control_events.iter().zip(&control_events) {
+        assert_eq!(event.time_s, *time);
+        assert_eq!(event.load_mode, *mode);
+        assert_eq!(event.resonant_frequency_hz, *hz);
+    }
+    // And the retuned harvester ends in the same place.
+    assert_eq!(shim.harvester.resonant_frequency_hz(), harvester.resonant_frequency_hz());
+    assert_eq!(shim.harvester.load_mode(), harvester.load_mode());
+}
+
+/// Streaming-memory acceptance: a sweep point observed only by streaming
+/// probes retains a constant few hundred bytes regardless of the simulated
+/// span, while the dense shim's footprint grows with it — no dense
+/// `Trajectory` exists anywhere on the streaming path.
+#[test]
+fn streaming_sweep_points_never_materialise_dense_trajectories() {
+    let streaming_peak = |duration: f64| {
+        let mut scenario = busy_scenario();
+        scenario.duration_s = duration;
+        let mut session = Simulation::from_config(scenario).start().expect("session");
+        let vc = session.harvester().storage_voltage_net();
+        session.add_probe(EnvelopeProbe::terminal(vc));
+        session.add_probe(StepHistogramProbe::new());
+        session.run_to_end().expect("runs");
+        session.report().peak_probe_bytes
+    };
+    let short = streaming_peak(0.3);
+    let long = streaming_peak(0.9);
+    assert_eq!(short, long, "streaming probe memory must be span-independent");
+    assert!(short < 4096, "streaming probes stay in the hundreds of bytes: {short}");
+
+    // The dense shim, by contrast, retains O(recorded samples).
+    let mut scenario = busy_scenario();
+    scenario.duration_s = 0.9;
+    let dense = scenario.run().expect("dense shim");
+    assert!(
+        dense.result.peak_probe_bytes > 10 * long,
+        "dense capture {} B should dwarf streaming {} B",
+        dense.result.peak_probe_bytes,
+        long
+    );
+}
+
+/// The perf-gate criterion "passes with probes attached" in microcosm:
+/// attaching streaming probes must not change the computed trajectory at all
+/// (observation is read-only), so the probed session's final state matches
+/// the unobserved shim bit for bit.
+#[test]
+fn attached_probes_do_not_perturb_the_solution() {
+    let scenario = busy_scenario();
+    let reference = scenario.run().expect("reference");
+    let mut session = Simulation::from_config(scenario).start().expect("session");
+    let vc = session.harvester().storage_voltage_net();
+    session.add_probe(EnvelopeProbe::terminal(vc));
+    session.add_probe(StepHistogramProbe::new());
+    session.run_to_end().expect("runs");
+    assert_eq!(session.report().final_state, reference.final_state);
+    assert_eq!(
+        session.report().engine_stats.state_space.steps,
+        reference.result.engine_stats.state_space.steps
+    );
+}
+
+/// The streaming `PowerProbe` subsumes the post-hoc `power_report` walk: on
+/// the same run its windows agree with the dense-trajectory computation to
+/// within the decimation error of the recorded grid (the probe integrates
+/// every accepted step; `power_report` re-walks the 1 ms recording).
+#[test]
+fn streaming_power_probe_agrees_with_the_post_hoc_report() {
+    let mut scenario = busy_scenario();
+    scenario.duration_s = 1.2;
+    scenario.frequency_step_time_s = 0.3;
+    let dense = scenario.run().expect("dense shim");
+    let reference = measurement::power_report(&dense).expect("post-hoc report");
+
+    let mut session = Simulation::from_config(scenario.clone()).start().expect("session");
+    let vm = session.harvester().generator_voltage_net();
+    let im = session.harvester().generator_current_net();
+    let probe = session.add_probe(PowerProbe::new(
+        vm,
+        im,
+        scenario.frequency_step_time_s,
+        scenario.duration_s,
+    ));
+    session.run_to_end().expect("runs");
+    let streaming = session.probe::<PowerProbe>(probe).expect("typed probe").report();
+
+    let close = |a: f64, b: f64| (a - b).abs() <= 0.15 * a.abs().max(b.abs()) + 1.0;
+    assert!(
+        close(streaming.rms_before_uw, reference.rms_before_uw),
+        "before: streaming {} vs post-hoc {}",
+        streaming.rms_before_uw,
+        reference.rms_before_uw
+    );
+    assert!(
+        close(streaming.rms_after_uw, reference.rms_after_uw),
+        "after: streaming {} vs post-hoc {}",
+        streaming.rms_after_uw,
+        reference.rms_after_uw
+    );
+    assert!(
+        close(streaming.dip_uw, reference.dip_uw),
+        "dip: streaming {} vs post-hoc {}",
+        streaming.dip_uw,
+        reference.dip_uw
+    );
+}
