@@ -88,6 +88,23 @@ impl TuningActuator {
         self.completed_moves
     }
 
+    /// Restores the actuator's mutable state from checkpoint values (the slew
+    /// rate is a construction parameter and stays untouched). The values are
+    /// installed bit-for-bit — no clamping — because a resumed run must
+    /// continue exactly where the saved one stopped.
+    pub fn restore(
+        &mut self,
+        current_hz: f64,
+        target_hz: f64,
+        total_travel_hz: f64,
+        completed_moves: usize,
+    ) {
+        self.current_hz = current_hz;
+        self.target_hz = target_hz;
+        self.total_travel_hz = total_travel_hz;
+        self.completed_moves = completed_moves;
+    }
+
     /// Commands a new target frequency and returns the time the move will take
     /// at the configured rate, in seconds.
     pub fn command(&mut self, target_hz: f64) -> f64 {

@@ -247,6 +247,64 @@ impl<E: HarvesterEnvironment> Process<E> for MicroController {
             }
         }
     }
+
+    fn save_state(&self) -> Vec<u8> {
+        // Fixed-layout little-endian blob; the leading tag lets a restore
+        // into the wrong process type fail loudly instead of resuming with
+        // garbage. The config and actuator rate are construction parameters
+        // (covered by the checkpoint's rebuild section), so only the mutable
+        // Fig. 7 flow state is captured here.
+        let mut bytes = Vec::with_capacity(85);
+        bytes.extend_from_slice(b"MCU1");
+        bytes.push(match self.state {
+            ControllerState::Sleeping => 0,
+            ControllerState::Measuring => 1,
+            ControllerState::Tuning => 2,
+        });
+        for count in [
+            self.stats.wakeups,
+            self.stats.skipped_low_energy,
+            self.stats.skipped_frequency_match,
+            self.stats.tunings_started,
+            self.stats.tunings_completed,
+        ] {
+            bytes.extend_from_slice(&(count as u64).to_le_bytes());
+        }
+        bytes.extend_from_slice(&self.last_resume_s.to_bits().to_le_bytes());
+        for value in
+            [self.actuator.current_hz(), self.actuator.target_hz(), self.actuator.total_travel_hz()]
+        {
+            bytes.extend_from_slice(&value.to_bits().to_le_bytes());
+        }
+        bytes.extend_from_slice(&(self.actuator.completed_moves() as u64).to_le_bytes());
+        bytes
+    }
+
+    fn restore_state(&mut self, bytes: &[u8]) -> bool {
+        if bytes.len() != 85 || &bytes[..4] != b"MCU1" {
+            return false;
+        }
+        let u64_at = |offset: usize| {
+            u64::from_le_bytes(bytes[offset..offset + 8].try_into().expect("8-byte slice"))
+        };
+        let f64_at = |offset: usize| f64::from_bits(u64_at(offset));
+        self.state = match bytes[4] {
+            0 => ControllerState::Sleeping,
+            1 => ControllerState::Measuring,
+            2 => ControllerState::Tuning,
+            _ => return false,
+        };
+        self.stats = ControllerStats {
+            wakeups: u64_at(5) as usize,
+            skipped_low_energy: u64_at(13) as usize,
+            skipped_frequency_match: u64_at(21) as usize,
+            tunings_started: u64_at(29) as usize,
+            tunings_completed: u64_at(37) as usize,
+        };
+        self.last_resume_s = f64_at(45);
+        self.actuator.restore(f64_at(53), f64_at(61), f64_at(69), u64_at(77) as usize);
+        true
+    }
 }
 
 #[cfg(test)]

@@ -300,6 +300,43 @@ impl TerminalFactorisation {
     pub fn lu(&self) -> Option<&LuDecomposition> {
         self.lu.as_ref()
     }
+
+    /// The matrix whose factorisation the cache currently holds — the only
+    /// datum a checkpoint needs. The LU factors themselves are re-derived at
+    /// restore ([`TerminalFactorisation::restore_from_key`]): elimination is
+    /// deterministic (largest-magnitude pivot, tolerance recomputed from the
+    /// matrix), so re-factoring the identical bits yields identical factors.
+    pub(crate) fn cache_key(&self) -> Option<&DMatrix> {
+        self.lu.is_some().then_some(&self.factored_jyy)
+    }
+
+    /// Rebuilds the cache from a checkpointed key matrix (or clears it for
+    /// `None`), preserving the cache-hit behaviour — and therefore the
+    /// `factorisations` / `cached_solves` statistics — of the saved run.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::IllPosedSystem`] if the key matrix does not
+    /// factor — a checkpoint can only hold a matrix that factored when it was
+    /// written, so this indicates corruption.
+    pub(crate) fn restore_from_key(&mut self, key: Option<DMatrix>) -> Result<(), CoreError> {
+        match key {
+            None => {
+                self.lu = None;
+                self.factored_jyy = DMatrix::zeros(0, 0);
+            }
+            Some(matrix) => {
+                let lu = LuDecomposition::new(&matrix).map_err(|err| {
+                    CoreError::IllPosedSystem(format!(
+                        "checkpointed terminal matrix does not factor: {err}"
+                    ))
+                })?;
+                self.lu = Some(lu);
+                self.factored_jyy = matrix;
+            }
+        }
+        Ok(())
+    }
 }
 
 /// A complete analogue model that can be linearised at any time point — the
@@ -605,6 +642,38 @@ impl Assembly {
     /// Starts building an assembly.
     pub fn builder() -> AssemblyBuilder {
         AssemblyBuilder::new()
+    }
+
+    /// Exports the per-block stamp-cache triples `(static scale, PWL
+    /// signature, stamped)` for checkpointing. These are loop-carried: the
+    /// relinearisation skip paths compare fresh signatures against them and
+    /// feed the cached scale into the Eq. 3 monitor, so a bit-identical
+    /// resume (including the `constant/pwl_stamps_skipped` counters) must
+    /// restore them rather than start cold. The block-local `lin` buffers are
+    /// deliberately excluded — every path that reads them rewrites them first.
+    pub(crate) fn stamp_cache(&self) -> Vec<(f64, Option<u64>, bool)> {
+        self.scratch
+            .borrow()
+            .iter()
+            .map(|buffers| (buffers.static_scale, buffers.signature, buffers.stamped))
+            .collect()
+    }
+
+    /// Restores the stamp cache exported by [`Assembly::stamp_cache`].
+    /// Returns `false` (leaving the cache untouched) on a block-count
+    /// mismatch — the checkpoint was taken from a differently assembled
+    /// system.
+    pub(crate) fn restore_stamp_cache(&self, cache: &[(f64, Option<u64>, bool)]) -> bool {
+        let mut scratch = self.scratch.borrow_mut();
+        if scratch.len() != cache.len() {
+            return false;
+        }
+        for (buffers, &(static_scale, signature, stamped)) in scratch.iter_mut().zip(cache) {
+            buffers.static_scale = static_scale;
+            buffers.signature = signature;
+            buffers.stamped = stamped;
+        }
+        true
     }
 
     /// Total number of global state variables.

@@ -23,6 +23,7 @@ use harvsim_linalg::{DMatrix, DVector, LuDecomposition};
 use harvsim_ode::solution::{DecimatedRecorder, SampleSink, Trajectory};
 
 use crate::assembly::{AnalogueSystem, GlobalLinearisation};
+use crate::checkpoint::{ByteReader, ByteWriter, CheckpointError};
 use crate::CoreError;
 
 /// Implicit formula used by the baseline.
@@ -139,6 +140,26 @@ impl BaselineStats {
         self.newton_iterations += other.newton_iterations;
         self.factorisations += other.factorisations;
         self.cpu_time += other.cpu_time;
+    }
+
+    /// Serialises the counters into a checkpoint payload (`cpu_time` as
+    /// nanoseconds; restored for billing continuity, excluded from
+    /// bit-identity comparisons).
+    pub(crate) fn encode(&self, w: &mut ByteWriter) {
+        w.put_usize(self.steps);
+        w.put_usize(self.newton_iterations);
+        w.put_usize(self.factorisations);
+        w.put_u64(self.cpu_time.as_nanos() as u64);
+    }
+
+    /// Inverse of [`BaselineStats::encode`].
+    pub(crate) fn decode(r: &mut ByteReader<'_>) -> Result<Self, CheckpointError> {
+        Ok(BaselineStats {
+            steps: r.take_usize()?,
+            newton_iterations: r.take_usize()?,
+            factorisations: r.take_usize()?,
+            cpu_time: Duration::from_nanos(r.take_u64()?),
+        })
     }
 }
 
@@ -364,6 +385,52 @@ impl BaselineMarch {
             workspace.lin_now.solve_terminals(&x)?
         };
         Ok(BaselineMarch { options, t_end, t: t0, x, y, theta, stats: BaselineStats::default() })
+    }
+
+    /// Serialises the march into a checkpoint payload. The baseline's
+    /// workspace is pure per-step scratch (every buffer is rewritten before
+    /// it is read), so the loop-carried state is just the march struct
+    /// itself.
+    pub(crate) fn encode(&self, w: &mut ByteWriter) {
+        w.put_f64(self.t_end);
+        w.put_f64(self.t);
+        w.put_vector(&self.x);
+        w.put_vector(&self.y);
+        w.put_f64(self.theta);
+        self.stats.encode(w);
+    }
+
+    /// Rebuilds a march serialised by [`BaselineMarch::encode`], preparing
+    /// the workspace exactly as [`BaselineMarch::begin`] would.
+    ///
+    /// # Errors
+    ///
+    /// Typed [`CheckpointError`] (wrapped in [`CoreError::Checkpoint`]) on
+    /// dimension mismatches against the system.
+    pub(crate) fn decode(
+        options: BaselineOptions,
+        system: &dyn AnalogueSystem,
+        workspace: &mut BaselineWorkspace,
+        r: &mut ByteReader<'_>,
+    ) -> Result<Self, CoreError> {
+        let t_end = r.take_f64()?;
+        let t = r.take_f64()?;
+        let x = r.take_vector()?;
+        let y = r.take_vector()?;
+        let theta = r.take_f64()?;
+        let stats = BaselineStats::decode(r)?;
+        let n = system.state_count();
+        let m = system.net_count();
+        if x.len() != n || y.len() != m {
+            return Err(crate::checkpoint::malformed(format!(
+                "saved baseline march has {}/{} state/terminal entries, the system has {n}/{m}",
+                x.len(),
+                y.len()
+            ))
+            .into());
+        }
+        workspace.prepare(n, m);
+        Ok(BaselineMarch { options, t_end, t, x, y, theta, stats })
     }
 
     /// Current integration time.

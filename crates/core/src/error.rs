@@ -23,6 +23,9 @@ pub enum CoreError {
     Ode(OdeError),
     /// An underlying digital-kernel error.
     Kernel(KernelError),
+    /// A checkpoint could not be decoded (truncated, corrupted, or written by
+    /// an incompatible format version / configuration encoding).
+    Checkpoint(crate::checkpoint::CheckpointError),
     /// A failure attributed to one scenario of a batch or sweep: `label`
     /// names the originating configuration (the scenario id, or the sweep
     /// point's `scenario+param=value` path), so a failed grid point is
@@ -57,6 +60,7 @@ impl fmt::Display for CoreError {
             CoreError::Linalg(err) => write!(f, "linear algebra error: {err}"),
             CoreError::Ode(err) => write!(f, "integration error: {err}"),
             CoreError::Kernel(err) => write!(f, "digital kernel error: {err}"),
+            CoreError::Checkpoint(err) => write!(f, "checkpoint error: {err}"),
             CoreError::Scenario { label, source } => write!(f, "scenario `{label}`: {source}"),
         }
     }
@@ -69,6 +73,7 @@ impl std::error::Error for CoreError {
             CoreError::Linalg(err) => Some(err),
             CoreError::Ode(err) => Some(err),
             CoreError::Kernel(err) => Some(err),
+            CoreError::Checkpoint(err) => Some(err),
             CoreError::Scenario { source, .. } => Some(source.as_ref()),
             _ => None,
         }
@@ -96,6 +101,12 @@ impl From<OdeError> for CoreError {
 impl From<KernelError> for CoreError {
     fn from(err: KernelError) -> Self {
         CoreError::Kernel(err)
+    }
+}
+
+impl From<crate::checkpoint::CheckpointError> for CoreError {
+    fn from(err: crate::checkpoint::CheckpointError) -> Self {
+        CoreError::Checkpoint(err)
     }
 }
 

@@ -222,6 +222,21 @@ impl TunableHarvester {
         self.microgenerator.set_resonant_frequency(frequency_hz);
     }
 
+    /// The piezoelectric tuning force currently applied to the
+    /// microgenerator, in newtons. Saved by checkpoints instead of the
+    /// derived resonant frequency: the force is the raw stored datum, so
+    /// restoring it round-trips bit-exactly where a frequency→force→frequency
+    /// trip through `sqrt` would not.
+    pub fn tuning_force(&self) -> f64 {
+        self.microgenerator.tuning_force()
+    }
+
+    /// Restores a previously saved tuning force (see
+    /// [`TunableHarvester::tuning_force`]).
+    pub fn set_tuning_force(&mut self, force: f64) {
+        self.microgenerator.set_tuning_force(force);
+    }
+
     /// Switches the equivalent load resistor mode (Eq. 16).
     pub fn set_load_mode(&mut self, mode: LoadMode) {
         self.supercapacitor.set_load_mode(mode);

@@ -72,6 +72,7 @@
 
 pub mod assembly;
 pub mod baseline;
+pub mod checkpoint;
 pub mod comparison;
 mod error;
 pub mod harvester;
@@ -79,6 +80,7 @@ pub mod measurement;
 pub mod mixed;
 pub mod probe;
 pub mod scenario;
+pub mod service;
 pub mod session;
 pub mod solver;
 
@@ -87,6 +89,7 @@ pub use assembly::{
     TerminalFactorisation,
 };
 pub use baseline::{BaselineOptions, NewtonRaphsonBaseline};
+pub use checkpoint::{fnv1a64, CheckpointError, CHECKPOINT_MAGIC, CHECKPOINT_VERSION};
 pub use comparison::{ComparisonReport, SpeedComparison};
 pub use error::CoreError;
 pub use harvester::TunableHarvester;
@@ -96,6 +99,7 @@ pub use probe::{
     DigitalEvent, EnvelopeProbe, PowerProbe, Probe, StepHistogramProbe, WaveformProbe,
 };
 pub use scenario::{run_batch, ScenarioConfig, ScenarioResult, SweepParameter};
+pub use service::{JobOutcome, ServiceOptions, ServiceReport, SessionService};
 pub use session::{ProbeId, Session, SessionReport, SessionStatus, Simulation};
 pub use solver::{SolveResult, SolverOptions, SolverStats, StateSpaceSolver};
 

@@ -28,6 +28,7 @@ use std::any::Any;
 use harvsim_linalg::DVector;
 use harvsim_ode::{DecimatedRecorder, Trajectory};
 
+use crate::checkpoint::{ByteReader, ByteWriter};
 use crate::measurement::PowerReport;
 use crate::mixed::ControlEvent;
 
@@ -52,8 +53,10 @@ pub enum DigitalEvent {
 /// Probes are trait objects; the session owns them and drives every hook.
 /// All hooks except [`Probe::on_sample`] have conservative defaults, so a
 /// minimal probe implements one method. `Probe: Any` enables typed retrieval
-/// through [`crate::session::Session::probe`] after (or during) a run.
-pub trait Probe: Any {
+/// through [`crate::session::Session::probe`] after (or during) a run;
+/// `Probe: Send` lets a session (and its probes) migrate between the worker
+/// threads of [`crate::service::SessionService`].
+pub trait Probe: Any + Send {
     /// Called when an analogue segment `[t0, t_end]` opens (between digital
     /// events). Dense recorders reset their decimation clock here so every
     /// segment records its opening point — the behaviour the pre-session
@@ -88,6 +91,49 @@ pub trait Probe: Any {
     fn memory_bytes(&self) -> usize {
         std::mem::size_of_val(self)
     }
+
+    /// Serialises the probe's observation state for a session checkpoint.
+    /// Blobs are self-describing (each built-in opens with a type tag), so a
+    /// restore against the wrong probe type is detected, not silently
+    /// accepted. The default returns an empty blob — correct for probes with
+    /// no state worth carrying across a save/restore cycle.
+    fn save_state(&self) -> Vec<u8> {
+        Vec::new()
+    }
+
+    /// Restores state saved by [`Probe::save_state`] on a freshly constructed
+    /// probe of the same type. Returns `false` (leaving the probe untouched)
+    /// if the blob was not written by this probe type or is corrupt; the
+    /// session maps that to a typed checkpoint error. The default accepts
+    /// exactly the empty blob its default `save_state` produces.
+    fn restore_state(&mut self, bytes: &[u8]) -> bool {
+        bytes.is_empty()
+    }
+}
+
+// Probe-state blob type tags (first byte of every built-in probe blob).
+const TAG_WAVEFORM: u8 = 1;
+const TAG_POWER: u8 = 2;
+const TAG_ENVELOPE: u8 = 3;
+const TAG_STEP_HISTOGRAM: u8 = 4;
+
+fn encode_trajectory(w: &mut ByteWriter, trajectory: &Trajectory) {
+    w.put_usize(trajectory.len());
+    for (time, state) in trajectory.times().iter().zip(trajectory.states()) {
+        w.put_f64(*time);
+        w.put_vector(state);
+    }
+}
+
+fn decode_trajectory(r: &mut ByteReader<'_>) -> Option<Trajectory> {
+    let len = r.take_usize().ok()?;
+    let mut trajectory = Trajectory::new();
+    for _ in 0..len {
+        let time = r.take_f64().ok()?;
+        let state = r.take_vector().ok()?;
+        trajectory.push(time, state);
+    }
+    Some(trajectory)
 }
 
 /// Dense decimated waveform capture — the classic recording behaviour as a
@@ -161,6 +207,41 @@ impl Probe for WaveformProbe {
         };
         std::mem::size_of_val(self) + per_sample(&self.states) + per_sample(&self.terminals)
     }
+
+    fn save_state(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.put_u8(TAG_WAVEFORM);
+        w.put_f64(self.interval);
+        w.put_f64(self.last_recorded);
+        encode_trajectory(&mut w, &self.states);
+        encode_trajectory(&mut w, &self.terminals);
+        w.into_bytes()
+    }
+
+    fn restore_state(&mut self, bytes: &[u8]) -> bool {
+        let mut r = ByteReader::new(bytes);
+        let parsed = (|| {
+            if r.take_u8().ok()? != TAG_WAVEFORM {
+                return None;
+            }
+            let interval = r.take_f64().ok()?;
+            let last_recorded = r.take_f64().ok()?;
+            let states = decode_trajectory(&mut r)?;
+            let terminals = decode_trajectory(&mut r)?;
+            r.expect_end().ok()?;
+            Some((interval, last_recorded, states, terminals))
+        })();
+        match parsed {
+            Some((interval, last_recorded, states, terminals)) => {
+                self.interval = interval;
+                self.last_recorded = last_recorded;
+                self.states = states;
+                self.terminals = terminals;
+                true
+            }
+            None => false,
+        }
+    }
 }
 
 /// Trapezoidal mean of a streamed scalar over a fixed window `[t0, t1]`,
@@ -204,6 +285,22 @@ impl WindowMean {
         } else {
             0.0
         }
+    }
+
+    fn encode(&self, w: &mut ByteWriter) {
+        w.put_f64(self.t0);
+        w.put_f64(self.t1);
+        w.put_f64(self.integral);
+        w.put_f64(self.covered);
+    }
+
+    fn decode(r: &mut ByteReader<'_>) -> Option<Self> {
+        Some(WindowMean {
+            t0: r.take_f64().ok()?,
+            t1: r.take_f64().ok()?,
+            integral: r.take_f64().ok()?,
+            covered: r.take_f64().ok()?,
+        })
     }
 }
 
@@ -296,6 +393,69 @@ impl Probe for PowerProbe {
         }
         self.last = Some((t, p));
     }
+
+    fn save_state(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.put_u8(TAG_POWER);
+        w.put_usize(self.vm);
+        w.put_usize(self.im);
+        self.before.encode(&mut w);
+        self.after.encode(&mut w);
+        self.dip_current.encode(&mut w);
+        w.put_f64(self.dip_window);
+        w.put_f64(self.dip_end);
+        w.put_f64(self.dip_min);
+        match self.last {
+            Some((t, p)) => {
+                w.put_bool(true);
+                w.put_f64(t);
+                w.put_f64(p);
+            }
+            None => w.put_bool(false),
+        }
+        w.into_bytes()
+    }
+
+    fn restore_state(&mut self, bytes: &[u8]) -> bool {
+        let mut r = ByteReader::new(bytes);
+        let parsed = (|| {
+            if r.take_u8().ok()? != TAG_POWER {
+                return None;
+            }
+            let vm = r.take_usize().ok()?;
+            let im = r.take_usize().ok()?;
+            let before = WindowMean::decode(&mut r)?;
+            let after = WindowMean::decode(&mut r)?;
+            let dip_current = WindowMean::decode(&mut r)?;
+            let dip_window = r.take_f64().ok()?;
+            let dip_end = r.take_f64().ok()?;
+            let dip_min = r.take_f64().ok()?;
+            let last = if r.take_bool().ok()? {
+                Some((r.take_f64().ok()?, r.take_f64().ok()?))
+            } else {
+                None
+            };
+            r.expect_end().ok()?;
+            Some(PowerProbe {
+                vm,
+                im,
+                before,
+                after,
+                dip_current,
+                dip_window,
+                dip_end,
+                dip_min,
+                last,
+            })
+        })();
+        match parsed {
+            Some(probe) => {
+                *self = probe;
+                true
+            }
+            None => false,
+        }
+    }
 }
 
 /// What an [`EnvelopeProbe`] watches: one component of the state vector or of
@@ -384,6 +544,58 @@ impl Probe for EnvelopeProbe {
         self.last = value;
         self.samples += 1;
     }
+
+    fn save_state(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.put_u8(TAG_ENVELOPE);
+        match self.source {
+            SignalSource::State(index) => {
+                w.put_u8(0);
+                w.put_usize(index);
+            }
+            SignalSource::Terminal(index) => {
+                w.put_u8(1);
+                w.put_usize(index);
+            }
+        }
+        w.put_f64(self.min);
+        w.put_f64(self.max);
+        w.put_f64(self.first);
+        w.put_f64(self.last);
+        w.put_usize(self.samples);
+        w.into_bytes()
+    }
+
+    fn restore_state(&mut self, bytes: &[u8]) -> bool {
+        let mut r = ByteReader::new(bytes);
+        let parsed = (|| {
+            if r.take_u8().ok()? != TAG_ENVELOPE {
+                return None;
+            }
+            let source = match r.take_u8().ok()? {
+                0 => SignalSource::State(r.take_usize().ok()?),
+                1 => SignalSource::Terminal(r.take_usize().ok()?),
+                _ => return None,
+            };
+            let probe = EnvelopeProbe {
+                source,
+                min: r.take_f64().ok()?,
+                max: r.take_f64().ok()?,
+                first: r.take_f64().ok()?,
+                last: r.take_f64().ok()?,
+                samples: r.take_usize().ok()?,
+            };
+            r.expect_end().ok()?;
+            Some(probe)
+        })();
+        match parsed {
+            Some(probe) => {
+                *self = probe;
+                true
+            }
+            None => false,
+        }
+    }
 }
 
 /// Number of logarithmic bins in the [`StepHistogramProbe`]; bin `k` covers
@@ -461,6 +673,51 @@ impl Probe for StepHistogramProbe {
             }
         }
         self.last_t = Some(t);
+    }
+
+    fn save_state(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.put_u8(TAG_STEP_HISTOGRAM);
+        for &bin in &self.bins {
+            w.put_usize(bin);
+        }
+        w.put_bool(self.last_t.is_some());
+        w.put_f64(self.last_t.unwrap_or(0.0));
+        w.put_usize(self.total_steps);
+        w.put_f64(self.min_dt);
+        w.put_f64(self.max_dt);
+        w.into_bytes()
+    }
+
+    fn restore_state(&mut self, bytes: &[u8]) -> bool {
+        let mut r = ByteReader::new(bytes);
+        let parsed = (|| {
+            if r.take_u8().ok()? != TAG_STEP_HISTOGRAM {
+                return None;
+            }
+            let mut bins = [0usize; STEP_HISTOGRAM_BINS];
+            for bin in bins.iter_mut() {
+                *bin = r.take_usize().ok()?;
+            }
+            let have_last = r.take_bool().ok()?;
+            let last = r.take_f64().ok()?;
+            let probe = StepHistogramProbe {
+                bins,
+                last_t: have_last.then_some(last),
+                total_steps: r.take_usize().ok()?,
+                min_dt: r.take_f64().ok()?,
+                max_dt: r.take_f64().ok()?,
+            };
+            r.expect_end().ok()?;
+            Some(probe)
+        })();
+        match parsed {
+            Some(probe) => {
+                *self = probe;
+                true
+            }
+            None => false,
+        }
     }
 }
 

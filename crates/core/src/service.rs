@@ -1,0 +1,495 @@
+//! A concurrent session scheduler: thread-per-core workers round-robinning
+//! many (thousands of) resumable [`Session`]s with preemption at
+//! [`Session::run_until`] boundaries, checkpoint-on-preempt, eviction under a
+//! resident-memory budget, and per-session engine-time billing.
+//!
+//! # Scheduling model
+//!
+//! Jobs are submitted as [`Simulation`] builders (a validated
+//! [`crate::ScenarioConfig`] each) and enter a FIFO run queue. Every worker
+//! thread repeatedly pops the front job, advances it by one *time slice* of
+//! simulated seconds ([`ServiceOptions::slice_s`]) via `run_until`, and pushes
+//! it back to the tail. Because requeueing is strictly FIFO, no job can be
+//! starved: between two slices of one job, every other runnable job gets
+//! exactly one slice (the fairness bound the stress test pins).
+//!
+//! Preemption reuses the session facade's pause guarantee: `run_until` stops
+//! at the first accepted step boundary at or past the slice target, never
+//! truncating an integration step, so a scheduled run takes **exactly** the
+//! steps a sequential run takes — results are bit-identical regardless of
+//! worker count, slice length, or eviction pattern.
+//!
+//! # Eviction under a memory budget
+//!
+//! Every preempted session is checkpointed ([`Session::checkpoint`]) — the
+//! frame length is the job's resident-footprint estimate. If keeping the live
+//! session would push the sum of resident footprints past
+//! [`ServiceOptions::resident_budget_bytes`], the live session is dropped and
+//! only the checkpoint bytes are parked (*eviction*); the next slice restores
+//! it with [`Session::restore`]. Checkpoint round-trips are bit-identical, so
+//! eviction is invisible in the results — it only trades memory for
+//! restore time.
+//!
+//! # Billing
+//!
+//! Each slice bills the job the growth of its engine wall-clock
+//! ([`SessionReport::engine_time`]) across the slice. The counters are
+//! carried inside the session (and inside its checkpoints), so the per-slice
+//! deltas telescope: when a job finishes, its billed total equals its final
+//! report's engine time exactly, and the sum over jobs equals the total
+//! engine time the service spent (billing conservation, pinned by
+//! `tests/service_stress.rs`).
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+use crate::session::{Session, SessionReport, Simulation};
+use crate::CoreError;
+
+/// Tuning knobs for a [`SessionService`].
+#[derive(Debug, Clone)]
+pub struct ServiceOptions {
+    /// Worker thread count; `None` uses the machine's available parallelism
+    /// (thread-per-core). The count is additionally capped by the job count.
+    pub workers: Option<usize>,
+    /// Simulated seconds each job advances per scheduling slice. Preemption
+    /// happens at the first accepted-step boundary at or past the slice
+    /// target, so smaller slices mean fairer interleaving and more
+    /// checkpoint traffic.
+    pub slice_s: f64,
+    /// Budget for the summed resident footprint (checkpoint-frame bytes) of
+    /// live parked sessions. When keeping a preempted session alive would
+    /// exceed it, the session is evicted to its checkpoint bytes instead.
+    /// `None` never evicts.
+    pub resident_budget_bytes: Option<usize>,
+}
+
+impl Default for ServiceOptions {
+    fn default() -> Self {
+        ServiceOptions { workers: None, slice_s: 0.05, resident_budget_bytes: None }
+    }
+}
+
+impl ServiceOptions {
+    fn validate(&self) -> Result<(), CoreError> {
+        if !(self.slice_s > 0.0) {
+            return Err(CoreError::InvalidConfiguration(format!(
+                "service slice must be positive, got {}",
+                self.slice_s
+            )));
+        }
+        if self.workers == Some(0) {
+            return Err(CoreError::InvalidConfiguration(
+                "service worker count must be at least 1".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Outcome of one scheduled job, in submission order within
+/// [`ServiceReport::outcomes`].
+#[derive(Debug)]
+pub struct JobOutcome {
+    /// The job's scenario label, if the configuration carried one.
+    pub label: Option<String>,
+    /// The finished session's report, or the first error the job hit
+    /// (labelled via [`CoreError::for_scenario`] when a label is present).
+    pub result: Result<SessionReport, CoreError>,
+    /// Engine wall-clock billed to this job, accumulated slice by slice.
+    /// Equals the final report's [`SessionReport::engine_time`] for
+    /// successful jobs (billing conservation).
+    pub billed_engine_time: Duration,
+    /// Scheduling slices the job received.
+    pub slices: usize,
+    /// Times the job was evicted to checkpoint bytes under the memory budget.
+    pub evictions: usize,
+    /// Times the job was restored from checkpoint bytes (once per eviction).
+    pub restores: usize,
+}
+
+/// Aggregate result of a [`SessionService::run`] call.
+#[derive(Debug)]
+pub struct ServiceReport {
+    /// Per-job outcomes, in submission order.
+    pub outcomes: Vec<JobOutcome>,
+    /// Sum of the per-job billed engine times.
+    pub total_billed: Duration,
+    /// Total evictions across all jobs.
+    pub evictions: usize,
+    /// High-water sum of resident (live parked) session footprints, in
+    /// checkpoint-frame bytes.
+    pub peak_resident_bytes: usize,
+    /// Worker threads the run actually used.
+    pub workers: usize,
+}
+
+/// A parked job between slices.
+enum Parked {
+    /// Not started yet.
+    Fresh(Box<Simulation>),
+    /// Live session kept resident; the second field is the footprint the
+    /// budget accounting charged for it.
+    Live(Box<Session>, usize),
+    /// Evicted to checkpoint bytes.
+    Frozen(Vec<u8>),
+}
+
+struct JobSlot {
+    parked: Option<Parked>,
+    label: Option<String>,
+    billed: Duration,
+    slices: usize,
+    evictions: usize,
+    restores: usize,
+    done: Option<Result<SessionReport, CoreError>>,
+}
+
+struct SchedulerState {
+    run_queue: VecDeque<usize>,
+    jobs: Vec<JobSlot>,
+    /// Jobs not yet finished or failed — the workers' exit condition.
+    unfinished: usize,
+    resident_bytes: usize,
+    peak_resident_bytes: usize,
+    total_evictions: usize,
+}
+
+struct Shared {
+    state: Mutex<SchedulerState>,
+    wake: Condvar,
+}
+
+/// The multi-session scheduler. Construction validates the options; one
+/// [`SessionService::run`] call schedules one batch of jobs to completion.
+///
+/// ```
+/// use harvsim_core::service::{ServiceOptions, SessionService};
+/// use harvsim_core::session::Simulation;
+///
+/// # fn main() -> Result<(), harvsim_core::CoreError> {
+/// let service = SessionService::new(ServiceOptions {
+///     slice_s: 0.02,
+///     resident_budget_bytes: Some(64 * 1024),
+///     ..ServiceOptions::default()
+/// })?;
+/// let jobs: Vec<Simulation> = (0..4)
+///     .map(|k| {
+///         Simulation::scenario1()
+///             .duration(0.05)
+///             .frequency_step_at(0.02)
+///             .label(format!("job{k}"))
+///     })
+///     .collect();
+/// let report = service.run(jobs);
+/// assert_eq!(report.outcomes.len(), 4);
+/// for outcome in &report.outcomes {
+///     let session_report = outcome.result.as_ref().expect("job finished");
+///     assert!(session_report.finished);
+///     // Billing conservation: slice deltas telescope to the final total.
+///     assert_eq!(outcome.billed_engine_time, session_report.engine_time());
+/// }
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct SessionService {
+    options: ServiceOptions,
+}
+
+impl SessionService {
+    /// Creates a service with the given options.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidConfiguration`] for a non-positive slice or a zero
+    /// worker count.
+    pub fn new(options: ServiceOptions) -> Result<Self, CoreError> {
+        options.validate()?;
+        Ok(SessionService { options })
+    }
+
+    /// Schedules `jobs` to completion across the worker pool and reports
+    /// per-job outcomes plus the scheduler's own accounting. Job failures are
+    /// per-job ([`JobOutcome::result`]), never a panic of the run.
+    pub fn run(&self, jobs: Vec<Simulation>) -> ServiceReport {
+        let slots: Vec<JobSlot> = jobs
+            .into_iter()
+            .map(|simulation| JobSlot {
+                label: simulation.config().label.clone(),
+                parked: Some(Parked::Fresh(Box::new(simulation))),
+                billed: Duration::ZERO,
+                slices: 0,
+                evictions: 0,
+                restores: 0,
+                done: None,
+            })
+            .collect();
+        let job_count = slots.len();
+        let shared = Shared {
+            state: Mutex::new(SchedulerState {
+                run_queue: (0..job_count).collect(),
+                unfinished: job_count,
+                jobs: slots,
+                resident_bytes: 0,
+                peak_resident_bytes: 0,
+                total_evictions: 0,
+            }),
+            wake: Condvar::new(),
+        };
+        let default_workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        let workers = self.options.workers.unwrap_or(default_workers).min(job_count.max(1)).max(1);
+        if job_count > 0 {
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(|| self.worker(&shared));
+                }
+            });
+        }
+        let state = shared.state.into_inner().expect("scheduler state poisoned");
+        let outcomes: Vec<JobOutcome> = state
+            .jobs
+            .into_iter()
+            .map(|slot| JobOutcome {
+                label: slot.label,
+                result: slot.done.expect("every job resolves before the pool drains"),
+                billed_engine_time: slot.billed,
+                slices: slot.slices,
+                evictions: slot.evictions,
+                restores: slot.restores,
+            })
+            .collect();
+        let total_billed = outcomes.iter().map(|o| o.billed_engine_time).sum();
+        ServiceReport {
+            outcomes,
+            total_billed,
+            evictions: state.total_evictions,
+            peak_resident_bytes: state.peak_resident_bytes,
+            workers,
+        }
+    }
+
+    /// One worker thread: pop-front / advance-one-slice / push-back until no
+    /// unfinished jobs remain.
+    fn worker(&self, shared: &Shared) {
+        loop {
+            let Some((index, parked)) = self.next_job(shared) else { return };
+            // Materialise a live session (start fresh, reuse resident, or
+            // thaw from checkpoint bytes), outside the scheduler lock.
+            let restored = matches!(parked, Parked::Frozen(_));
+            let session = match parked {
+                Parked::Fresh(simulation) => simulation.start().map(Box::new),
+                Parked::Live(session, _) => Ok(session),
+                Parked::Frozen(bytes) => Session::restore(&bytes).map(Box::new),
+            };
+            let mut session = match session {
+                Ok(session) => session,
+                Err(err) => {
+                    self.resolve(shared, index, restored, Err(err));
+                    continue;
+                }
+            };
+            let billed_before = engine_time(&session);
+            let target = session.time() + self.options.slice_s;
+            let advanced = if target >= session.duration() {
+                session.run_to_end()
+            } else {
+                session.run_until(target).map(|_| ())
+            };
+            let billed_delta = engine_time(&session).saturating_sub(billed_before);
+            if let Err(err) = advanced {
+                self.book_slice(shared, index, restored, billed_delta);
+                self.resolve(shared, index, false, Err(err));
+                continue;
+            }
+            self.book_slice(shared, index, restored, billed_delta);
+            if session.is_finished() {
+                self.resolve(shared, index, false, Ok(session.report()));
+                continue;
+            }
+            // Checkpoint-on-preempt: the frame is the eviction currency and
+            // the footprint estimate in one.
+            match session.checkpoint() {
+                Ok(bytes) => self.park(shared, index, session, bytes),
+                Err(err) => self.resolve(shared, index, false, Err(err)),
+            }
+        }
+    }
+
+    /// Blocks until a job is runnable (returning its slot) or every job has
+    /// resolved (returning `None`).
+    fn next_job(&self, shared: &Shared) -> Option<(usize, Parked)> {
+        let mut state = shared.state.lock().expect("scheduler state poisoned");
+        loop {
+            if state.unfinished == 0 {
+                return None;
+            }
+            if let Some(index) = state.run_queue.pop_front() {
+                let parked =
+                    state.jobs[index].parked.take().expect("queued job has a parked state");
+                if let Parked::Live(_, footprint) = &parked {
+                    state.resident_bytes -= footprint;
+                }
+                return Some((index, parked));
+            }
+            state = shared.wake.wait(state).expect("scheduler state poisoned");
+        }
+    }
+
+    /// Books one slice's accounting for a job.
+    fn book_slice(&self, shared: &Shared, index: usize, restored: bool, billed: Duration) {
+        let mut state = shared.state.lock().expect("scheduler state poisoned");
+        let slot = &mut state.jobs[index];
+        slot.slices += 1;
+        slot.billed += billed;
+        if restored {
+            slot.restores += 1;
+        }
+    }
+
+    /// Marks a job finished (or failed) and wakes every waiting worker so
+    /// they can re-check the exit condition.
+    fn resolve(
+        &self,
+        shared: &Shared,
+        index: usize,
+        restored: bool,
+        result: Result<SessionReport, CoreError>,
+    ) {
+        let mut state = shared.state.lock().expect("scheduler state poisoned");
+        let slot = &mut state.jobs[index];
+        if restored {
+            slot.restores += 1;
+        }
+        let result = match (result, &slot.label) {
+            (Err(err), Some(label)) => Err(err.for_scenario(label.clone())),
+            (result, _) => result,
+        };
+        slot.done = Some(result);
+        state.unfinished -= 1;
+        shared.wake.notify_all();
+    }
+
+    /// Requeues a preempted job, keeping the live session resident if the
+    /// memory budget allows and evicting it to its checkpoint bytes
+    /// otherwise.
+    fn park(&self, shared: &Shared, index: usize, session: Box<Session>, bytes: Vec<u8>) {
+        let footprint = bytes.len();
+        let mut state = shared.state.lock().expect("scheduler state poisoned");
+        let evict = match self.options.resident_budget_bytes {
+            Some(budget) => state.resident_bytes + footprint > budget,
+            None => false,
+        };
+        if evict {
+            state.jobs[index].evictions += 1;
+            state.total_evictions += 1;
+            state.jobs[index].parked = Some(Parked::Frozen(bytes));
+        } else {
+            state.resident_bytes += footprint;
+            state.peak_resident_bytes = state.peak_resident_bytes.max(state.resident_bytes);
+            state.jobs[index].parked = Some(Parked::Live(session, footprint));
+        }
+        state.run_queue.push_back(index);
+        shared.wake.notify_one();
+    }
+}
+
+/// The billing measure: engine wall-clock booked into the session's closed
+/// segments. Carried inside checkpoints, so per-slice deltas telescope
+/// exactly across preemption, eviction, and restore.
+fn engine_time(session: &Session) -> Duration {
+    let stats = session.engine_stats();
+    stats.state_space.cpu_time + stats.baseline.cpu_time
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ScenarioConfig;
+
+    fn quick_job(k: usize) -> Simulation {
+        let mut config = ScenarioConfig::scenario1();
+        config.duration_s = 0.06;
+        config.frequency_step_time_s = 0.02;
+        config.controller.watchdog_period_s = 0.02;
+        config.controller.measurement_duration_s = 0.005;
+        config.controller.tuning_update_interval_s = 0.004;
+        config.controller.tuning_rate_hz_per_s = 10.0;
+        config.controller.energy_threshold_v = 2.0;
+        Simulation::from_config(config).label(format!("job{k}"))
+    }
+
+    #[test]
+    fn rejects_bad_options() {
+        assert!(SessionService::new(ServiceOptions { slice_s: 0.0, ..Default::default() }).is_err());
+        assert!(
+            SessionService::new(ServiceOptions { workers: Some(0), ..Default::default() }).is_err()
+        );
+        assert!(SessionService::new(ServiceOptions::default()).is_ok());
+    }
+
+    #[test]
+    fn empty_batch_is_a_clean_no_op() {
+        let service = SessionService::new(ServiceOptions::default()).unwrap();
+        let report = service.run(Vec::new());
+        assert!(report.outcomes.is_empty());
+        assert_eq!(report.total_billed, Duration::ZERO);
+        assert_eq!(report.evictions, 0);
+    }
+
+    #[test]
+    fn scheduled_results_match_sequential_and_billing_telescopes() {
+        let jobs: Vec<Simulation> = (0..6).map(quick_job).collect();
+        let sequential: Vec<SessionReport> = jobs
+            .iter()
+            .map(|job| {
+                let mut session = job.start().unwrap();
+                session.run_to_end().unwrap();
+                session.report()
+            })
+            .collect();
+        // A tiny budget forces evictions, so the checkpoint path is exercised.
+        let service = SessionService::new(ServiceOptions {
+            workers: Some(2),
+            slice_s: 0.01,
+            resident_budget_bytes: Some(1),
+        })
+        .unwrap();
+        let report = service.run(jobs);
+        assert_eq!(report.outcomes.len(), 6);
+        assert!(report.evictions > 0, "budget of 1 byte must evict every preemption");
+        for (outcome, reference) in report.outcomes.iter().zip(&sequential) {
+            let scheduled = outcome.result.as_ref().expect("job finished");
+            assert!(scheduled.finished);
+            assert_eq!(scheduled.final_state.as_slice(), reference.final_state.as_slice());
+            assert_eq!(
+                scheduled.engine_stats.state_space.steps,
+                reference.engine_stats.state_space.steps
+            );
+            assert_eq!(scheduled.control_events, reference.control_events);
+            assert_eq!(outcome.billed_engine_time, scheduled.engine_time());
+            assert!(outcome.slices >= 2, "0.06 s span at 0.01 s slices takes several slices");
+            assert_eq!(outcome.evictions, outcome.restores);
+        }
+        let billed: Duration = report.outcomes.iter().map(|o| o.billed_engine_time).sum();
+        assert_eq!(billed, report.total_billed);
+    }
+
+    #[test]
+    fn per_job_failures_are_isolated_and_labelled() {
+        let mut jobs: Vec<Simulation> = (0..2).map(quick_job).collect();
+        jobs.push(quick_job(2).duration(-1.0).label("bad"));
+        let service = SessionService::new(ServiceOptions {
+            workers: Some(2),
+            slice_s: 0.02,
+            ..Default::default()
+        })
+        .unwrap();
+        let report = service.run(jobs);
+        assert!(report.outcomes[0].result.is_ok());
+        assert!(report.outcomes[1].result.is_ok());
+        let err = report.outcomes[2].result.as_ref().unwrap_err();
+        assert!(err.to_string().contains("bad"), "error must carry the job label: {err}");
+    }
+}

@@ -40,12 +40,13 @@ use harvsim_digital::{Kernel, SimTime};
 use harvsim_linalg::DVector;
 use harvsim_ode::SampleSink;
 
-use crate::baseline::{BaselineMarch, BaselineOptions, BaselineWorkspace};
+use crate::baseline::{BaselineMarch, BaselineOptions, BaselineStats, BaselineWorkspace};
+use crate::checkpoint::{self, ByteReader, ByteWriter, CheckpointError};
 use crate::harvester::TunableHarvester;
 use crate::mixed::{ControlEvent, EngineStats, SimulationEngine};
 use crate::probe::{DigitalEvent, Probe, WaveformProbe};
 use crate::scenario::ScenarioConfig;
-use crate::solver::{SolverOptions, SolverWorkspace, StateSpaceMarch};
+use crate::solver::{SolverOptions, SolverStats, SolverWorkspace, StateSpaceMarch};
 use crate::CoreError;
 
 /// Builder for a [`Session`]: a [`ScenarioConfig`] plus fluent overrides for
@@ -146,13 +147,17 @@ impl Simulation {
     pub fn start(&self) -> Result<Session, CoreError> {
         self.config.validate()?;
         let harvester = self.config.build_harvester()?;
-        Session::start(
+        let mut session = Session::start(
             harvester,
             self.config.controller,
             self.config.engine,
             self.config.duration_s,
             self.config.initial_supercap_voltage,
-        )
+        )?;
+        // A config-built session knows how to rebuild itself, which is what
+        // makes it checkpointable (see [`Session::checkpoint`]).
+        session.config = Some(self.config.clone());
+        Ok(session)
     }
 }
 
@@ -194,6 +199,17 @@ pub struct SessionReport {
     /// the observable memory cost of observation. Streaming-only sessions
     /// keep this constant in the simulated duration.
     pub peak_probe_bytes: usize,
+}
+
+impl SessionReport {
+    /// Total engine wall-clock accumulated so far, both engines combined —
+    /// the per-session billing quantity [`crate::service::SessionService`]
+    /// draws. Monotone over a session's lifetime and carried across
+    /// checkpoint/restore, so per-slice billing deltas telescope exactly to
+    /// this final total (billing conservation).
+    pub fn engine_time(&self) -> Duration {
+        self.engine_stats.state_space.cpu_time + self.engine_stats.baseline.cpu_time
+    }
 }
 
 /// The analogue engine behind a session: the engine options, the reusable
@@ -287,6 +303,11 @@ pub struct Session {
     harvester: TunableHarvester,
     kernel: Kernel<ControlMailbox>,
     runtime: EngineRuntime,
+    /// The scenario configuration the session was built from, when it came
+    /// through [`Simulation::start`] — the rebuild recipe a checkpoint
+    /// embeds. `None` for sessions opened over an ad-hoc harvester, which
+    /// therefore cannot be checkpointed.
+    config: Option<ScenarioConfig>,
     duration: f64,
     /// Committed time: the end of the last fully closed segment (the
     /// in-flight march, if any, is ahead of this).
@@ -373,6 +394,7 @@ impl Session {
             harvester,
             kernel,
             runtime,
+            config: None,
             duration: duration_s,
             t: 0.0,
             x,
@@ -565,6 +587,310 @@ impl Session {
         let report = self.report();
         self.harvester.set_exact_diode_companions(self.caller_exact_companions);
         (report, self.probes, self.harvester)
+    }
+
+    /// Serialises the session into a self-contained, versioned checkpoint
+    /// frame (wire format v1 — see [`crate::checkpoint`] for the layout and
+    /// the version policy). The frame embeds the scenario configuration the
+    /// session was built from, every loop-carried runtime datum (committed
+    /// state, in-flight march, digital schedule and process state, stamp
+    /// caches, statistics, billing) and each probe's observation state, so
+    /// [`Session::restore`] resumes **bit-identically**: the resumed run
+    /// takes exactly the steps the uninterrupted run takes. Only the
+    /// wall-clock `cpu_time` statistics differ across a save/load boundary —
+    /// they measure the host, not the model.
+    ///
+    /// Checkpoints may be taken at any time: at `t = 0`, paused mid-segment
+    /// (the in-flight march travels in the frame), at a segment boundary, or
+    /// after the session finished.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidConfiguration`] if the session was opened over an
+    /// ad-hoc harvester via [`Session::start`] — only sessions built by
+    /// [`Simulation::start`] carry the configuration a checkpoint needs to
+    /// rebuild the model.
+    pub fn checkpoint(&self) -> Result<Vec<u8>, CoreError> {
+        let config = self.config.as_ref().ok_or_else(|| {
+            CoreError::InvalidConfiguration(
+                "checkpointing requires a session built from a ScenarioConfig \
+                 (Simulation::start); a session opened over an ad-hoc harvester \
+                 cannot be rebuilt from bytes"
+                    .into(),
+            )
+        })?;
+        let rebuild = checkpoint::encode_config(config);
+        let digest = checkpoint::fnv1a64(&rebuild);
+        let mut w = ByteWriter::new();
+        w.put_bytes(&rebuild);
+        // Harvester runtime: the tuning force is saved raw (not the derived
+        // resonant frequency) because force → frequency goes through a square
+        // root that does not round-trip bit-exactly.
+        w.put_f64(self.harvester.tuning_force());
+        checkpoint::encode_load_mode(&mut w, self.harvester.load_mode());
+        w.put_bool(self.harvester.exact_diode_companions());
+        w.put_bool(self.caller_exact_companions);
+        // Session scalars and committed state.
+        w.put_f64(self.t);
+        w.put_f64(self.segment_end);
+        w.put_bool(self.finished);
+        w.put_usize(self.peak_probe_bytes);
+        w.put_vector(&self.x);
+        // Accumulated statistics and billing.
+        self.engine_stats.state_space.encode(&mut w);
+        self.engine_stats.baseline.encode(&mut w);
+        w.put_u64(self.pending_cpu.as_nanos() as u64);
+        w.put_usize(self.control_events.len());
+        for event in &self.control_events {
+            w.put_f64(event.time_s);
+            checkpoint::encode_load_mode(&mut w, event.load_mode);
+            w.put_f64(event.resonant_frequency_hz);
+        }
+        // Digital kernel: clock, counters, pending queue (canonical sorted
+        // order with original tie-break sequence numbers), process blobs.
+        w.put_u64(self.kernel.now().as_nanos());
+        w.put_u64(self.kernel.sequence());
+        w.put_u64(self.kernel.events_processed());
+        let queue = self.kernel.queue_snapshot();
+        w.put_usize(queue.len());
+        for (time, sequence, process) in queue {
+            w.put_u64(time.as_nanos());
+            w.put_u64(sequence);
+            w.put_usize(process);
+        }
+        w.put_usize(self.kernel.process_count());
+        for index in 0..self.kernel.process_count() {
+            let blob = self.kernel.process_state(index).unwrap_or_default();
+            w.put_bytes(&blob);
+        }
+        // Per-block stamp caches: loop-carried inputs to the relinearisation
+        // skip paths and the Eq. 3 monitor scale.
+        let stamp_cache = self.harvester.assembly().stamp_cache();
+        w.put_usize(stamp_cache.len());
+        for (static_scale, signature, stamped) in stamp_cache {
+            w.put_f64(static_scale);
+            w.put_bool(signature.is_some());
+            w.put_u64(signature.unwrap_or(0));
+            w.put_bool(stamped);
+        }
+        // The in-flight march, if the session is paused mid-segment.
+        match &self.runtime {
+            EngineRuntime::StateSpace { workspace, march: Some(march), .. } => {
+                w.put_u8(1);
+                march.encode(workspace, &mut w);
+            }
+            EngineRuntime::NewtonRaphson { march: Some(march), .. } => {
+                w.put_u8(2);
+                march.encode(&mut w);
+            }
+            _ => w.put_u8(0),
+        }
+        // Probe observation state, in registration order.
+        w.put_usize(self.probes.len());
+        for probe in &self.probes {
+            w.put_bytes(&probe.save_state());
+        }
+        Ok(checkpoint::seal_frame(digest, &w.into_bytes()))
+    }
+
+    /// Rebuilds a probe-less session from a checkpoint frame. Equivalent to
+    /// [`Session::restore_with_probes`] with an empty probe list — a frame
+    /// that carries probe state is rejected (typed, not silently dropped),
+    /// because restoring it without the probes would lose observations.
+    ///
+    /// # Errors
+    ///
+    /// Typed [`CheckpointError`] (via [`CoreError::Checkpoint`]) for
+    /// truncated, corrupted, version-skewed or digest-mismatched frames;
+    /// model-rebuild failures propagate as their own [`CoreError`] variants.
+    pub fn restore(bytes: &[u8]) -> Result<Session, CoreError> {
+        Ok(Self::restore_with_probes(bytes, Vec::new())?.0)
+    }
+
+    /// Rebuilds a session from a checkpoint frame, re-attaching `probes` —
+    /// fresh instances of the same types, in the same order, as when the
+    /// checkpoint was taken — and restoring each one's saved observation
+    /// state into them. Returns the session plus the probes' new
+    /// [`ProbeId`]s (always `0..n` in supplied order).
+    ///
+    /// The resumed session is bit-identical to the saved one: same future
+    /// steps, same recorded numbers, same control actions. Wall-clock
+    /// (`cpu_time`) statistics restart from the saved totals.
+    ///
+    /// # Errors
+    ///
+    /// Typed [`CheckpointError`] (via [`CoreError::Checkpoint`]) when the
+    /// frame is truncated, corrupted ([`CheckpointError::ChecksumMismatch`]),
+    /// from another format version, taken against a different configuration
+    /// encoding ([`CheckpointError::DigestMismatch`]), or internally
+    /// inconsistent with the rebuilt model — including a probe count or type
+    /// mismatch with `probes`. Configuration validation and model assembly
+    /// failures propagate unchanged.
+    pub fn restore_with_probes(
+        bytes: &[u8],
+        probes: Vec<Box<dyn Probe>>,
+    ) -> Result<(Session, Vec<ProbeId>), CoreError> {
+        let (digest, payload) = checkpoint::open_frame(bytes)?;
+        let mut r = ByteReader::new(payload);
+        let rebuild = r.take_bytes()?;
+        let found = checkpoint::fnv1a64(rebuild);
+        if found != digest {
+            return Err(CheckpointError::DigestMismatch { expected: digest, found }.into());
+        }
+        let mut rebuild_reader = ByteReader::new(rebuild);
+        let config = checkpoint::decode_config(&mut rebuild_reader)?;
+        rebuild_reader.expect_end()?;
+        let mut session = Simulation::from_config(config).start()?;
+        // Harvester runtime.
+        let tuning_force = r.take_f64()?;
+        let load_mode = checkpoint::decode_load_mode(&mut r)?;
+        let exact_companions = r.take_bool()?;
+        session.caller_exact_companions = r.take_bool()?;
+        session.harvester.set_tuning_force(tuning_force);
+        session.harvester.set_load_mode(load_mode);
+        session.harvester.set_exact_diode_companions(exact_companions);
+        // Session scalars and committed state.
+        session.t = r.take_f64()?;
+        session.segment_end = r.take_f64()?;
+        session.finished = r.take_bool()?;
+        session.peak_probe_bytes = r.take_usize()?;
+        let x = r.take_vector()?;
+        if x.len() != session.x.len() {
+            return Err(checkpoint::malformed(format!(
+                "saved state has {} entries, the rebuilt system has {}",
+                x.len(),
+                session.x.len()
+            ))
+            .into());
+        }
+        session.x = x;
+        // Accumulated statistics and billing.
+        session.engine_stats.state_space = SolverStats::decode(&mut r)?;
+        session.engine_stats.baseline = BaselineStats::decode(&mut r)?;
+        session.pending_cpu = Duration::from_nanos(r.take_u64()?);
+        let event_count = r.take_usize()?;
+        let mut control_events = Vec::new();
+        for _ in 0..event_count {
+            control_events.push(ControlEvent {
+                time_s: r.take_f64()?,
+                load_mode: checkpoint::decode_load_mode(&mut r)?,
+                resonant_frequency_hz: r.take_f64()?,
+            });
+        }
+        session.control_events = control_events;
+        // Digital kernel.
+        let now = SimTime::from_nanos(r.take_u64()?);
+        let sequence = r.take_u64()?;
+        let events_processed = r.take_u64()?;
+        let queue_len = r.take_usize()?;
+        let mut queue = Vec::new();
+        for _ in 0..queue_len {
+            let time = SimTime::from_nanos(r.take_u64()?);
+            let seq = r.take_u64()?;
+            let process = r.take_usize()?;
+            queue.push((time, seq, process));
+        }
+        if !session.kernel.restore_schedule(now, sequence, events_processed, &queue) {
+            return Err(checkpoint::malformed(
+                "saved digital schedule is inconsistent with the rebuilt kernel",
+            )
+            .into());
+        }
+        let process_count = r.take_usize()?;
+        if process_count != session.kernel.process_count() {
+            return Err(checkpoint::malformed(format!(
+                "checkpoint carries {process_count} digital process blobs, the rebuilt kernel \
+                 has {} processes",
+                session.kernel.process_count()
+            ))
+            .into());
+        }
+        for index in 0..process_count {
+            let blob = r.take_bytes()?;
+            if !session.kernel.restore_process_state(index, blob) {
+                return Err(checkpoint::malformed(format!(
+                    "digital process {index} rejected its saved state"
+                ))
+                .into());
+            }
+        }
+        // Stamp caches.
+        let cache_len = r.take_usize()?;
+        let mut stamp_cache = Vec::new();
+        for _ in 0..cache_len {
+            let static_scale = r.take_f64()?;
+            let has_signature = r.take_bool()?;
+            let signature = r.take_u64()?;
+            let stamped = r.take_bool()?;
+            stamp_cache.push((static_scale, has_signature.then_some(signature), stamped));
+        }
+        if !session.harvester.assembly().restore_stamp_cache(&stamp_cache) {
+            return Err(checkpoint::malformed(
+                "stamp-cache block count does not match the rebuilt assembly",
+            )
+            .into());
+        }
+        // The in-flight march. The tag must agree with the engine the
+        // configuration selects — the config is digest-pinned, so a
+        // disagreement means the runtime section was doctored.
+        let march_tag = r.take_u8()?;
+        {
+            let Session { runtime, harvester, .. } = &mut session;
+            match (march_tag, runtime) {
+                (0, EngineRuntime::StateSpace { march, .. }) => *march = None,
+                (0, EngineRuntime::NewtonRaphson { march, .. }) => *march = None,
+                (1, EngineRuntime::StateSpace { options, workspace, march }) => {
+                    *march = Some(Box::new(StateSpaceMarch::decode(
+                        *options,
+                        &*harvester,
+                        workspace,
+                        &mut r,
+                    )?));
+                }
+                (2, EngineRuntime::NewtonRaphson { options, workspace, march }) => {
+                    *march = Some(Box::new(BaselineMarch::decode(
+                        *options,
+                        &*harvester,
+                        workspace,
+                        &mut r,
+                    )?));
+                }
+                (tag @ (1 | 2), _) => {
+                    return Err(checkpoint::malformed(format!(
+                        "march tag {tag} does not match the configured engine"
+                    ))
+                    .into());
+                }
+                (tag, _) => {
+                    return Err(checkpoint::malformed(format!("unknown march tag {tag}")).into());
+                }
+            }
+        }
+        // Probes: the caller supplies fresh instances of the saved types (in
+        // registration order); each restores its own observation state.
+        let probe_count = r.take_usize()?;
+        if probe_count != probes.len() {
+            return Err(checkpoint::malformed(format!(
+                "checkpoint carries {probe_count} probe blobs but {} probes were supplied",
+                probes.len()
+            ))
+            .into());
+        }
+        session.probes = probes;
+        let mut ids = Vec::with_capacity(session.probes.len());
+        for (index, probe) in session.probes.iter_mut().enumerate() {
+            let blob = r.take_bytes()?;
+            if !probe.restore_state(blob) {
+                return Err(checkpoint::malformed(format!(
+                    "probe {index} rejected its saved state (wrong probe type supplied?)"
+                ))
+                .into());
+            }
+            ids.push(ProbeId(index));
+        }
+        r.expect_end()?;
+        session.update_peak_probe_bytes();
+        Ok((session, ids))
     }
 
     /// Opens the next analogue segment `[t, min(next_event, duration)]` and

@@ -62,6 +62,7 @@ use harvsim_ode::solution::{DecimatedRecorder, SampleSink, Trajectory};
 use harvsim_ode::stability::{order_step_limits, OrderStepLimits};
 
 use crate::assembly::{AnalogueSystem, GlobalLinearisation, TerminalFactorisation};
+use crate::checkpoint::{malformed, ByteReader, ByteWriter, CheckpointError};
 use crate::CoreError;
 
 /// Options controlling the linearised state-space solver.
@@ -280,6 +281,51 @@ impl SolverStats {
         self.max_jacobian_change = self.max_jacobian_change.max(other.max_jacobian_change);
         self.cpu_time += other.cpu_time;
     }
+
+    /// Serialises every counter into a checkpoint payload (`cpu_time` as
+    /// nanoseconds — restored so billing totals survive an evict/reload, but
+    /// excluded from bit-identity comparisons because it measures the host).
+    pub(crate) fn encode(&self, w: &mut ByteWriter) {
+        w.put_usize(self.steps);
+        w.put_usize(self.linearisations);
+        w.put_usize(self.factorisations);
+        w.put_usize(self.cached_solves);
+        w.put_usize(self.stability_updates);
+        for &count in &self.steps_by_order {
+            w.put_usize(count);
+        }
+        w.put_usize(self.stiff_exact_steps);
+        w.put_usize(self.constant_stamps_skipped);
+        w.put_usize(self.pwl_stamps_skipped);
+        w.put_usize(self.threads_used);
+        w.put_f64(self.binding_pole[0]);
+        w.put_f64(self.binding_pole[1]);
+        w.put_f64(self.max_jacobian_change);
+        w.put_u64(self.cpu_time.as_nanos() as u64);
+    }
+
+    /// Inverse of [`SolverStats::encode`].
+    pub(crate) fn decode(r: &mut ByteReader<'_>) -> Result<Self, CheckpointError> {
+        let mut stats = SolverStats {
+            steps: r.take_usize()?,
+            linearisations: r.take_usize()?,
+            factorisations: r.take_usize()?,
+            cached_solves: r.take_usize()?,
+            stability_updates: r.take_usize()?,
+            ..SolverStats::default()
+        };
+        for count in &mut stats.steps_by_order {
+            *count = r.take_usize()?;
+        }
+        stats.stiff_exact_steps = r.take_usize()?;
+        stats.constant_stamps_skipped = r.take_usize()?;
+        stats.pwl_stamps_skipped = r.take_usize()?;
+        stats.threads_used = r.take_usize()?;
+        stats.binding_pole = [r.take_f64()?, r.take_f64()?];
+        stats.max_jacobian_change = r.take_f64()?;
+        stats.cpu_time = Duration::from_nanos(r.take_u64()?);
+        Ok(stats)
+    }
 }
 
 /// Result of a solver run: the recorded state and terminal waveforms plus the
@@ -359,6 +405,61 @@ impl DerivativeHistory {
     /// Derivatives of the valid entries, most recent first.
     fn derivatives(&self) -> &[DVector] {
         &self.slots[..self.filled]
+    }
+
+    /// Serialises the ring (including allocated-but-unfilled slots, so the
+    /// restored ring rotates exactly like the original).
+    fn encode(&self, w: &mut ByteWriter) {
+        w.put_usize(self.order);
+        w.put_usize(self.filled);
+        for &time in &self.times {
+            w.put_f64(time);
+        }
+        w.put_usize(self.slots.len());
+        for slot in &self.slots {
+            w.put_vector(slot);
+        }
+    }
+
+    /// Restores a ring serialised by [`DerivativeHistory::encode`] into a
+    /// history already prepared for (`order`, `n`).
+    fn decode(
+        &mut self,
+        r: &mut ByteReader<'_>,
+        order: usize,
+        n: usize,
+    ) -> Result<(), CheckpointError> {
+        let saved_order = r.take_usize()?;
+        if saved_order != order {
+            return Err(malformed(format!(
+                "derivative history was saved at order {saved_order}, engine runs order {order}"
+            )));
+        }
+        let filled = r.take_usize()?;
+        let mut times = [0.0; MAX_ADAMS_BASHFORTH_ORDER];
+        for time in &mut times {
+            *time = r.take_f64()?;
+        }
+        let count = r.take_usize()?;
+        if count > order || filled > count {
+            return Err(malformed("derivative history shape is inconsistent"));
+        }
+        let mut slots = Vec::with_capacity(count);
+        for _ in 0..count {
+            let slot = r.take_vector()?;
+            if slot.len() != n {
+                return Err(malformed(format!(
+                    "derivative history slot has {} entries, system has {n} states",
+                    slot.len()
+                )));
+            }
+            slots.push(slot);
+        }
+        self.slots = slots;
+        self.times = times;
+        self.filled = filled;
+        self.order = order;
+        Ok(())
     }
 }
 
@@ -735,6 +836,205 @@ impl StateSpaceMarch {
             accumulated_change: 0.0,
             partitioned,
             stats: SolverStats::default(),
+        })
+    }
+
+    /// Serialises the march plus every *loop-carried* workspace datum into a
+    /// checkpoint payload: the previous-point linearisation and its validity
+    /// flag, the terminal values, the Adams–Bashforth derivative ring, the
+    /// `Jyy` cache key and the stiff lane's coupling-slope memory. Everything
+    /// else in the workspace is per-step scratch or re-derivable
+    /// bit-identically at [`StateSpaceMarch::decode`] (ladder, partitions, LU
+    /// factors, ϕ propagators), so it stays out of the wire format.
+    pub(crate) fn encode(&self, workspace: &SolverWorkspace, w: &mut ByteWriter) {
+        w.put_f64(self.t_end);
+        w.put_f64(self.t);
+        w.put_vector(&self.x);
+        w.put_f64(self.h);
+        w.put_usize(self.rung);
+        w.put_bool(self.grow_rung);
+        w.put_f64(self.accumulated_change);
+        w.put_bool(self.partitioned);
+        match &self.plan {
+            Some(plan) => {
+                w.put_bool(true);
+                let (limits, binding, constrained, max_order) = plan.to_raw();
+                for value in limits {
+                    w.put_f64(value);
+                }
+                for pair in binding {
+                    w.put_f64(pair[0]);
+                    w.put_f64(pair[1]);
+                }
+                for flag in constrained {
+                    w.put_bool(flag);
+                }
+                w.put_usize(max_order);
+            }
+            None => w.put_bool(false),
+        }
+        self.stats.encode(w);
+        w.put_matrix(&workspace.lin.jxx);
+        w.put_matrix(&workspace.lin.jxy);
+        w.put_vector(&workspace.lin.ex);
+        w.put_matrix(&workspace.lin.jyx);
+        w.put_matrix(&workspace.lin.jyy);
+        w.put_vector(&workspace.lin.gy);
+        w.put_bool(workspace.have_prev);
+        w.put_vector(&workspace.y);
+        workspace.history.encode(w);
+        match workspace.terminal.cache_key() {
+            Some(key) => {
+                w.put_bool(true);
+                w.put_matrix(key);
+            }
+            None => w.put_bool(false),
+        }
+        let (a_ss, prev_u, prev_h, have_prev_u) = workspace.exponential.save_state();
+        w.put_matrix(a_ss);
+        w.put_f64_slice(prev_u);
+        w.put_f64(prev_h);
+        w.put_bool(have_prev_u);
+    }
+
+    /// Rebuilds a march serialised by [`StateSpaceMarch::encode`]: prepares
+    /// the workspace exactly as [`StateSpaceMarch::begin`] would (rebuilding
+    /// the ladder, partitions and scratch), then overwrites the loop-carried
+    /// fields with the saved values — after which stepping the restored march
+    /// is bit-identical to stepping the original.
+    ///
+    /// # Errors
+    ///
+    /// Typed [`CheckpointError`] (wrapped in [`CoreError::Checkpoint`]) for
+    /// any dimension or tag that does not match the system the engine options
+    /// describe; [`CoreError::IllPosedSystem`] if the saved terminal matrix
+    /// does not factor.
+    pub(crate) fn decode(
+        options: SolverOptions,
+        system: &dyn AnalogueSystem,
+        workspace: &mut SolverWorkspace,
+        r: &mut ByteReader<'_>,
+    ) -> Result<Self, CoreError> {
+        let t_end = r.take_f64()?;
+        let t = r.take_f64()?;
+        let x = r.take_vector()?;
+        let h = r.take_f64()?;
+        let rung = r.take_usize()?;
+        let grow_rung = r.take_bool()?;
+        let accumulated_change = r.take_f64()?;
+        let partitioned_saved = r.take_bool()?;
+        let plan = if r.take_bool()? {
+            let mut limits = [0.0; MAX_ADAMS_BASHFORTH_ORDER];
+            for value in &mut limits {
+                *value = r.take_f64()?;
+            }
+            let mut binding = [[0.0; 2]; MAX_ADAMS_BASHFORTH_ORDER];
+            for pair in &mut binding {
+                pair[0] = r.take_f64()?;
+                pair[1] = r.take_f64()?;
+            }
+            let mut constrained = [false; MAX_ADAMS_BASHFORTH_ORDER];
+            for flag in &mut constrained {
+                *flag = r.take_bool()?;
+            }
+            let max_order = r.take_usize()?;
+            let plan = OrderStepLimits::from_raw(limits, binding, constrained, max_order)
+                .map_err(|err| malformed(format!("invalid stability plan: {err}")))?;
+            Some(plan)
+        } else {
+            None
+        };
+        let stats = SolverStats::decode(r)?;
+
+        let n = system.state_count();
+        let m = system.net_count();
+        if x.len() != n {
+            return Err(malformed(format!(
+                "saved state has {} entries, the system has {n} states",
+                x.len()
+            ))
+            .into());
+        }
+        let stiff = if options.imex { system.stiff_states() } else { Vec::new() };
+        for &index in &stiff {
+            if index >= n {
+                return Err(malformed(format!("stiff state index {index} out of range")).into());
+            }
+        }
+        workspace.prepare(n, m, options.ab_order, &stiff, &options);
+        let partitioned = !workspace.stiff.is_empty();
+        if partitioned != partitioned_saved {
+            return Err(malformed(
+                "stiff-partition layout differs from the one the checkpoint was taken with",
+            )
+            .into());
+        }
+        if partitioned && rung >= workspace.ladder.len() {
+            return Err(malformed(format!("step-ladder rung {rung} out of range")).into());
+        }
+
+        let jxx = r.take_matrix()?;
+        let jxy = r.take_matrix()?;
+        let ex = r.take_vector()?;
+        let jyx = r.take_matrix()?;
+        let jyy = r.take_matrix()?;
+        let gy = r.take_vector()?;
+        if jxx.shape() != (n, n)
+            || jxy.shape() != (n, m)
+            || ex.len() != n
+            || jyx.shape() != (m, n)
+            || jyy.shape() != (m, m)
+            || gy.len() != m
+        {
+            return Err(malformed("saved linearisation dimensions do not match the system").into());
+        }
+        workspace.lin.jxx.copy_from(&jxx);
+        workspace.lin.jxy.copy_from(&jxy);
+        workspace.lin.ex.copy_from(&ex);
+        workspace.lin.jyx.copy_from(&jyx);
+        workspace.lin.jyy.copy_from(&jyy);
+        workspace.lin.gy.copy_from(&gy);
+        workspace.have_prev = r.take_bool()?;
+        let y = r.take_vector()?;
+        if y.len() != m {
+            return Err(malformed("saved terminal vector dimension mismatch").into());
+        }
+        workspace.y.copy_from(&y);
+        workspace.history.decode(r, options.ab_order, n)?;
+        let key = if r.take_bool()? {
+            let key = r.take_matrix()?;
+            if key.shape() != (m, m) {
+                return Err(malformed("saved terminal cache key dimension mismatch").into());
+            }
+            Some(key)
+        } else {
+            None
+        };
+        workspace.terminal.restore_from_key(key)?;
+        let a_ss = r.take_matrix()?;
+        if a_ss.rows() != 0 && a_ss.rows() != workspace.stiff.len() {
+            return Err(malformed("saved stiff sub-matrix dimension mismatch").into());
+        }
+        let prev_u = r.take_f64_vec()?;
+        let prev_h = r.take_f64()?;
+        let have_prev_u = r.take_bool()?;
+        workspace
+            .exponential
+            .restore_state(a_ss, prev_u, prev_h, have_prev_u)
+            .map_err(|err| malformed(format!("invalid exponential state: {err}")))?;
+
+        Ok(StateSpaceMarch {
+            options,
+            t_end,
+            t,
+            x,
+            h,
+            rung,
+            grow_rung,
+            plan,
+            accumulated_change,
+            partitioned,
+            stats,
         })
     }
 

@@ -69,6 +69,25 @@ pub trait Process<E> {
     /// inspects/updates the environment and returns the absolute time of its
     /// next wake-up, or `None` to terminate.
     fn resume(&mut self, now: SimTime, env: &mut E) -> Option<SimTime>;
+
+    /// Serialises the process' loop-carried state into an opaque byte blob
+    /// for a checkpoint. The default returns an empty blob — correct for a
+    /// stateless process whose behaviour depends only on the wake-up time.
+    /// Stateful processes should encode every field that influences future
+    /// [`Process::resume`] calls (a state machine's phase, accumulated
+    /// counters, …) so that a restored kernel replays identically.
+    fn save_state(&self) -> Vec<u8> {
+        Vec::new()
+    }
+
+    /// Restores state previously produced by [`Process::save_state`].
+    /// Returns `false` if the blob is not recognised (wrong process type or
+    /// malformed bytes) — the caller must treat that as a corrupt checkpoint,
+    /// never resume silently. The default accepts only the empty blob the
+    /// default [`Process::save_state`] produces.
+    fn restore_state(&mut self, bytes: &[u8]) -> bool {
+        bytes.is_empty()
+    }
 }
 
 struct ScheduledEvent {
@@ -104,7 +123,7 @@ impl Ord for ScheduledEvent {
 /// polling — which is what makes the digital side essentially free compared to
 /// the analogue integration.
 pub struct Kernel<E> {
-    processes: Vec<Box<dyn Process<E>>>,
+    processes: Vec<Box<dyn Process<E> + Send>>,
     queue: BinaryHeap<Reverse<ScheduledEvent>>,
     now: SimTime,
     sequence: u64,
@@ -139,6 +158,13 @@ impl<E> Kernel<E> {
         self.events_processed
     }
 
+    /// Next insertion sequence number (monotone tie-break counter for
+    /// simultaneous events); saved in checkpoints so a restored kernel keeps
+    /// numbering where the original stopped.
+    pub fn sequence(&self) -> u64 {
+        self.sequence
+    }
+
     /// Number of registered processes (running or finished).
     pub fn process_count(&self) -> usize {
         self.processes.len()
@@ -151,7 +177,7 @@ impl<E> Kernel<E> {
     /// Panics if `start` is before the current kernel time.
     pub fn spawn_at<P>(&mut self, start: SimTime, process: P) -> ProcessId
     where
-        P: Process<E> + 'static,
+        P: Process<E> + Send + 'static,
     {
         assert!(start >= self.now, "cannot schedule a process start in the past");
         let id = ProcessId(self.processes.len());
@@ -230,6 +256,63 @@ impl<E> Kernel<E> {
         }
         self.now = target;
         Ok(())
+    }
+
+    /// Snapshot of the pending event queue as `(time, sequence, process
+    /// index)` triples, sorted in execution order — the canonical form a
+    /// checkpoint stores. The original insertion sequence numbers are
+    /// preserved so that simultaneous events keep their tie-break order
+    /// across a save/restore cycle.
+    pub fn queue_snapshot(&self) -> Vec<(SimTime, u64, usize)> {
+        let mut events: Vec<_> =
+            self.queue.iter().map(|Reverse(ev)| (ev.time, ev.sequence, ev.process)).collect();
+        events.sort_unstable();
+        events
+    }
+
+    /// Serialised state blob of the process at `index` (see
+    /// [`Process::save_state`]), or `None` for an out-of-range index.
+    pub fn process_state(&self, index: usize) -> Option<Vec<u8>> {
+        self.processes.get(index).map(|p| p.save_state())
+    }
+
+    /// Hands a previously saved blob back to the process at `index` (see
+    /// [`Process::restore_state`]). Returns `false` if the index is out of
+    /// range or the process rejects the blob.
+    pub fn restore_process_state(&mut self, index: usize, bytes: &[u8]) -> bool {
+        match self.processes.get_mut(index) {
+            Some(process) => process.restore_state(bytes),
+            None => false,
+        }
+    }
+
+    /// Restores the kernel clock, counters and pending event queue from a
+    /// checkpoint, replacing whatever was scheduled. `events` is in the
+    /// `(time, sequence, process index)` form of [`Kernel::queue_snapshot`].
+    /// Returns `false` (leaving the kernel untouched) if any event names a
+    /// process index that is not registered, carries a sequence number not
+    /// below `sequence`, or is scheduled before `now` — all symptoms of a
+    /// corrupt or mismatched checkpoint.
+    pub fn restore_schedule(
+        &mut self,
+        now: SimTime,
+        sequence: u64,
+        events_processed: u64,
+        events: &[(SimTime, u64, usize)],
+    ) -> bool {
+        for &(time, seq, process) in events {
+            if process >= self.processes.len() || seq >= sequence || time < now {
+                return false;
+            }
+        }
+        self.now = now;
+        self.sequence = sequence;
+        self.events_processed = events_processed;
+        self.queue.clear();
+        for &(time, seq, process) in events {
+            self.queue.push(Reverse(ScheduledEvent { time, sequence: seq, process }));
+        }
+        true
     }
 
     /// Runs events one at a time until the queue is empty or `max_events` have

@@ -124,6 +124,57 @@ impl StiffExponential {
         self.have_prev_u = false;
     }
 
+    /// The loop-carried state of the kernel for checkpoint serialisation:
+    /// `(A_ss, previous forcing sample, previous step, slope-basis validity)`.
+    /// The ϕ propagator memo is deliberately excluded — it is pure derived
+    /// data of `(h, A_ss)` and `phi1_phi2` is deterministic, so a restored
+    /// kernel recomputes bit-identical propagators on first use.
+    pub fn save_state(&self) -> (&DMatrix, &[f64], f64, bool) {
+        (&self.a_ss, &self.prev_u, self.prev_h, self.have_prev_u)
+    }
+
+    /// Restores the state captured by [`StiffExponential::save_state`],
+    /// dropping the (re-derivable) propagator memo.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OdeError::InvalidParameter`] if `a_ss` is not square or
+    /// `prev_u` is neither empty nor matched to its dimension — symptoms of a
+    /// corrupt checkpoint.
+    pub fn restore_state(
+        &mut self,
+        a_ss: DMatrix,
+        prev_u: Vec<f64>,
+        prev_h: f64,
+        have_prev_u: bool,
+    ) -> Result<(), OdeError> {
+        if !a_ss.is_square() {
+            return Err(OdeError::InvalidParameter(format!(
+                "stiff sub-matrix must be square, got {}x{}",
+                a_ss.rows(),
+                a_ss.cols()
+            )));
+        }
+        if !prev_u.is_empty() && prev_u.len() != a_ss.rows() {
+            return Err(OdeError::InvalidParameter(format!(
+                "stiff partition has {} states but {} forcing samples were supplied",
+                a_ss.rows(),
+                prev_u.len()
+            )));
+        }
+        // `u` is per-step scratch, but `advance` treats a length mismatch as
+        // "partition changed" and resets the slope basis — so it must be
+        // pre-sized to match the restored `prev_u`.
+        self.u = vec![0.0; prev_u.len()];
+        self.a_ss = a_ss;
+        self.prev_u = prev_u;
+        self.prev_h = prev_h;
+        self.have_prev_u = have_prev_u;
+        self.cache.clear();
+        self.recomputations = 0;
+        Ok(())
+    }
+
     /// Drops the coupling-slope history (the `u̇` basis), so the next
     /// [`StiffExponential::advance`] runs plain exponential Euler. Called at
     /// segment starts and on Jacobian discontinuities, mirroring the

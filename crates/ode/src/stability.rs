@@ -339,6 +339,48 @@ pub struct OrderStepLimits {
 }
 
 impl OrderStepLimits {
+    /// Decomposes the plan into its raw parts — `(limits, binding modes,
+    /// constrained flags, max order)` — for checkpoint serialisation. The
+    /// plan is pure derived data of one linearisation point, but the solver
+    /// caches it across steps, so a bit-identical resume must carry the
+    /// cached copy rather than recompute it at a different point.
+    pub fn to_raw(
+        &self,
+    ) -> (
+        [f64; MAX_ADAMS_BASHFORTH_ORDER],
+        [[f64; 2]; MAX_ADAMS_BASHFORTH_ORDER],
+        [bool; MAX_ADAMS_BASHFORTH_ORDER],
+        usize,
+    ) {
+        (self.limits, self.binding, self.constrained, self.max_order)
+    }
+
+    /// Rebuilds a plan from [`OrderStepLimits::to_raw`] parts.
+    ///
+    /// # Errors
+    ///
+    /// Rejects a `max_order` outside `1..=MAX_ADAMS_BASHFORTH_ORDER` and
+    /// non-finite or negative step limits (symptoms of a corrupt checkpoint,
+    /// which must surface as a typed error rather than poison the governor).
+    pub fn from_raw(
+        limits: [f64; MAX_ADAMS_BASHFORTH_ORDER],
+        binding: [[f64; 2]; MAX_ADAMS_BASHFORTH_ORDER],
+        constrained: [bool; MAX_ADAMS_BASHFORTH_ORDER],
+        max_order: usize,
+    ) -> Result<Self, OdeError> {
+        if max_order == 0 || max_order > MAX_ADAMS_BASHFORTH_ORDER {
+            return Err(OdeError::InvalidParameter(format!(
+                "adams-bashforth order must be 1..={MAX_ADAMS_BASHFORTH_ORDER}, got {max_order}"
+            )));
+        }
+        if limits.iter().any(|h| !h.is_finite() || *h < 0.0) {
+            return Err(OdeError::InvalidParameter(
+                "stable-step limits must be finite and non-negative".into(),
+            ));
+        }
+        Ok(OrderStepLimits { limits, binding, constrained, max_order })
+    }
+
     /// The stable-step limit for `order` (safety-derated, capped at the plan's
     /// step cap; `0.0` when the order has no stable step or was not planned).
     ///

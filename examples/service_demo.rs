@@ -1,0 +1,106 @@
+//! Durable checkpoints and the multi-session scheduler, end to end:
+//!
+//! 1. run a session halfway, **save** its checkpoint to disk, and drop the
+//!    live session entirely (a stand-in for a process kill or migration);
+//! 2. **reload** the bytes, resume, and show the result is bit-identical to
+//!    a run that was never interrupted;
+//! 3. hand a small batch of scenarios to the [`harvsim::SessionService`] —
+//!    a thread-per-core round-robin scheduler that preempts sessions at
+//!    slice boundaries, checkpoints them on preemption, evicts the frames
+//!    under a resident-memory budget, and bills each job's engine time from
+//!    the carried counters.
+//!
+//! ```bash
+//! cargo run --release --example service_demo
+//! ```
+
+use harvsim::{ScenarioConfig, ServiceOptions, Session, SessionService, Simulation, WaveformProbe};
+
+fn scenario(label: &str, v0: f64) -> ScenarioConfig {
+    let mut scenario = ScenarioConfig::scenario1();
+    scenario.duration_s = 0.12;
+    scenario.frequency_step_time_s = 0.03;
+    scenario.controller.watchdog_period_s = 0.04;
+    scenario.controller.energy_threshold_v = 2.0;
+    scenario.controller.measurement_duration_s = 0.01;
+    scenario.controller.tuning_rate_hz_per_s = 10.0;
+    scenario.controller.tuning_update_interval_s = 0.005;
+    scenario.initial_supercap_voltage = v0;
+    scenario.label = Some(label.into());
+    scenario
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // -- 1. save to disk, "kill" the process stand-in ----------------------
+    println!("== durable checkpoint: save, kill, reload, resume ==");
+    let config = scenario("durable", 2.5);
+    let mut session = Simulation::from_config(config.clone()).start()?;
+    let interval = 1e-4;
+    session.add_probe(WaveformProbe::new(interval));
+    session.run_until(0.05)?;
+    let frame = session.checkpoint()?;
+    let path = std::env::temp_dir().join("harvsim_service_demo.ckpt");
+    std::fs::write(&path, &frame)?;
+    println!("  saved {} B at t = {:.3} s -> {}", frame.len(), session.time(), path.display());
+    drop(session); // the live session is gone; only the file remains
+
+    // -- 2. reload and resume ---------------------------------------------
+    let bytes = std::fs::read(&path)?;
+    let (mut resumed, ids) =
+        Session::restore_with_probes(&bytes, vec![Box::new(WaveformProbe::new(interval))])?;
+    println!("  reloaded at t = {:.3} s, resuming...", resumed.time());
+    resumed.run_to_end()?;
+    let resumed_report = resumed.report();
+
+    // An uninterrupted control run of the same scenario: bit-identical.
+    let mut control = Simulation::from_config(config).start()?;
+    control.run_to_end()?;
+    let control_report = control.report();
+    assert_eq!(resumed_report.final_state, control_report.final_state);
+    assert_eq!(
+        resumed_report.engine_stats.state_space.steps,
+        control_report.engine_stats.state_space.steps
+    );
+    let samples = resumed.probe::<WaveformProbe>(ids[0]).expect("typed").states().len();
+    println!(
+        "  resumed run: {} steps, {} probe samples, final state identical to an \
+         uninterrupted run bit for bit",
+        resumed_report.engine_stats.state_space.steps, samples
+    );
+    std::fs::remove_file(&path).ok();
+
+    // -- 3. a batch through the scheduler ---------------------------------
+    println!("\n== session service: round-robin with checkpoint eviction ==");
+    let jobs: Vec<Simulation> = (0..6)
+        .map(|k| Simulation::from_config(scenario(&format!("job-{k}"), 2.5 + k as f64 * 0.01)))
+        .collect();
+    let service = SessionService::new(ServiceOptions {
+        workers: None,                         // thread per core
+        slice_s: 0.04,                         // preempt every 40 ms of model time
+        resident_budget_bytes: Some(2 * 1024), // ~2 probe-less frames: forces evictions
+    })?;
+    let report = service.run(jobs);
+    println!(
+        "  {} workers, {} evictions, peak resident {} B",
+        report.workers, report.evictions, report.peak_resident_bytes
+    );
+    for outcome in &report.outcomes {
+        let job = outcome.result.as_ref().map_err(|err| err.to_string())?;
+        println!(
+            "  {:>6}: {} slices, {} evictions, billed {:>9.3} ms engine time, \
+             store {:.4} V",
+            outcome.label.as_deref().unwrap_or("?"),
+            outcome.slices,
+            outcome.evictions,
+            outcome.billed_engine_time.as_secs_f64() * 1e3,
+            job.final_state[job.final_state.len() - 1],
+        );
+    }
+    println!(
+        "  total billed {:.3} ms == sum of per-job bills ({})",
+        report.total_billed.as_secs_f64() * 1e3,
+        report.outcomes.iter().map(|o| o.billed_engine_time).sum::<std::time::Duration>()
+            == report.total_billed
+    );
+    Ok(())
+}

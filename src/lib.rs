@@ -68,9 +68,10 @@ pub use harvsim_blocks::{
     HarvesterParameters, LoadMode, Scenario, StateSpaceBlock, VibrationExcitation,
 };
 pub use harvsim_core::{
-    BaselineOptions, ComparisonReport, CoreError, DigitalEvent, EnvelopeProbe,
-    MixedSignalSimulation, NewtonRaphsonBaseline, PowerProbe, Probe, ScenarioConfig,
-    ScenarioResult, Session, SessionReport, SessionStatus, Simulation, SimulationEngine,
-    SolverOptions, SpeedComparison, StateSpaceSolver, StepHistogramProbe, TunableHarvester,
-    WaveformProbe,
+    fnv1a64, BaselineOptions, CheckpointError, ComparisonReport, CoreError, DigitalEvent,
+    EnvelopeProbe, JobOutcome, MixedSignalSimulation, NewtonRaphsonBaseline, PowerProbe, Probe,
+    ScenarioConfig, ScenarioResult, ServiceOptions, ServiceReport, Session, SessionReport,
+    SessionService, SessionStatus, Simulation, SimulationEngine, SolverOptions, SpeedComparison,
+    StateSpaceSolver, StepHistogramProbe, TunableHarvester, WaveformProbe, CHECKPOINT_MAGIC,
+    CHECKPOINT_VERSION,
 };

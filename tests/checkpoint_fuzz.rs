@@ -1,0 +1,137 @@
+//! Corruption battery for the checkpoint decoder: **every** prefix
+//! truncation and a full single-byte-flip sweep of a valid checkpoint must
+//! produce a typed [`harvsim::CoreError::Checkpoint`] error — never a panic,
+//! never undefined behaviour, and never a silently different resume. The
+//! "silently different" half is pinned with an FNV checksum of the resumed
+//! trajectory against the uncorrupted golden: if a corrupted frame were ever
+//! accepted, its resumed run would have to reproduce the golden checksum
+//! bit for bit to pass.
+//!
+//! The sweep is exhaustive because the frame's trailing FNV-1a checksum
+//! makes it cheap to reason about: the per-byte hash update is a bijection
+//! of the hash state, so any single-byte change anywhere in the frame is
+//! guaranteed to change the checksum (flips inside the stored checksum
+//! trivially mismatch too). Header-field flips are caught even earlier by
+//! the magic/version/kind checks.
+
+use harvsim::{fnv1a64, CoreError, ScenarioConfig, Session, Simulation};
+
+/// Small closed-loop scenario; paused mid-segment so the checkpoint carries
+/// an in-flight march (the largest, most structured payload section).
+fn scenario() -> ScenarioConfig {
+    let mut scenario = ScenarioConfig::scenario1();
+    scenario.duration_s = 0.12;
+    scenario.frequency_step_time_s = 0.03;
+    scenario.controller.watchdog_period_s = 0.04;
+    scenario.controller.energy_threshold_v = 2.0;
+    scenario.controller.measurement_duration_s = 0.01;
+    scenario.controller.tuning_rate_hz_per_s = 10.0;
+    scenario.controller.tuning_update_interval_s = 0.005;
+    scenario
+}
+
+/// A valid mid-segment checkpoint plus the golden checksum of the resumed
+/// run's final state.
+fn golden() -> (Vec<u8>, u64) {
+    let mut session = Simulation::from_config(scenario()).start().expect("session starts");
+    session.run_until(0.05).expect("runs to the pause point");
+    let bytes = session.checkpoint().expect("checkpoint serialises");
+    let mut resumed = Session::restore(&bytes).expect("valid frame restores");
+    resumed.run_to_end().expect("resumed run completes");
+    (bytes, final_state_checksum(&resumed))
+}
+
+fn final_state_checksum(session: &Session) -> u64 {
+    let report = session.report();
+    let mut bytes = Vec::with_capacity(report.final_state.len() * 8);
+    for &value in report.final_state.as_slice() {
+        bytes.extend_from_slice(&value.to_bits().to_le_bytes());
+    }
+    fnv1a64(&bytes)
+}
+
+/// Asserts the decoder's contract for corrupted input: a typed checkpoint
+/// error — or, if the frame were somehow accepted, a resume that reproduces
+/// the golden checksum exactly (anything else is a silently wrong resume).
+fn assert_rejected_or_identical(bytes: &[u8], golden_checksum: u64, what: &str) {
+    match Session::restore(bytes) {
+        Err(CoreError::Checkpoint(_)) => {}
+        Err(other) => panic!("{what}: expected a typed checkpoint error, got {other:?}"),
+        Ok(mut session) => {
+            session
+                .run_to_end()
+                .unwrap_or_else(|err| panic!("{what}: accepted frame failed to resume: {err}"));
+            assert_eq!(
+                final_state_checksum(&session),
+                golden_checksum,
+                "{what}: accepted frame resumed to a DIFFERENT simulation"
+            );
+        }
+    }
+}
+
+#[test]
+fn every_prefix_truncation_is_rejected_with_a_typed_error() {
+    let (bytes, _) = golden();
+    for len in 0..bytes.len() {
+        match Session::restore(&bytes[..len]) {
+            Err(CoreError::Checkpoint(_)) => {}
+            Err(other) => {
+                panic!("truncation to {len}/{} bytes: unexpected error {other:?}", bytes.len())
+            }
+            Ok(_) => panic!(
+                "truncation to {len}/{} bytes was accepted — a partial frame resumed",
+                bytes.len()
+            ),
+        }
+    }
+}
+
+#[test]
+fn every_single_byte_flip_is_rejected_or_bit_identical() {
+    let (bytes, golden_checksum) = golden();
+    let mut corrupted = bytes.clone();
+    for index in 0..corrupted.len() {
+        corrupted[index] ^= 0xff;
+        assert_rejected_or_identical(&corrupted, golden_checksum, &format!("flip at byte {index}"));
+        corrupted[index] = bytes[index];
+    }
+    // A low-bit flip exercises different early-header comparisons than the
+    // full-byte inversion (e.g. version 1 → 0 rather than 1 → 254).
+    for index in 0..corrupted.len().min(64) {
+        corrupted[index] ^= 0x01;
+        assert_rejected_or_identical(
+            &corrupted,
+            golden_checksum,
+            &format!("low-bit flip at byte {index}"),
+        );
+        corrupted[index] = bytes[index];
+    }
+}
+
+/// Appending trailing garbage after a well-formed frame is also a typed
+/// error — a frame is the whole input, not a prefix of it.
+#[test]
+fn trailing_garbage_is_rejected() {
+    let (bytes, golden_checksum) = golden();
+    let mut padded = bytes.clone();
+    padded.extend_from_slice(b"tail");
+    assert_rejected_or_identical(&padded, golden_checksum, "4 trailing bytes");
+}
+
+/// The empty input and tiny non-frames fail with `Truncated`, and random
+/// non-checkpoint bytes with `BadMagic` — the two first-line errors callers
+/// see for "this file is not a checkpoint at all".
+#[test]
+fn non_frames_fail_with_first_line_errors() {
+    use harvsim::CheckpointError;
+    match Session::restore(&[]) {
+        Err(CoreError::Checkpoint(CheckpointError::Truncated { .. })) => {}
+        other => panic!("empty input: expected Truncated, got {other:?}"),
+    }
+    let not_a_frame = vec![0x42u8; 64];
+    match Session::restore(&not_a_frame) {
+        Err(CoreError::Checkpoint(CheckpointError::BadMagic)) => {}
+        other => panic!("garbage input: expected BadMagic, got {other:?}"),
+    }
+}

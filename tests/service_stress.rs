@@ -1,0 +1,156 @@
+//! Scheduler stress battery: one thousand sessions through the
+//! [`harvsim::SessionService`] under a deliberately tiny resident-memory
+//! budget, so almost every preemption becomes a checkpoint-evict/thaw cycle.
+//! Pinned properties:
+//!
+//! * every job finishes, and its result is **bit-identical** to running the
+//!   same scenario sequentially on one thread (final state, step counts,
+//!   digital events, control actions);
+//! * billing conserves: each job's billed engine time equals its own
+//!   report's engine-time total, and the per-job bills sum to the service
+//!   total — slice deltas telescope exactly because the counters ride
+//!   inside the checkpoints;
+//! * fairness: round-robin slicing gives every equal-length job the same
+//!   number of slices (±1), so no session starves behind the queue;
+//! * eviction accounting balances: every frozen job thaws exactly once per
+//!   eviction.
+
+use harvsim::core::mixed::ControlEvent;
+use harvsim::linalg::DVector;
+use harvsim::{ScenarioConfig, ServiceOptions, SessionService, Simulation, SimulationEngine};
+
+const JOBS: usize = 1000;
+const DURATION_S: f64 = 0.015;
+const SLICE_S: f64 = 0.006; // => 3 slices per job (2 preemptions + finish)
+
+/// Job `k`'s scenario: a short closed-loop run with a retune and watchdog
+/// wakes inside the window, perturbed per job so no two jobs share a
+/// trajectory (a swapped checkpoint would be caught).
+fn job_scenario(k: usize) -> ScenarioConfig {
+    let mut scenario = ScenarioConfig::scenario1();
+    scenario.duration_s = DURATION_S;
+    scenario.frequency_step_time_s = 0.005;
+    scenario.controller.watchdog_period_s = 0.006;
+    scenario.controller.energy_threshold_v = 2.0;
+    scenario.controller.measurement_duration_s = 0.002;
+    scenario.controller.tuning_rate_hz_per_s = 10.0;
+    scenario.controller.tuning_update_interval_s = 0.002;
+    scenario.initial_supercap_voltage = 2.5 + k as f64 * 1e-4;
+    // A sprinkle of Newton–Raphson jobs keeps both engines in the same pool.
+    if k % 100 == 7 {
+        scenario.engine = SimulationEngine::NewtonRaphson(Default::default());
+    }
+    scenario.label = Some(format!("job-{k}"));
+    scenario
+}
+
+/// Plain-data extract of a sequential single-thread run, for cross-thread
+/// comparison against the scheduled outcome.
+struct Reference {
+    final_state: DVector,
+    state_space_steps: usize,
+    baseline_steps: usize,
+    digital_events: u64,
+    control_events: Vec<ControlEvent>,
+}
+
+fn reference_for(k: usize) -> Reference {
+    let mut session = Simulation::from_config(job_scenario(k)).start().expect("job starts");
+    session.run_to_end().expect("job completes");
+    let report = session.report();
+    Reference {
+        final_state: report.final_state,
+        state_space_steps: report.engine_stats.state_space.steps,
+        baseline_steps: report.engine_stats.baseline.steps,
+        digital_events: report.digital_events,
+        control_events: report.control_events,
+    }
+}
+
+/// Sequential references for all jobs, computed on a plain thread-chunked
+/// map (no service involved) to keep the test's wall clock sane.
+fn sequential_references() -> Vec<Reference> {
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let chunk = JOBS.div_ceil(threads);
+    let mut slots: Vec<Option<Reference>> = (0..JOBS).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        for (t, piece) in slots.chunks_mut(chunk).enumerate() {
+            scope.spawn(move || {
+                for (i, slot) in piece.iter_mut().enumerate() {
+                    *slot = Some(reference_for(t * chunk + i));
+                }
+            });
+        }
+    });
+    slots.into_iter().map(|slot| slot.expect("every reference computed")).collect()
+}
+
+#[test]
+fn thousand_sessions_scheduled_under_memory_pressure_match_sequential() {
+    let references = sequential_references();
+
+    let service = SessionService::new(ServiceOptions {
+        workers: None, // thread per core
+        slice_s: SLICE_S,
+        // ~6 resident frames' worth: with a full pool this forces the
+        // checkpoint-evict/thaw path on nearly every preemption.
+        resident_budget_bytes: Some(64 * 1024),
+    })
+    .expect("valid options");
+    let jobs: Vec<Simulation> =
+        (0..JOBS).map(|k| Simulation::from_config(job_scenario(k))).collect();
+    let report = service.run(jobs);
+
+    assert_eq!(report.outcomes.len(), JOBS);
+    assert!(report.workers >= 1);
+    assert!(report.evictions > 0, "the {}-byte budget must force checkpoint evictions", 64 * 1024);
+    assert!(report.peak_resident_bytes > 0);
+
+    let mut total_billed = std::time::Duration::ZERO;
+    let mut total_restores = 0usize;
+    let mut min_slices = usize::MAX;
+    let mut max_slices = 0usize;
+    for (k, (outcome, reference)) in report.outcomes.iter().zip(&references).enumerate() {
+        assert_eq!(outcome.label.as_deref(), Some(format!("job-{k}").as_str()));
+        let job_report = outcome
+            .result
+            .as_ref()
+            .unwrap_or_else(|err| panic!("job {k} failed under the scheduler: {err}"));
+
+        // Bit-identical to the sequential run of the same scenario.
+        assert_eq!(
+            job_report.final_state, reference.final_state,
+            "job {k}: scheduled final state diverged from sequential"
+        );
+        assert_eq!(job_report.engine_stats.state_space.steps, reference.state_space_steps);
+        assert_eq!(job_report.engine_stats.baseline.steps, reference.baseline_steps);
+        assert_eq!(job_report.digital_events, reference.digital_events);
+        assert_eq!(job_report.control_events, reference.control_events);
+
+        // Billing conservation, job by job: the telescoped slice deltas end
+        // exactly at the job's own engine-time total.
+        assert_eq!(
+            outcome.billed_engine_time,
+            job_report.engine_time(),
+            "job {k}: billed time does not telescope to the report total"
+        );
+        total_billed += outcome.billed_engine_time;
+        total_restores += outcome.restores;
+        assert_eq!(outcome.restores, outcome.evictions, "job {k}: every eviction thaws once");
+        min_slices = min_slices.min(outcome.slices);
+        max_slices = max_slices.max(outcome.slices);
+    }
+
+    // ...and in aggregate.
+    assert_eq!(report.total_billed, total_billed, "service total is the sum of job bills");
+    assert_eq!(report.evictions, total_restores, "eviction/thaw ledger balances");
+
+    // Fairness: every job is preempted at least once (nobody runs to
+    // completion in one slice while others wait), and round-robin keeps the
+    // slice counts of equal-length jobs within one of each other.
+    assert!(min_slices >= 2, "every job must be preempted at least once (min {min_slices})");
+    assert!(
+        max_slices - min_slices <= 1,
+        "round-robin fairness bound violated: slices range {min_slices}..={max_slices}"
+    );
+}
