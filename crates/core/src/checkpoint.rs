@@ -71,6 +71,12 @@ pub const CHECKPOINT_VERSION: u16 = 1;
 /// Payload kind tag of a serialised [`crate::Session`].
 pub(crate) const KIND_SESSION: u8 = 1;
 
+/// Payload kind tag of a [`crate::store::SessionStore`] manifest. Manifests
+/// ride the same sealed-frame machinery as sessions (magic, version, digest,
+/// trailing checksum) with their own kind byte, so a manifest can never be
+/// mistaken for a session frame or vice versa.
+pub(crate) const KIND_MANIFEST: u8 = 2;
+
 /// Fixed header length (magic + version + kind + reserved + digest + length).
 const HEADER_LEN: usize = 24;
 
@@ -163,10 +169,16 @@ pub fn fnv1a64(bytes: &[u8]) -> u64 {
 /// Wraps a payload in a v1 session frame: header (with the given rebuild
 /// digest), payload, trailing FNV-1a checksum.
 pub(crate) fn seal_frame(digest: u64, payload: &[u8]) -> Vec<u8> {
+    seal_frame_with_kind(KIND_SESSION, digest, payload)
+}
+
+/// [`seal_frame`] parameterised over the payload kind byte ([`KIND_SESSION`]
+/// or [`KIND_MANIFEST`]).
+pub(crate) fn seal_frame_with_kind(kind: u8, digest: u64, payload: &[u8]) -> Vec<u8> {
     let mut frame = Vec::with_capacity(HEADER_LEN + payload.len() + CHECKSUM_LEN);
     frame.extend_from_slice(&CHECKPOINT_MAGIC);
     frame.extend_from_slice(&CHECKPOINT_VERSION.to_le_bytes());
-    frame.push(KIND_SESSION);
+    frame.push(kind);
     frame.push(0);
     frame.extend_from_slice(&digest.to_le_bytes());
     frame.extend_from_slice(&(payload.len() as u64).to_le_bytes());
@@ -176,9 +188,18 @@ pub(crate) fn seal_frame(digest: u64, payload: &[u8]) -> Vec<u8> {
     frame
 }
 
-/// Validates a frame end to end (magic, version, kind, length, checksum) and
-/// returns the header digest plus the payload slice.
+/// Validates a session frame end to end (magic, version, kind, length,
+/// checksum) and returns the header digest plus the payload slice.
 pub(crate) fn open_frame(bytes: &[u8]) -> Result<(u64, &[u8]), CheckpointError> {
+    open_frame_with_kind(KIND_SESSION, bytes)
+}
+
+/// [`open_frame`] parameterised over the expected payload kind byte; a frame
+/// of any other kind fails with [`CheckpointError::UnsupportedKind`].
+pub(crate) fn open_frame_with_kind(
+    kind: u8,
+    bytes: &[u8],
+) -> Result<(u64, &[u8]), CheckpointError> {
     let min = HEADER_LEN + CHECKSUM_LEN;
     if bytes.len() < min {
         return Err(CheckpointError::Truncated { needed: min, available: bytes.len() });
@@ -193,7 +214,7 @@ pub(crate) fn open_frame(bytes: &[u8]) -> Result<(u64, &[u8]), CheckpointError> 
             supported: CHECKPOINT_VERSION,
         });
     }
-    if bytes[6] != KIND_SESSION {
+    if bytes[6] != kind {
         return Err(CheckpointError::UnsupportedKind(bytes[6]));
     }
     if bytes[7] != 0 {

@@ -26,6 +26,9 @@ pub enum CoreError {
     /// A checkpoint could not be decoded (truncated, corrupted, or written by
     /// an incompatible format version / configuration encoding).
     Checkpoint(crate::checkpoint::CheckpointError),
+    /// An on-disk session-store operation failed (I/O, corruption, or a
+    /// manifest/frame disagreement — see [`crate::store::StoreError`]).
+    Store(crate::store::StoreError),
     /// A failure attributed to one scenario of a batch or sweep: `label`
     /// names the originating configuration (the scenario id, or the sweep
     /// point's `scenario+param=value` path), so a failed grid point is
@@ -61,6 +64,7 @@ impl fmt::Display for CoreError {
             CoreError::Ode(err) => write!(f, "integration error: {err}"),
             CoreError::Kernel(err) => write!(f, "digital kernel error: {err}"),
             CoreError::Checkpoint(err) => write!(f, "checkpoint error: {err}"),
+            CoreError::Store(err) => write!(f, "session store error: {err}"),
             CoreError::Scenario { label, source } => write!(f, "scenario `{label}`: {source}"),
         }
     }
@@ -74,6 +78,7 @@ impl std::error::Error for CoreError {
             CoreError::Ode(err) => Some(err),
             CoreError::Kernel(err) => Some(err),
             CoreError::Checkpoint(err) => Some(err),
+            CoreError::Store(err) => Some(err),
             CoreError::Scenario { source, .. } => Some(source.as_ref()),
             _ => None,
         }
@@ -107,6 +112,12 @@ impl From<KernelError> for CoreError {
 impl From<crate::checkpoint::CheckpointError> for CoreError {
     fn from(err: crate::checkpoint::CheckpointError) -> Self {
         CoreError::Checkpoint(err)
+    }
+}
+
+impl From<crate::store::StoreError> for CoreError {
+    fn from(err: crate::store::StoreError) -> Self {
+        CoreError::Store(err)
     }
 }
 

@@ -75,6 +75,7 @@ pub mod baseline;
 pub mod checkpoint;
 pub mod comparison;
 mod error;
+pub mod fault;
 pub mod harvester;
 pub mod measurement;
 pub mod mixed;
@@ -83,6 +84,7 @@ pub mod scenario;
 pub mod service;
 pub mod session;
 pub mod solver;
+pub mod store;
 
 pub use assembly::{
     AnalogueSystem, Assembly, AssemblyBuilder, GlobalLinearisation, StampReport,
@@ -92,6 +94,7 @@ pub use baseline::{BaselineOptions, NewtonRaphsonBaseline};
 pub use checkpoint::{fnv1a64, CheckpointError, CHECKPOINT_MAGIC, CHECKPOINT_VERSION};
 pub use comparison::{ComparisonReport, SpeedComparison};
 pub use error::CoreError;
+pub use fault::{Fault, FaultKind, FaultPlan, FaultSite};
 pub use harvester::TunableHarvester;
 pub use measurement::{PowerReport, WaveformComparison};
 pub use mixed::{MixedSignalResult, MixedSignalSimulation, SimulationEngine};
@@ -99,9 +102,10 @@ pub use probe::{
     DigitalEvent, EnvelopeProbe, PowerProbe, Probe, StepHistogramProbe, WaveformProbe,
 };
 pub use scenario::{run_batch, ScenarioConfig, ScenarioResult, SweepParameter};
-pub use service::{JobOutcome, ServiceOptions, ServiceReport, SessionService};
+pub use service::{JobOutcome, ServiceError, ServiceOptions, ServiceReport, SessionService};
 pub use session::{ProbeId, Session, SessionReport, SessionStatus, Simulation};
 pub use solver::{SolveResult, SolverOptions, SolverStats, StateSpaceSolver};
+pub use store::{RecoveryReport, SessionStore, StoreError, StoreOptions};
 
 /// Convenient result alias used across the crate.
 pub type Result<T, E = CoreError> = std::result::Result<T, E>;

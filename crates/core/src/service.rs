@@ -1,23 +1,28 @@
 //! A concurrent session scheduler: thread-per-core workers round-robinning
 //! many (thousands of) resumable [`Session`]s with preemption at
 //! [`Session::run_until`] boundaries, checkpoint-on-preempt, eviction under a
-//! resident-memory budget, and per-session engine-time billing.
+//! resident-memory budget, per-session engine-time billing — and, since the
+//! durability layer, crash recovery from an on-disk [`SessionStore`], panic
+//! quarantine, poison-proof locking, a per-slice wall-clock watchdog, and
+//! deterministic fault injection.
 //!
 //! # Scheduling model
 //!
 //! Jobs are submitted as [`Simulation`] builders (a validated
 //! [`crate::ScenarioConfig`] each) and enter a FIFO run queue. Every worker
 //! thread repeatedly pops the front job, advances it by one *time slice* of
-//! simulated seconds ([`ServiceOptions::slice_s`]) via `run_until`, and pushes
-//! it back to the tail. Because requeueing is strictly FIFO, no job can be
-//! starved: between two slices of one job, every other runnable job gets
-//! exactly one slice (the fairness bound the stress test pins).
+//! simulated seconds ([`ServiceOptions::slice_s`]) via
+//! [`Session::run_until_deadline`], and pushes it back to the tail. Because
+//! requeueing is strictly FIFO, no job can be starved: between two slices of
+//! one job, every other runnable job gets exactly one slice (the fairness
+//! bound the stress test pins).
 //!
-//! Preemption reuses the session facade's pause guarantee: `run_until` stops
-//! at the first accepted step boundary at or past the slice target, never
-//! truncating an integration step, so a scheduled run takes **exactly** the
-//! steps a sequential run takes — results are bit-identical regardless of
-//! worker count, slice length, or eviction pattern.
+//! Preemption reuses the session facade's pause guarantee: slices stop at the
+//! first accepted step boundary at or past the slice target (or past the
+//! watchdog deadline), never truncating an integration step, so a scheduled
+//! run takes **exactly** the steps a sequential run takes — results are
+//! bit-identical regardless of worker count, slice length, eviction pattern,
+//! or watchdog preemption.
 //!
 //! # Eviction under a memory budget
 //!
@@ -38,13 +43,44 @@
 //! deltas telescope: when a job finishes, its billed total equals its final
 //! report's engine time exactly, and the sum over jobs equals the total
 //! engine time the service spent (billing conservation, pinned by
-//! `tests/service_stress.rs`).
+//! `tests/service_stress.rs`). A job re-admitted from the on-disk store books
+//! its frame-carried engine time on its first slice, so conservation holds
+//! across service restarts too.
+//!
+//! # Supervision & durability
+//!
+//! Every slice — materialisation, integration, checkpointing — runs under
+//! `catch_unwind`. A panicking session is **quarantined**: its outcome is a
+//! typed [`ServiceError::SessionPanicked`] carrying the panic payload, its
+//! last good checkpoint is retained ([`JobOutcome::last_checkpoint`], plus
+//! the store entry when one exists), and the remaining jobs are unaffected.
+//! Scheduler locks recover from poisoning instead of aborting (the worker
+//! never panics while holding the lock, and every critical section leaves
+//! the state consistent, so `PoisonError::into_inner` is sound here).
+//! [`ServiceOptions::slice_timeout`] arms a cooperative watchdog that
+//! preempts a runaway session at its next accepted step boundary.
+//!
+//! With [`SessionService::run_with_store`], every preemption checkpoint is
+//! also persisted to a crash-safe [`SessionStore`]; at startup, jobs whose
+//! ids have a recovered frame resume from their last sealed slice instead of
+//! starting over. Store failures degrade gracefully: after the store's
+//! bounded retries, the slice continues on the resident frozen bytes and the
+//! outcome's [`JobOutcome::degraded_writes`] counter ticks — a sick disk
+//! slows recovery, it does not fail jobs. An injected
+//! [`crate::fault::Fault::KillService`] "crashes" the service mid-batch:
+//! workers stop dead, in-flight slices are lost (exactly as in a real kill),
+//! and unresolved jobs report [`ServiceError::Interrupted`]; a following
+//! `run_with_store` over the same store picks the batch back up.
 
-use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex};
-use std::time::Duration;
+use std::any::Any;
+use std::collections::{HashSet, VecDeque};
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
 
+use crate::fault::{Fault, FaultPlan, FaultSite};
 use crate::session::{Session, SessionReport, Simulation};
+use crate::store::SessionStore;
 use crate::CoreError;
 
 /// Tuning knobs for a [`SessionService`].
@@ -63,11 +99,27 @@ pub struct ServiceOptions {
     /// exceed it, the session is evicted to its checkpoint bytes instead.
     /// `None` never evicts.
     pub resident_budget_bytes: Option<usize>,
+    /// Cooperative per-slice wall-clock watchdog: a slice that overruns this
+    /// budget is preempted at its next accepted step boundary (at least one
+    /// step always completes, so a preempted job still makes progress).
+    /// Preemption at step boundaries preserves bit-identical results.
+    /// `None` disarms the watchdog.
+    pub slice_timeout: Option<Duration>,
+    /// Deterministic fault-injection schedule consulted at slice boundaries
+    /// and checkpoint encode/decode (store I/O sites are armed on the store
+    /// itself via [`SessionStore::set_fault_plan`]). `None` injects nothing.
+    pub fault_plan: Option<Arc<FaultPlan>>,
 }
 
 impl Default for ServiceOptions {
     fn default() -> Self {
-        ServiceOptions { workers: None, slice_s: 0.05, resident_budget_bytes: None }
+        ServiceOptions {
+            workers: None,
+            slice_s: 0.05,
+            resident_budget_bytes: None,
+            slice_timeout: None,
+            fault_plan: None,
+        }
     }
 }
 
@@ -88,28 +140,100 @@ impl ServiceOptions {
     }
 }
 
+/// How a scheduled job failed. Separates engine/model errors (which travel
+/// as [`CoreError`]) from the supervision outcomes only a scheduler can
+/// produce: quarantined panics and interrupted (service-killed) jobs.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ServiceError {
+    /// The session itself failed with an engine/model error (labelled via
+    /// [`CoreError::for_scenario`] when the job carries a label).
+    Session(CoreError),
+    /// A panic escaped the session during one of its slices. The job is
+    /// quarantined: its last good checkpoint is retained
+    /// ([`JobOutcome::last_checkpoint`] and the store entry, when one
+    /// exists), and no further slices are scheduled. `payload` is the
+    /// stringified panic payload.
+    SessionPanicked {
+        /// The job's session id.
+        id: String,
+        /// Stringified panic payload.
+        payload: String,
+    },
+    /// The service was killed (a crash, simulated by
+    /// [`crate::fault::Fault::KillService`]) before this job resolved. With
+    /// a [`SessionStore`], a later [`SessionService::run_with_store`]
+    /// resumes the job from its last persisted checkpoint.
+    Interrupted,
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::Session(err) => write!(f, "{err}"),
+            ServiceError::SessionPanicked { id, payload } => {
+                write!(f, "session `{id}` panicked and was quarantined: {payload}")
+            }
+            ServiceError::Interrupted => {
+                write!(f, "service was interrupted before the job resolved")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServiceError::Session(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<CoreError> for ServiceError {
+    fn from(err: CoreError) -> Self {
+        ServiceError::Session(err)
+    }
+}
+
 /// Outcome of one scheduled job, in submission order within
 /// [`ServiceReport::outcomes`].
 #[derive(Debug)]
 pub struct JobOutcome {
     /// The job's scenario label, if the configuration carried one.
     pub label: Option<String>,
-    /// The finished session's report, or the first error the job hit
-    /// (labelled via [`CoreError::for_scenario`] when a label is present).
-    pub result: Result<SessionReport, CoreError>,
+    /// The job's session id: the label, or `job-<index>` when unlabelled.
+    /// Keys the job's entry in a [`SessionStore`].
+    pub id: String,
+    /// The finished session's report, or the typed reason it did not finish.
+    pub result: Result<SessionReport, ServiceError>,
     /// Engine wall-clock billed to this job, accumulated slice by slice.
     /// Equals the final report's [`SessionReport::engine_time`] for
-    /// successful jobs (billing conservation).
+    /// successful jobs (billing conservation) — including jobs re-admitted
+    /// from a store, whose first slice books the frame-carried time.
     pub billed_engine_time: Duration,
     /// Scheduling slices the job received.
     pub slices: usize,
     /// Times the job was evicted to checkpoint bytes under the memory budget.
     pub evictions: usize,
-    /// Times the job was restored from checkpoint bytes (once per eviction).
+    /// Times the job was restored from checkpoint bytes (once per eviction,
+    /// plus once if the job was re-admitted from the store).
     pub restores: usize,
+    /// Whether the job was re-admitted from a [`SessionStore`] frame rather
+    /// than started fresh.
+    pub recovered: bool,
+    /// Store persists that failed after retries and fell back to resident
+    /// frozen bytes (graceful degradation; the job itself is unaffected).
+    pub degraded_writes: usize,
+    /// For jobs that did not finish cleanly (quarantined, failed, or
+    /// interrupted): the last good checkpoint frame taken before the
+    /// failure, restorable via [`Session::restore`]. `None` for successful
+    /// jobs and for jobs that never completed a slice.
+    pub last_checkpoint: Option<Vec<u8>>,
 }
 
-/// Aggregate result of a [`SessionService::run`] call.
+/// Aggregate result of a [`SessionService::run`] /
+/// [`SessionService::run_with_store`] call.
 #[derive(Debug)]
 pub struct ServiceReport {
     /// Per-job outcomes, in submission order.
@@ -123,6 +247,18 @@ pub struct ServiceReport {
     pub peak_resident_bytes: usize,
     /// Worker threads the run actually used.
     pub workers: usize,
+    /// Whether the run was cut short by a (fault-injected) service kill;
+    /// unresolved jobs report [`ServiceError::Interrupted`].
+    pub interrupted: bool,
+    /// Jobs quarantined after a panic escaped one of their slices.
+    pub quarantined: usize,
+    /// Jobs re-admitted from the session store instead of starting fresh.
+    pub recovered_jobs: usize,
+    /// Store frames that existed at admission but failed to load (typed
+    /// store error); those jobs restarted fresh.
+    pub recovery_discarded: usize,
+    /// Total store persists that fell back to resident bytes after retries.
+    pub degraded_writes: usize,
 }
 
 /// A parked job between slices.
@@ -132,18 +268,25 @@ enum Parked {
     /// Live session kept resident; the second field is the footprint the
     /// budget accounting charged for it.
     Live(Box<Session>, usize),
-    /// Evicted to checkpoint bytes.
-    Frozen(Vec<u8>),
+    /// Evicted to checkpoint bytes (shared with [`JobSlot::last_frame`], so
+    /// retaining the last good checkpoint costs no copy).
+    Frozen(Arc<Vec<u8>>),
 }
 
 struct JobSlot {
     parked: Option<Parked>,
+    id: String,
     label: Option<String>,
     billed: Duration,
     slices: usize,
     evictions: usize,
     restores: usize,
-    done: Option<Result<SessionReport, CoreError>>,
+    recovered: bool,
+    degraded_writes: usize,
+    /// The most recent sealed checkpoint frame — the resume point retained
+    /// for quarantined/failed/interrupted jobs.
+    last_frame: Option<Arc<Vec<u8>>>,
+    done: Option<Result<SessionReport, ServiceError>>,
 }
 
 struct SchedulerState {
@@ -151,6 +294,10 @@ struct SchedulerState {
     jobs: Vec<JobSlot>,
     /// Jobs not yet finished or failed — the workers' exit condition.
     unfinished: usize,
+    /// A (fault-injected) service kill: workers stop dead, in-flight slices
+    /// are discarded, unresolved jobs report interrupted.
+    killed: bool,
+    quarantined: usize,
     resident_bytes: usize,
     peak_resident_bytes: usize,
     total_evictions: usize,
@@ -159,6 +306,42 @@ struct SchedulerState {
 struct Shared {
     state: Mutex<SchedulerState>,
     wake: Condvar,
+}
+
+/// A job popped from the run queue, ready for one slice.
+struct Task {
+    index: usize,
+    parked: Parked,
+    id: String,
+    /// First slice of a store-recovered job: bill from zero so the
+    /// frame-carried engine time is booked and conservation holds across
+    /// restarts.
+    carries_billing: bool,
+}
+
+/// What one supervised slice produced (built outside the scheduler lock).
+enum SliceRun {
+    /// Fault-injected service crash: discard everything, stop the pool.
+    Killed,
+    Failed {
+        err: CoreError,
+        restored: bool,
+        billed: Duration,
+        degraded: usize,
+    },
+    Finished {
+        report: Box<SessionReport>,
+        restored: bool,
+        billed: Duration,
+        degraded: usize,
+    },
+    Preempted {
+        session: Box<Session>,
+        frame: Arc<Vec<u8>>,
+        restored: bool,
+        billed: Duration,
+        degraded: usize,
+    },
 }
 
 /// The multi-session scheduler. Construction validates the options; one
@@ -211,26 +394,89 @@ impl SessionService {
     }
 
     /// Schedules `jobs` to completion across the worker pool and reports
-    /// per-job outcomes plus the scheduler's own accounting. Job failures are
-    /// per-job ([`JobOutcome::result`]), never a panic of the run.
+    /// per-job outcomes plus the scheduler's own accounting. Job failures —
+    /// including escaped panics, which are quarantined — are per-job
+    /// ([`JobOutcome::result`]), never a panic or abort of the run.
     pub fn run(&self, jobs: Vec<Simulation>) -> ServiceReport {
         let slots: Vec<JobSlot> = jobs
             .into_iter()
-            .map(|simulation| JobSlot {
-                label: simulation.config().label.clone(),
-                parked: Some(Parked::Fresh(Box::new(simulation))),
-                billed: Duration::ZERO,
-                slices: 0,
-                evictions: 0,
-                restores: 0,
-                done: None,
+            .enumerate()
+            .map(|(index, simulation)| {
+                let label = simulation.config().label.clone();
+                let id = label.clone().unwrap_or_else(|| format!("job-{index}"));
+                new_slot(Parked::Fresh(Box::new(simulation)), id, label, false)
             })
             .collect();
+        self.run_inner(slots, None, 0)
+    }
+
+    /// Like [`SessionService::run`], but crash-safe: every preemption
+    /// checkpoint is persisted to `store` (keyed by the job's session id —
+    /// its label, or `job-<index>`), completed jobs are removed from the
+    /// store, and jobs whose id has a recovered frame in the store are
+    /// **re-admitted from their last sealed slice** instead of starting
+    /// over. Kill this process at any point and call `run_with_store` again
+    /// with the same jobs over a re-opened store: the batch completes with
+    /// results bit-identical to an uninterrupted run and billing conserved
+    /// (`tests/service_recovery.rs` tortures exactly this loop).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidConfiguration`] if two jobs share a session id —
+    /// ids key the store, so they must be unique within a batch.
+    pub fn run_with_store(
+        &self,
+        jobs: Vec<Simulation>,
+        store: &SessionStore,
+    ) -> Result<ServiceReport, CoreError> {
+        let mut seen: HashSet<String> = HashSet::with_capacity(jobs.len());
+        let mut recovery_discarded = 0usize;
+        let mut slots: Vec<JobSlot> = Vec::with_capacity(jobs.len());
+        for (index, simulation) in jobs.into_iter().enumerate() {
+            let label = simulation.config().label.clone();
+            let id = label.clone().unwrap_or_else(|| format!("job-{index}"));
+            if !seen.insert(id.clone()) {
+                return Err(CoreError::InvalidConfiguration(format!(
+                    "duplicate session id `{id}` in batch: store-backed runs need unique ids"
+                )));
+            }
+            let slot = if store.is_active(&id) {
+                match store.get(&id) {
+                    Ok(bytes) => {
+                        let frame = Arc::new(bytes);
+                        let mut slot = new_slot(Parked::Frozen(frame.clone()), id, label, true);
+                        slot.last_frame = Some(frame);
+                        slot
+                    }
+                    Err(_) => {
+                        // Typed store failure at admission: restart fresh
+                        // rather than failing the job — a discarded recovery
+                        // is always correct, just slower.
+                        recovery_discarded += 1;
+                        new_slot(Parked::Fresh(Box::new(simulation)), id, label, false)
+                    }
+                }
+            } else {
+                new_slot(Parked::Fresh(Box::new(simulation)), id, label, false)
+            };
+            slots.push(slot);
+        }
+        Ok(self.run_inner(slots, Some(store), recovery_discarded))
+    }
+
+    fn run_inner(
+        &self,
+        slots: Vec<JobSlot>,
+        store: Option<&SessionStore>,
+        recovery_discarded: usize,
+    ) -> ServiceReport {
         let job_count = slots.len();
         let shared = Shared {
             state: Mutex::new(SchedulerState {
                 run_queue: (0..job_count).collect(),
                 unfinished: job_count,
+                killed: false,
+                quarantined: 0,
                 jobs: slots,
                 resident_bytes: 0,
                 peak_resident_bytes: 0,
@@ -243,21 +489,40 @@ impl SessionService {
         if job_count > 0 {
             std::thread::scope(|scope| {
                 for _ in 0..workers {
-                    scope.spawn(|| self.worker(&shared));
+                    scope.spawn(|| self.worker(&shared, store));
                 }
             });
         }
-        let state = shared.state.into_inner().expect("scheduler state poisoned");
+        let state = shared.state.into_inner().unwrap_or_else(PoisonError::into_inner);
+        let interrupted = state.killed;
+        let mut recovered_jobs = 0usize;
+        let mut degraded_writes = 0usize;
         let outcomes: Vec<JobOutcome> = state
             .jobs
             .into_iter()
-            .map(|slot| JobOutcome {
-                label: slot.label,
-                result: slot.done.expect("every job resolves before the pool drains"),
-                billed_engine_time: slot.billed,
-                slices: slot.slices,
-                evictions: slot.evictions,
-                restores: slot.restores,
+            .map(|slot| {
+                // A job without a resolution was in flight (or queued) when
+                // the service died: typed, not a panic.
+                let result = slot.done.unwrap_or(Err(ServiceError::Interrupted));
+                recovered_jobs += usize::from(slot.recovered);
+                degraded_writes += slot.degraded_writes;
+                let last_checkpoint = if result.is_err() {
+                    slot.last_frame.map(|frame| frame.as_ref().clone())
+                } else {
+                    None
+                };
+                JobOutcome {
+                    label: slot.label,
+                    id: slot.id,
+                    result,
+                    billed_engine_time: slot.billed,
+                    slices: slot.slices,
+                    evictions: slot.evictions,
+                    restores: slot.restores,
+                    recovered: slot.recovered,
+                    degraded_writes: slot.degraded_writes,
+                    last_checkpoint,
+                }
             })
             .collect();
         let total_billed = outcomes.iter().map(|o| o.billed_engine_time).sum();
@@ -267,137 +532,293 @@ impl SessionService {
             evictions: state.total_evictions,
             peak_resident_bytes: state.peak_resident_bytes,
             workers,
+            interrupted,
+            quarantined: state.quarantined,
+            recovered_jobs,
+            recovery_discarded,
+            degraded_writes,
         }
     }
 
-    /// One worker thread: pop-front / advance-one-slice / push-back until no
-    /// unfinished jobs remain.
-    fn worker(&self, shared: &Shared) {
+    /// One worker thread: pop-front / run-one-supervised-slice / commit,
+    /// until no unfinished jobs remain or the service is killed. The slice
+    /// body runs under `catch_unwind`, so an escaped panic quarantines the
+    /// one job instead of unwinding through the pool.
+    fn worker(&self, shared: &Shared, store: Option<&SessionStore>) {
         loop {
-            let Some((index, parked)) = self.next_job(shared) else { return };
-            // Materialise a live session (start fresh, reuse resident, or
-            // thaw from checkpoint bytes), outside the scheduler lock.
-            let restored = matches!(parked, Parked::Frozen(_));
-            let session = match parked {
-                Parked::Fresh(simulation) => simulation.start().map(Box::new),
-                Parked::Live(session, _) => Ok(session),
-                Parked::Frozen(bytes) => Session::restore(&bytes).map(Box::new),
-            };
-            let mut session = match session {
-                Ok(session) => session,
-                Err(err) => {
-                    self.resolve(shared, index, restored, Err(err));
-                    continue;
-                }
-            };
-            let billed_before = engine_time(&session);
-            let target = session.time() + self.options.slice_s;
-            let advanced = if target >= session.duration() {
-                session.run_to_end()
-            } else {
-                session.run_until(target).map(|_| ())
-            };
-            let billed_delta = engine_time(&session).saturating_sub(billed_before);
-            if let Err(err) = advanced {
-                self.book_slice(shared, index, restored, billed_delta);
-                self.resolve(shared, index, false, Err(err));
-                continue;
-            }
-            self.book_slice(shared, index, restored, billed_delta);
-            if session.is_finished() {
-                self.resolve(shared, index, false, Ok(session.report()));
-                continue;
-            }
-            // Checkpoint-on-preempt: the frame is the eviction currency and
-            // the footprint estimate in one.
-            match session.checkpoint() {
-                Ok(bytes) => self.park(shared, index, session, bytes),
-                Err(err) => self.resolve(shared, index, false, Err(err)),
+            let Some(task) = self.next_job(shared) else { return };
+            let Task { index, parked, id, carries_billing } = task;
+            let run = panic::catch_unwind(AssertUnwindSafe(|| {
+                self.run_slice(parked, &id, carries_billing, store)
+            }));
+            match run {
+                Ok(slice) => self.commit_slice(shared, index, slice),
+                Err(payload) => self.quarantine(shared, index, payload),
             }
         }
     }
 
-    /// Blocks until a job is runnable (returning its slot) or every job has
-    /// resolved (returning `None`).
-    fn next_job(&self, shared: &Shared) -> Option<(usize, Parked)> {
-        let mut state = shared.state.lock().expect("scheduler state poisoned");
+    /// Blocks until a job is runnable (returning it) or the pool should stop
+    /// (every job resolved, or the service was killed).
+    fn next_job(&self, shared: &Shared) -> Option<Task> {
+        let mut state = lock_state(shared);
         loop {
-            if state.unfinished == 0 {
+            if state.killed || state.unfinished == 0 {
                 return None;
             }
             if let Some(index) = state.run_queue.pop_front() {
-                let parked =
-                    state.jobs[index].parked.take().expect("queued job has a parked state");
+                let slot = &mut state.jobs[index];
+                let parked = slot
+                    .parked
+                    .take()
+                    .expect("queued job has a parked state (scheduler invariant)");
+                let carries_billing = slot.recovered && slot.slices == 0;
+                let id = slot.id.clone();
                 if let Parked::Live(_, footprint) = &parked {
                     state.resident_bytes -= footprint;
                 }
-                return Some((index, parked));
+                return Some(Task { index, parked, id, carries_billing });
             }
-            state = shared.wake.wait(state).expect("scheduler state poisoned");
+            state = wait_state(shared, state);
         }
     }
 
-    /// Books one slice's accounting for a job.
-    fn book_slice(&self, shared: &Shared, index: usize, restored: bool, billed: Duration) {
-        let mut state = shared.state.lock().expect("scheduler state poisoned");
+    /// One scheduling slice, run outside the scheduler lock (and inside the
+    /// worker's `catch_unwind`): materialise, advance, then either resolve
+    /// or checkpoint. Store traffic degrades instead of failing the job.
+    fn run_slice(
+        &self,
+        parked: Parked,
+        id: &str,
+        carries_billing: bool,
+        store: Option<&SessionStore>,
+    ) -> SliceRun {
+        let plan = self.options.fault_plan.as_deref();
+        match plan.and_then(|p| p.decide(FaultSite::SliceBoundary, 0)) {
+            Some(Fault::KillService) => return SliceRun::Killed,
+            Some(Fault::Panic) => panic!("{}", FaultPlan::PANIC_MESSAGE),
+            _ => {}
+        }
+        // Materialise a live session (start fresh, reuse resident, or thaw
+        // from checkpoint bytes).
+        let restored = matches!(parked, Parked::Frozen(_));
+        let session = match parked {
+            Parked::Fresh(simulation) => simulation.start().map(Box::new),
+            Parked::Live(session, _) => Ok(session),
+            Parked::Frozen(bytes) => {
+                if let Some(Fault::Panic) =
+                    plan.and_then(|p| p.decide(FaultSite::CheckpointDecode, bytes.len()))
+                {
+                    panic!("{}", FaultPlan::PANIC_MESSAGE);
+                }
+                Session::restore(&bytes).map(Box::new)
+            }
+        };
+        let mut session = match session {
+            Ok(session) => session,
+            Err(err) => {
+                return SliceRun::Failed { err, restored, billed: Duration::ZERO, degraded: 0 }
+            }
+        };
+        // Identity backstop for store-recovered frames: a frame whose
+        // embedded scenario label disagrees with the id it was keyed under
+        // must never run as that job (the manifest checksums make this
+        // near-impossible; this catches the residual cases typed).
+        if carries_billing {
+            if let Some(label) = session.scenario_label() {
+                if label != id {
+                    return SliceRun::Failed {
+                        err: CoreError::InvalidConfiguration(format!(
+                            "recovered checkpoint keyed `{id}` belongs to scenario `{label}`"
+                        )),
+                        restored,
+                        billed: Duration::ZERO,
+                        degraded: 0,
+                    };
+                }
+            }
+        }
+        let billed_before = if carries_billing { Duration::ZERO } else { engine_time(&session) };
+        let deadline = self.options.slice_timeout.map(|budget| Instant::now() + budget);
+        let target = session.time() + self.options.slice_s;
+        let advanced = session.run_until_deadline(target, deadline);
+        let billed = engine_time(&session).saturating_sub(billed_before);
+        if let Err(err) = advanced {
+            return SliceRun::Failed { err, restored, billed, degraded: 0 };
+        }
+        let mut degraded = 0usize;
+        if session.is_finished() {
+            // Completion: drop the store entry only after the result is in
+            // hand; a failure here degrades (the entry is re-run after a
+            // crash, idempotently) rather than failing the finished job.
+            if let Some(store) = store {
+                if store.is_active(id) && store.remove(id).is_err() {
+                    degraded += 1;
+                }
+            }
+            return SliceRun::Finished {
+                report: Box::new(session.report()),
+                restored,
+                billed,
+                degraded,
+            };
+        }
+        // Checkpoint-on-preempt: the frame is the eviction currency, the
+        // durable store payload, and the footprint estimate in one.
+        if let Some(Fault::Panic) = plan.and_then(|p| p.decide(FaultSite::CheckpointEncode, 0)) {
+            panic!("{}", FaultPlan::PANIC_MESSAGE);
+        }
+        let frame = match session.checkpoint() {
+            Ok(bytes) => Arc::new(bytes),
+            Err(err) => return SliceRun::Failed { err, restored, billed, degraded },
+        };
+        if let Some(store) = store {
+            if store.put(id, &frame).is_err() {
+                // Graceful degradation: the resident frozen bytes still
+                // carry the job; only crash-recoverability of this slice is
+                // lost.
+                degraded += 1;
+            }
+        }
+        SliceRun::Preempted { session, frame, restored, billed, degraded }
+    }
+
+    /// Books a slice's outcome into the scheduler state. After a service
+    /// kill, in-flight results are discarded — exactly what a real crash
+    /// does to work that never reached the store.
+    fn commit_slice(&self, shared: &Shared, index: usize, run: SliceRun) {
+        let mut state = lock_state(shared);
+        if state.killed {
+            return;
+        }
+        match run {
+            SliceRun::Killed => {
+                state.killed = true;
+                shared.wake.notify_all();
+            }
+            SliceRun::Failed { err, restored, billed, degraded } => {
+                let slot = book_slice(&mut state, index, restored, billed, degraded);
+                let err = match &slot.label {
+                    Some(label) => err.for_scenario(label.clone()),
+                    None => err,
+                };
+                slot.done = Some(Err(ServiceError::Session(err)));
+                state.unfinished -= 1;
+                shared.wake.notify_all();
+            }
+            SliceRun::Finished { report, restored, billed, degraded } => {
+                let slot = book_slice(&mut state, index, restored, billed, degraded);
+                slot.done = Some(Ok(*report));
+                state.unfinished -= 1;
+                shared.wake.notify_all();
+            }
+            SliceRun::Preempted { session, frame, restored, billed, degraded } => {
+                let footprint = frame.len();
+                let evict = match self.options.resident_budget_bytes {
+                    Some(budget) => state.resident_bytes + footprint > budget,
+                    None => false,
+                };
+                let slot = book_slice(&mut state, index, restored, billed, degraded);
+                slot.last_frame = Some(frame.clone());
+                if evict {
+                    slot.evictions += 1;
+                    slot.parked = Some(Parked::Frozen(frame));
+                    state.total_evictions += 1;
+                } else {
+                    slot.parked = Some(Parked::Live(session, footprint));
+                    state.resident_bytes += footprint;
+                    state.peak_resident_bytes = state.peak_resident_bytes.max(state.resident_bytes);
+                }
+                state.run_queue.push_back(index);
+                shared.wake.notify_one();
+            }
+        }
+    }
+
+    /// Quarantines a job whose slice panicked: typed outcome, last good
+    /// checkpoint retained, neighbours unaffected. After a kill, the panic
+    /// is discarded with the rest of the in-flight work.
+    fn quarantine(&self, shared: &Shared, index: usize, payload: Box<dyn Any + Send>) {
+        let payload = panic_payload(payload);
+        let mut state = lock_state(shared);
+        if state.killed {
+            return;
+        }
         let slot = &mut state.jobs[index];
         slot.slices += 1;
-        slot.billed += billed;
-        if restored {
-            slot.restores += 1;
-        }
-    }
-
-    /// Marks a job finished (or failed) and wakes every waiting worker so
-    /// they can re-check the exit condition.
-    fn resolve(
-        &self,
-        shared: &Shared,
-        index: usize,
-        restored: bool,
-        result: Result<SessionReport, CoreError>,
-    ) {
-        let mut state = shared.state.lock().expect("scheduler state poisoned");
-        let slot = &mut state.jobs[index];
-        if restored {
-            slot.restores += 1;
-        }
-        let result = match (result, &slot.label) {
-            (Err(err), Some(label)) => Err(err.for_scenario(label.clone())),
-            (result, _) => result,
-        };
-        slot.done = Some(result);
+        slot.done = Some(Err(ServiceError::SessionPanicked { id: slot.id.clone(), payload }));
+        state.quarantined += 1;
         state.unfinished -= 1;
         shared.wake.notify_all();
     }
+}
 
-    /// Requeues a preempted job, keeping the live session resident if the
-    /// memory budget allows and evicting it to its checkpoint bytes
-    /// otherwise.
-    fn park(&self, shared: &Shared, index: usize, session: Box<Session>, bytes: Vec<u8>) {
-        let footprint = bytes.len();
-        let mut state = shared.state.lock().expect("scheduler state poisoned");
-        let evict = match self.options.resident_budget_bytes {
-            Some(budget) => state.resident_bytes + footprint > budget,
-            None => false,
-        };
-        if evict {
-            state.jobs[index].evictions += 1;
-            state.total_evictions += 1;
-            state.jobs[index].parked = Some(Parked::Frozen(bytes));
-        } else {
-            state.resident_bytes += footprint;
-            state.peak_resident_bytes = state.peak_resident_bytes.max(state.resident_bytes);
-            state.jobs[index].parked = Some(Parked::Live(session, footprint));
-        }
-        state.run_queue.push_back(index);
-        shared.wake.notify_one();
+fn new_slot(parked: Parked, id: String, label: Option<String>, recovered: bool) -> JobSlot {
+    JobSlot {
+        parked: Some(parked),
+        id,
+        label,
+        billed: Duration::ZERO,
+        slices: 0,
+        evictions: 0,
+        restores: 0,
+        recovered,
+        degraded_writes: 0,
+        last_frame: None,
+        done: None,
+    }
+}
+
+/// Scheduler-lock acquisition that recovers from poisoning: a panicking
+/// session is quarantined by design, and every critical section leaves the
+/// state consistent, so inheriting the guard is sound — aborting the whole
+/// pool (the old `expect`) is exactly what the supervision layer exists to
+/// prevent.
+fn lock_state(shared: &Shared) -> MutexGuard<'_, SchedulerState> {
+    shared.state.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn wait_state<'a>(
+    shared: &'a Shared,
+    guard: MutexGuard<'a, SchedulerState>,
+) -> MutexGuard<'a, SchedulerState> {
+    shared.wake.wait(guard).unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Books one slice's common accounting and returns the slot for the
+/// caller's outcome-specific writes. Callers hold the scheduler lock.
+fn book_slice(
+    state: &mut SchedulerState,
+    index: usize,
+    restored: bool,
+    billed: Duration,
+    degraded: usize,
+) -> &mut JobSlot {
+    let slot = &mut state.jobs[index];
+    slot.slices += 1;
+    slot.billed += billed;
+    slot.degraded_writes += degraded;
+    if restored {
+        slot.restores += 1;
+    }
+    slot
+}
+
+/// Stringifies a caught panic payload (the common `&str`/`String` cases;
+/// anything else gets a placeholder).
+fn panic_payload(payload: Box<dyn Any + Send>) -> String {
+    match payload.downcast::<String>() {
+        Ok(message) => *message,
+        Err(payload) => match payload.downcast::<&'static str>() {
+            Ok(message) => (*message).to_string(),
+            Err(_) => "non-string panic payload".into(),
+        },
     }
 }
 
 /// The billing measure: engine wall-clock booked into the session's closed
 /// segments. Carried inside checkpoints, so per-slice deltas telescope
-/// exactly across preemption, eviction, and restore.
+/// exactly across preemption, eviction, restore — and service restarts.
 fn engine_time(session: &Session) -> Duration {
     let stats = session.engine_stats();
     stats.state_space.cpu_time + stats.baseline.cpu_time
@@ -420,22 +841,26 @@ mod tests {
         Simulation::from_config(config).label(format!("job{k}"))
     }
 
+    fn options(workers: usize, slice_s: f64) -> ServiceOptions {
+        ServiceOptions { workers: Some(workers), slice_s, ..ServiceOptions::default() }
+    }
+
     #[test]
     fn rejects_bad_options() {
-        assert!(SessionService::new(ServiceOptions { slice_s: 0.0, ..Default::default() }).is_err());
-        assert!(
-            SessionService::new(ServiceOptions { workers: Some(0), ..Default::default() }).is_err()
-        );
+        assert!(SessionService::new(options(2, 0.0)).is_err(), "zero slice");
+        assert!(SessionService::new(options(0, 0.02)).is_err(), "zero workers");
         assert!(SessionService::new(ServiceOptions::default()).is_ok());
     }
 
     #[test]
     fn empty_batch_is_a_clean_no_op() {
-        let service = SessionService::new(ServiceOptions::default()).unwrap();
+        let service = SessionService::new(options(2, 0.05)).unwrap();
         let report = service.run(Vec::new());
         assert!(report.outcomes.is_empty());
         assert_eq!(report.total_billed, Duration::ZERO);
         assert_eq!(report.evictions, 0);
+        assert!(!report.interrupted);
+        assert_eq!(report.quarantined, 0);
     }
 
     #[test]
@@ -451,9 +876,8 @@ mod tests {
             .collect();
         // A tiny budget forces evictions, so the checkpoint path is exercised.
         let service = SessionService::new(ServiceOptions {
-            workers: Some(2),
-            slice_s: 0.01,
             resident_budget_bytes: Some(1),
+            ..options(2, 0.01)
         })
         .unwrap();
         let report = service.run(jobs);
@@ -471,6 +895,7 @@ mod tests {
             assert_eq!(outcome.billed_engine_time, scheduled.engine_time());
             assert!(outcome.slices >= 2, "0.06 s span at 0.01 s slices takes several slices");
             assert_eq!(outcome.evictions, outcome.restores);
+            assert!(outcome.last_checkpoint.is_none(), "successful jobs carry no frame");
         }
         let billed: Duration = report.outcomes.iter().map(|o| o.billed_engine_time).sum();
         assert_eq!(billed, report.total_billed);
@@ -480,16 +905,91 @@ mod tests {
     fn per_job_failures_are_isolated_and_labelled() {
         let mut jobs: Vec<Simulation> = (0..2).map(quick_job).collect();
         jobs.push(quick_job(2).duration(-1.0).label("bad"));
-        let service = SessionService::new(ServiceOptions {
-            workers: Some(2),
-            slice_s: 0.02,
-            ..Default::default()
-        })
-        .unwrap();
+        let service = SessionService::new(options(2, 0.02)).unwrap();
         let report = service.run(jobs);
         assert!(report.outcomes[0].result.is_ok());
         assert!(report.outcomes[1].result.is_ok());
         let err = report.outcomes[2].result.as_ref().unwrap_err();
         assert!(err.to_string().contains("bad"), "error must carry the job label: {err}");
+        assert!(matches!(err, ServiceError::Session(_)));
+    }
+
+    #[test]
+    fn watchdog_preemption_preserves_bit_identity() {
+        let reference = {
+            let mut session = quick_job(0).start().unwrap();
+            session.run_to_end().unwrap();
+            session.report()
+        };
+        // A zero timeout preempts after every accepted step batch — maximal
+        // watchdog pressure, still bit-identical and billing-conserving.
+        let service = SessionService::new(ServiceOptions {
+            slice_timeout: Some(Duration::ZERO),
+            ..options(1, 0.02)
+        })
+        .unwrap();
+        let report = service.run(vec![quick_job(0)]);
+        let outcome = &report.outcomes[0];
+        let scheduled = outcome.result.as_ref().expect("watchdogged job still finishes");
+        assert_eq!(scheduled.final_state.as_slice(), reference.final_state.as_slice());
+        assert_eq!(
+            scheduled.engine_stats.state_space.steps,
+            reference.engine_stats.state_space.steps
+        );
+        assert_eq!(outcome.billed_engine_time, scheduled.engine_time());
+        assert!(
+            outcome.slices > 3,
+            "a zero watchdog budget must preempt far more often than the 3 plain slices \
+             (got {} slices)",
+            outcome.slices
+        );
+    }
+
+    #[test]
+    fn injected_panic_quarantines_one_job_without_poisoning_the_pool() {
+        let plan = Arc::new(FaultPlan::new(0xBEEF).with_site(FaultSite::SliceBoundary, 2, 1));
+        let service =
+            SessionService::new(ServiceOptions { fault_plan: Some(plan), ..options(1, 0.02) })
+                .unwrap();
+        let report = service.run((0..3).map(quick_job).collect());
+        assert_eq!(report.quarantined, 1);
+        assert!(!report.interrupted);
+        let panicked: Vec<&JobOutcome> = report
+            .outcomes
+            .iter()
+            .filter(|o| matches!(o.result, Err(ServiceError::SessionPanicked { .. })))
+            .collect();
+        assert_eq!(panicked.len(), 1);
+        let quarantined = panicked[0];
+        match &quarantined.result {
+            Err(ServiceError::SessionPanicked { id, payload }) => {
+                assert_eq!(id, &quarantined.id);
+                assert!(payload.contains("injected fault"), "payload travels: {payload}");
+            }
+            other => panic!("expected SessionPanicked, got {other:?}"),
+        }
+        // The other jobs are untouched.
+        assert_eq!(
+            report.outcomes.iter().filter(|o| o.result.is_ok()).count(),
+            2,
+            "quarantine must not leak into neighbours"
+        );
+    }
+
+    #[test]
+    fn injected_kill_interrupts_unresolved_jobs_typed() {
+        let plan = Arc::new(FaultPlan::new(1).with_kills(1, 1));
+        let service = SessionService::new(ServiceOptions {
+            fault_plan: Some(plan.clone()),
+            ..options(1, 0.01)
+        })
+        .unwrap();
+        let report = service.run((0..3).map(quick_job).collect());
+        assert!(report.interrupted);
+        assert_eq!(plan.kills(), 1);
+        assert!(
+            report.outcomes.iter().any(|o| matches!(o.result, Err(ServiceError::Interrupted))),
+            "a killed service leaves interrupted jobs"
+        );
     }
 }

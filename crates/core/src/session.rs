@@ -453,6 +453,15 @@ impl Session {
         self.finished
     }
 
+    /// The label of the scenario this session was built from, if it was
+    /// started via [`Simulation::start`] with a labelled configuration.
+    /// Travels inside checkpoints, so a restored session still knows it —
+    /// the service uses this to verify a recovered frame belongs to the job
+    /// it is keyed under.
+    pub fn scenario_label(&self) -> Option<&str> {
+        self.config.as_ref().and_then(|config| config.label.as_deref())
+    }
+
     /// Analogue-engine statistics accumulated over the closed segments.
     pub fn engine_stats(&self) -> &EngineStats {
         &self.engine_stats
@@ -486,7 +495,7 @@ impl Session {
             return Ok(SessionStatus::Running { time_s: self.time() });
         }
         let clock = Instant::now();
-        let segment_done = self.march_steps(f64::INFINITY, true)?;
+        let segment_done = self.march_steps(f64::INFINITY, true, None)?;
         self.pending_cpu += clock.elapsed();
         if segment_done {
             self.close_segment()?;
@@ -516,7 +525,7 @@ impl Session {
         while !self.finished && self.time() < target - 1e-12 {
             if self.runtime.march_active() {
                 let clock = Instant::now();
-                let segment_done = self.march_steps(target, false)?;
+                let segment_done = self.march_steps(target, false, None)?;
                 self.pending_cpu += clock.elapsed();
                 if segment_done {
                     self.close_segment()?;
@@ -526,6 +535,55 @@ impl Session {
             } else {
                 self.open_segment()?;
             }
+        }
+        self.update_peak_probe_bytes();
+        Ok(self.time())
+    }
+
+    /// [`Session::run_until`] with a cooperative wall-clock watchdog: the
+    /// deadline is checked between units of work and after every *accepted*
+    /// integration step, so an expired deadline pauses the session at a step
+    /// boundary — never truncating a step — and a paused-then-resumed run
+    /// stays bit-identical to an uninterrupted one. At least one unit of
+    /// work is performed per call even if the deadline already passed, so a
+    /// scheduler retrying a preempted session always makes progress.
+    ///
+    /// Unlike `run_until`, reaching the configured duration here also closes
+    /// the final segment bookkeeping (marking the session finished), so a
+    /// slice-driven scheduler needs no separate run-to-end path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine and kernel failures.
+    pub fn run_until_deadline(
+        &mut self,
+        target: f64,
+        deadline: Option<Instant>,
+    ) -> Result<f64, CoreError> {
+        let target = target.min(self.duration);
+        let mut did_work = false;
+        while !self.finished && self.time() < target - 1e-12 {
+            if did_work && deadline.is_some_and(|at| Instant::now() >= at) {
+                break;
+            }
+            if self.runtime.march_active() {
+                let clock = Instant::now();
+                let segment_done = self.march_steps(target, false, deadline)?;
+                self.pending_cpu += clock.elapsed();
+                if segment_done {
+                    self.close_segment()?;
+                }
+            } else if self.t >= self.duration - 1e-9 {
+                self.finished = true;
+            } else {
+                self.open_segment()?;
+            }
+            did_work = true;
+        }
+        // Close the final bookkeeping when the whole span is simulated (the
+        // equivalent of `run_to_end`'s extra pass).
+        if !self.finished && !self.runtime.march_active() && self.t >= self.duration - 1e-9 {
+            self.finished = true;
         }
         self.update_peak_probe_bytes();
         Ok(self.time())
@@ -935,17 +993,24 @@ impl Session {
         Ok(())
     }
 
-    /// Advances the in-flight march until it completes its segment or its
-    /// time reaches `target` (`single` limits it to one accepted step).
-    /// Returns whether the segment is complete.
-    fn march_steps(&mut self, target: f64, single: bool) -> Result<bool, CoreError> {
+    /// Advances the in-flight march until it completes its segment, its time
+    /// reaches `target`, or (checked only *after* each accepted step, so at
+    /// least one step of progress is always made) the wall-clock `deadline`
+    /// passes. `single` limits it to one accepted step. Returns whether the
+    /// segment is complete.
+    fn march_steps(
+        &mut self,
+        target: f64,
+        single: bool,
+        deadline: Option<Instant>,
+    ) -> Result<bool, CoreError> {
         let Session { runtime, harvester, probes, .. } = self;
         let mut fan = ProbeFan(probes);
         match runtime {
             EngineRuntime::StateSpace { workspace, march: Some(march), .. } => {
                 while !march.is_done() && march.time() < target - 1e-12 {
                     march.step(&*harvester, workspace, &mut fan)?;
-                    if single {
+                    if single || deadline.is_some_and(|at| Instant::now() >= at) {
                         break;
                     }
                 }
@@ -954,7 +1019,7 @@ impl Session {
             EngineRuntime::NewtonRaphson { workspace, march: Some(march), .. } => {
                 while !march.is_done() && march.time() < target - 1e-12 {
                     march.step(&*harvester, workspace, &mut fan)?;
-                    if single {
+                    if single || deadline.is_some_and(|at| Instant::now() >= at) {
                         break;
                     }
                 }

@@ -8,13 +8,22 @@
 //!    a thread-per-core round-robin scheduler that preempts sessions at
 //!    slice boundaries, checkpoints them on preemption, evicts the frames
 //!    under a resident-memory budget, and bills each job's engine time from
-//!    the carried counters.
+//!    the carried counters;
+//! 4. run the same batch **store-backed** and kill the service mid-run with
+//!    an injected fault, then reopen the [`harvsim::SessionStore`] and show
+//!    the restarted service recovering the interrupted jobs from their last
+//!    sealed frames — finishing bit-identically, with billing conserved.
 //!
 //! ```bash
 //! cargo run --release --example service_demo
 //! ```
 
-use harvsim::{ScenarioConfig, ServiceOptions, Session, SessionService, Simulation, WaveformProbe};
+use std::sync::Arc;
+
+use harvsim::{
+    FaultPlan, ScenarioConfig, ServiceOptions, Session, SessionService, SessionStore, Simulation,
+    WaveformProbe,
+};
 
 fn scenario(label: &str, v0: f64) -> ScenarioConfig {
     let mut scenario = ScenarioConfig::scenario1();
@@ -78,6 +87,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         workers: None,                         // thread per core
         slice_s: 0.04,                         // preempt every 40 ms of model time
         resident_budget_bytes: Some(2 * 1024), // ~2 probe-less frames: forces evictions
+        ..Default::default()
     })?;
     let report = service.run(jobs);
     println!(
@@ -102,5 +112,84 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         report.outcomes.iter().map(|o| o.billed_engine_time).sum::<std::time::Duration>()
             == report.total_billed
     );
+    let uninterrupted: Vec<_> = report
+        .outcomes
+        .iter()
+        .map(|o| o.result.as_ref().expect("batch ran clean").final_state.clone())
+        .collect();
+
+    // -- 4. kill the service mid-batch, recover from the store --------------
+    println!("\n== crash recovery: kill mid-batch, reopen the store, finish ==");
+    let store_dir = std::env::temp_dir().join("harvsim_service_demo_store");
+    std::fs::remove_dir_all(&store_dir).ok(); // a fresh demo every run
+
+    // A deterministic fault plan that kills the service at the 8th slice
+    // boundary — the moral equivalent of `kill -9` mid-batch.
+    let plan = Arc::new(FaultPlan::new(42).with_kills(8, 1));
+    let store = {
+        let mut store = SessionStore::open(&store_dir)?;
+        store.set_fault_plan(Some(Arc::clone(&plan)));
+        store
+    };
+    let jobs: Vec<Simulation> = (0..6)
+        .map(|k| Simulation::from_config(scenario(&format!("job-{k}"), 2.5 + k as f64 * 0.01)))
+        .collect();
+    let service = SessionService::new(ServiceOptions {
+        workers: Some(2),
+        slice_s: 0.04,
+        resident_budget_bytes: Some(0), // checkpoint to the store on every slice
+        fault_plan: Some(Arc::clone(&plan)),
+        ..Default::default()
+    })?;
+    let crashed = service.run_with_store(jobs, &store)?;
+    let unresolved = crashed.outcomes.iter().filter(|o| o.result.is_err()).count();
+    println!(
+        "  first run: interrupted = {}, {} of {} jobs unresolved, frames on disk: {:?}",
+        crashed.interrupted,
+        unresolved,
+        crashed.outcomes.len(),
+        store.active_ids(),
+    );
+    drop(store);
+    drop(crashed);
+
+    // Reopen the store — the recovery scan re-admits the interrupted jobs —
+    // and run the same batch again on a fresh service, faults disarmed.
+    let store = SessionStore::open(&store_dir)?;
+    println!(
+        "  reopened store: {} recoverable frame(s), manifest rebuilt = {}",
+        store.recovery().recovered.len(),
+        store.recovery().manifest_rebuilt,
+    );
+    let jobs: Vec<Simulation> = (0..6)
+        .map(|k| Simulation::from_config(scenario(&format!("job-{k}"), 2.5 + k as f64 * 0.01)))
+        .collect();
+    let service = SessionService::new(ServiceOptions {
+        workers: Some(2),
+        slice_s: 0.04,
+        resident_budget_bytes: Some(0),
+        ..Default::default()
+    })?;
+    let recovered = service.run_with_store(jobs, &store)?;
+    for (outcome, expected) in recovered.outcomes.iter().zip(&uninterrupted) {
+        let job = outcome.result.as_ref().map_err(|err| err.to_string())?;
+        assert_eq!(&job.final_state, expected, "recovery must be bit-identical");
+        assert_eq!(outcome.billed_engine_time, job.engine_time(), "billing conserved");
+        println!(
+            "  {:>6}: recovered = {:<5} billed {:>9.3} ms, final state identical to the \
+             uninterrupted run",
+            outcome.id,
+            outcome.recovered,
+            outcome.billed_engine_time.as_secs_f64() * 1e3,
+        );
+    }
+    println!(
+        "  second run: {} job(s) resumed from sealed frames, {} restarted fresh — all \
+         bit-identical, store left clean ({} active id(s))",
+        recovered.recovered_jobs,
+        recovered.outcomes.len() - recovered.recovered_jobs,
+        store.active_ids().len(),
+    );
+    std::fs::remove_dir_all(&store_dir).ok();
     Ok(())
 }

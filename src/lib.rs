@@ -69,9 +69,10 @@ pub use harvsim_blocks::{
 };
 pub use harvsim_core::{
     fnv1a64, BaselineOptions, CheckpointError, ComparisonReport, CoreError, DigitalEvent,
-    EnvelopeProbe, JobOutcome, MixedSignalSimulation, NewtonRaphsonBaseline, PowerProbe, Probe,
-    ScenarioConfig, ScenarioResult, ServiceOptions, ServiceReport, Session, SessionReport,
-    SessionService, SessionStatus, Simulation, SimulationEngine, SolverOptions, SpeedComparison,
-    StateSpaceSolver, StepHistogramProbe, TunableHarvester, WaveformProbe, CHECKPOINT_MAGIC,
-    CHECKPOINT_VERSION,
+    EnvelopeProbe, Fault, FaultKind, FaultPlan, FaultSite, JobOutcome, MixedSignalSimulation,
+    NewtonRaphsonBaseline, PowerProbe, Probe, RecoveryReport, ScenarioConfig, ScenarioResult,
+    ServiceError, ServiceOptions, ServiceReport, Session, SessionReport, SessionService,
+    SessionStatus, SessionStore, Simulation, SimulationEngine, SolverOptions, SpeedComparison,
+    StateSpaceSolver, StepHistogramProbe, StoreError, StoreOptions, TunableHarvester,
+    WaveformProbe, CHECKPOINT_MAGIC, CHECKPOINT_VERSION,
 };

@@ -13,6 +13,12 @@
 //! guaranteed to change the checksum (flips inside the stored checksum
 //! trivially mismatch too). Header-field flips are caught even earlier by
 //! the magic/version/kind checks.
+//!
+//! The `store_battery` module extends the same contract to the on-disk
+//! [`harvsim::SessionStore`]: torn-tail truncations, stale atomic-write
+//! temporaries, missing/orphaned/swapped frames and a lost or corrupted
+//! manifest must each recover or fail **typed** at the next open — never
+//! panic, and never resurrect a half-written frame.
 
 use harvsim::{fnv1a64, CoreError, ScenarioConfig, Session, Simulation};
 
@@ -133,5 +139,260 @@ fn non_frames_fail_with_first_line_errors() {
     match Session::restore(&not_a_frame) {
         Err(CoreError::Checkpoint(CheckpointError::BadMagic)) => {}
         other => panic!("garbage input: expected BadMagic, got {other:?}"),
+    }
+}
+
+/// On-disk store corruption battery: every crash trace a filesystem can
+/// leave behind either recovers or is discarded with a typed
+/// [`harvsim::StoreError`] at the next open.
+mod store_battery {
+    use std::fs;
+    use std::path::{Path, PathBuf};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    use harvsim::{SessionStore, StoreError};
+
+    use super::{scenario, Simulation};
+
+    const ALPHA: &str = "session-1";
+    const BETA: &str = "session-2";
+
+    fn unique_dir(tag: &str) -> PathBuf {
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!("harvsim-storefuzz-{tag}-{}-{n}", std::process::id()))
+    }
+
+    /// A real mid-run session frame, perturbed per id so the two stored
+    /// sessions never share bytes (a swap is guaranteed detectable).
+    fn mid_run_frame(offset: usize) -> Vec<u8> {
+        let mut config = scenario();
+        config.initial_supercap_voltage = 2.5 + offset as f64 * 1e-3;
+        config.label = Some(format!("session-{offset}"));
+        let mut session = Simulation::from_config(config).start().expect("session starts");
+        session.run_until(0.05).expect("runs to the pause point");
+        session.checkpoint().expect("frame seals")
+    }
+
+    /// Seeds a fresh store at `dir` with the two frames and drops it — the
+    /// starting point every test then vandalises.
+    fn seed(dir: &Path, alpha: &[u8], beta: &[u8]) -> PathBuf {
+        let store = SessionStore::open(dir).expect("fresh store opens");
+        store.put(ALPHA, alpha).expect("alpha stored");
+        store.put(BETA, beta).expect("beta stored");
+        store.frame_path(ALPHA)
+    }
+
+    /// Asserts the reopened store discarded `id` with a typed error while
+    /// keeping `BETA` fully readable, and that the bad frame file was moved
+    /// aside rather than left in place as a live `.ckpt`.
+    fn assert_discarded_typed(store: &SessionStore, id: &str, beta: &[u8], what: &str) {
+        assert!(
+            store.recovery().discarded.iter().any(|(d, _)| d == id),
+            "{what}: `{id}` must appear in the discard ledger"
+        );
+        assert!(!store.is_active(id), "{what}: `{id}` must not stay active");
+        match store.get(id) {
+            Err(StoreError::UnknownSession { .. }) => {}
+            other => panic!("{what}: get after discard must be UnknownSession, got {other:?}"),
+        }
+        assert_eq!(store.active_ids(), vec![BETA.to_string()], "{what}: the healthy frame stays");
+        assert_eq!(store.get(BETA).expect("healthy frame loads"), beta, "{what}: beta intact");
+    }
+
+    /// A crash mid-write can only tear the *tail* of an atomically renamed
+    /// file's predecessor — simulate it by truncating the frame at every
+    /// stride point. Each truncation must be discarded typed on reopen and
+    /// never resurrected as a session.
+    #[test]
+    fn torn_tail_truncations_are_discarded_never_resurrected() {
+        let alpha = mid_run_frame(1);
+        let beta = mid_run_frame(2);
+        let stride = (alpha.len() / 24).max(1);
+        let mut lengths: Vec<usize> = (0..alpha.len()).step_by(stride).collect();
+        lengths.push(alpha.len() - 1);
+        for keep in lengths {
+            let dir = unique_dir("torn");
+            let frame_path = seed(&dir, &alpha, &beta);
+            let truncated = &alpha[..keep];
+            fs::write(&frame_path, truncated).expect("simulated torn tail");
+
+            let store = SessionStore::open(&dir).expect("reopen never panics on a torn frame");
+            assert_discarded_typed(&store, ALPHA, &beta, &format!("torn tail at {keep} bytes"));
+            match &store.recovery().discarded[0] {
+                (id, StoreError::ManifestDisagreement { .. }) => assert_eq!(id, ALPHA),
+                (id, other) => panic!("torn tail at {keep}: `{id}` discarded as {other:?}"),
+            }
+            fs::remove_dir_all(&dir).ok();
+        }
+    }
+
+    /// Stale `*.tmp` files — the trace of a crash before rename — are swept
+    /// on open and never mistaken for frames.
+    #[test]
+    fn stale_temp_files_are_swept_on_open() {
+        let alpha = mid_run_frame(1);
+        let beta = mid_run_frame(2);
+        let dir = unique_dir("tmp");
+        let frame_path = seed(&dir, &alpha, &beta);
+        let tmp_frame = frame_path.with_extension("ckpt.tmp");
+        fs::write(&tmp_frame, &alpha[..alpha.len() / 2]).expect("stale frame temp");
+        let tmp_manifest = dir.join("MANIFEST.tmp");
+        fs::write(&tmp_manifest, b"half a manifest").expect("stale manifest temp");
+
+        let store = SessionStore::open(&dir).expect("reopen sweeps temporaries");
+        assert_eq!(store.recovery().swept_temp_files, 2, "both temporaries swept");
+        assert!(!tmp_frame.exists() && !tmp_manifest.exists(), "temp files are gone");
+        assert!(store.recovery().discarded.is_empty(), "sweeping costs no session");
+        assert_eq!(store.active_ids(), vec![ALPHA.to_string(), BETA.to_string()]);
+        assert_eq!(store.get(ALPHA).expect("alpha loads"), alpha);
+        assert_eq!(store.get(BETA).expect("beta loads"), beta);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    /// An active manifest record whose frame file vanished (the other half
+    /// of the disagreement space) is discarded typed, not an open failure.
+    #[test]
+    fn missing_frame_behind_an_active_record_is_discarded_typed() {
+        let alpha = mid_run_frame(1);
+        let beta = mid_run_frame(2);
+        let dir = unique_dir("missing");
+        let frame_path = seed(&dir, &alpha, &beta);
+        fs::remove_file(&frame_path).expect("frame vanishes");
+
+        let store = SessionStore::open(&dir).expect("reopen survives a missing frame");
+        assert_discarded_typed(&store, ALPHA, &beta, "missing frame");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    /// A frame file with no manifest record (the rename-before-manifest
+    /// crash window) is quarantined: the record is authoritative, so a frame
+    /// the manifest never acknowledged must not come back as a session.
+    #[test]
+    fn orphan_frames_are_quarantined_not_adopted() {
+        let alpha = mid_run_frame(1);
+        let beta = mid_run_frame(2);
+        let ghost = mid_run_frame(3);
+        let dir = unique_dir("orphan");
+        seed(&dir, &alpha, &beta);
+        let ghost_path = dir.join("ghost.ckpt");
+        fs::write(&ghost_path, &ghost).expect("orphan frame lands");
+
+        let store = SessionStore::open(&dir).expect("reopen survives an orphan frame");
+        assert!(
+            store.recovery().discarded.iter().any(|(id, err)| {
+                id == "ghost" && matches!(err, StoreError::ManifestDisagreement { .. })
+            }),
+            "the orphan is discarded with a typed disagreement"
+        );
+        assert!(!ghost_path.exists(), "the orphan no longer poses as a frame");
+        assert!(dir.join("ghost.ckpt.corrupt").exists(), "the orphan is kept aside for forensics");
+        assert_eq!(store.active_ids(), vec![ALPHA.to_string(), BETA.to_string()]);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Two frames swapped on disk (a hostile or badly-cloned directory):
+    /// both checksums disagree with their manifest records, so both are
+    /// discarded — a session is never silently resumed from another
+    /// session's state.
+    #[test]
+    fn swapped_frames_are_both_discarded() {
+        let alpha = mid_run_frame(1);
+        let beta = mid_run_frame(2);
+        let dir = unique_dir("swap");
+        seed(&dir, &alpha, &beta);
+        let store = SessionStore::open(&dir).expect("store reopens");
+        let alpha_path = store.frame_path(ALPHA);
+        let beta_path = store.frame_path(BETA);
+        drop(store);
+        fs::write(&alpha_path, &beta).expect("alpha gets beta's bytes");
+        fs::write(&beta_path, &alpha).expect("beta gets alpha's bytes");
+
+        let store = SessionStore::open(&dir).expect("reopen survives swapped frames");
+        for id in [ALPHA, BETA] {
+            assert!(
+                store.recovery().discarded.iter().any(|(d, err)| {
+                    d == id && matches!(err, StoreError::ManifestDisagreement { .. })
+                }),
+                "`{id}` must be discarded after the swap"
+            );
+        }
+        assert!(store.active_ids().is_empty(), "no swapped frame is resurrected");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Losing the manifest outright switches recovery to rebuild mode: every
+    /// internally-sealed frame is adopted (the service's scenario-label
+    /// check is the backstop against mis-keyed frames), and the rebuilt
+    /// store serves the original bytes.
+    #[test]
+    fn lost_manifest_rebuilds_and_adopts_sealed_frames() {
+        let alpha = mid_run_frame(1);
+        let beta = mid_run_frame(2);
+        let dir = unique_dir("lostman");
+        seed(&dir, &alpha, &beta);
+        fs::remove_file(dir.join("MANIFEST")).expect("manifest vanishes");
+
+        let store = SessionStore::open(&dir).expect("reopen rebuilds the manifest");
+        assert!(store.recovery().manifest_rebuilt);
+        assert_eq!(store.recovery().recovered, vec![ALPHA.to_string(), BETA.to_string()]);
+        assert_eq!(store.get(ALPHA).expect("alpha adopted"), alpha);
+        assert_eq!(store.get(BETA).expect("beta adopted"), beta);
+        assert!(dir.join("MANIFEST").exists(), "the rebuilt manifest is persisted");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    /// A corrupted manifest (any single byte) parses as garbage, falls back
+    /// to the same rebuild path, and a *non-frame* file caught in the sweep
+    /// is quarantined rather than adopted.
+    #[test]
+    fn corrupt_manifest_rebuilds_and_rejects_unsealed_frames() {
+        let alpha = mid_run_frame(1);
+        let beta = mid_run_frame(2);
+        let dir = unique_dir("corruptman");
+        seed(&dir, &alpha, &beta);
+        let manifest_path = dir.join("MANIFEST");
+        let mut bytes = fs::read(&manifest_path).expect("manifest reads");
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xff;
+        fs::write(&manifest_path, &bytes).expect("manifest corrupted");
+        // An unsealed impostor must not ride in on the rebuild.
+        fs::write(dir.join("impostor.ckpt"), b"not a sealed frame").expect("impostor lands");
+
+        let store = SessionStore::open(&dir).expect("reopen survives a corrupt manifest");
+        assert!(store.recovery().manifest_rebuilt);
+        assert_eq!(store.recovery().recovered, vec![ALPHA.to_string(), BETA.to_string()]);
+        assert!(
+            store
+                .recovery()
+                .discarded
+                .iter()
+                .any(|(id, err)| { id == "impostor" && matches!(err, StoreError::Corrupt { .. }) }),
+            "the unsealed impostor is rejected typed"
+        );
+        assert!(!store.is_active("impostor"));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Single-byte flips across the stored frame (strided sweep): the
+    /// manifest's whole-frame FNV checksum makes every one of them a typed
+    /// discard on reopen — the same bijection argument as the in-memory
+    /// sweep above, applied at the store layer.
+    #[test]
+    fn frame_byte_flips_on_disk_are_discarded_on_reopen() {
+        let alpha = mid_run_frame(1);
+        let beta = mid_run_frame(2);
+        let stride = (alpha.len() / 16).max(1);
+        for index in (0..alpha.len()).step_by(stride) {
+            let dir = unique_dir("flip");
+            let frame_path = seed(&dir, &alpha, &beta);
+            let mut damaged = alpha.clone();
+            damaged[index] ^= 0x01;
+            fs::write(&frame_path, &damaged).expect("flipped frame lands");
+
+            let store = SessionStore::open(&dir).expect("reopen never panics on a flipped frame");
+            assert_discarded_typed(&store, ALPHA, &beta, &format!("bit flip at byte {index}"));
+            fs::remove_dir_all(&dir).ok();
+        }
     }
 }

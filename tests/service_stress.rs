@@ -15,9 +15,36 @@
 //! * eviction accounting balances: every frozen job thaws exactly once per
 //!   eviction.
 
+use std::sync::{Arc, Once};
+use std::time::Duration;
+
 use harvsim::core::mixed::ControlEvent;
 use harvsim::linalg::DVector;
-use harvsim::{ScenarioConfig, ServiceOptions, SessionService, Simulation, SimulationEngine};
+use harvsim::{
+    FaultPlan, FaultSite, ScenarioConfig, ServiceError, ServiceOptions, Session, SessionService,
+    Simulation, SimulationEngine,
+};
+
+/// Keep deliberately injected panics out of the test output while leaving the
+/// default hook in charge of every *real* panic (assertion failures included).
+fn silence_injected_panics() {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let default_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let payload = info.payload();
+            let message = payload
+                .downcast_ref::<&str>()
+                .copied()
+                .map(String::from)
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_default();
+            if !message.contains("injected fault") {
+                default_hook(info);
+            }
+        }));
+    });
+}
 
 const JOBS: usize = 1000;
 const DURATION_S: f64 = 0.015;
@@ -95,6 +122,7 @@ fn thousand_sessions_scheduled_under_memory_pressure_match_sequential() {
         // ~6 resident frames' worth: with a full pool this forces the
         // checkpoint-evict/thaw path on nearly every preemption.
         resident_budget_bytes: Some(64 * 1024),
+        ..Default::default()
     })
     .expect("valid options");
     let jobs: Vec<Simulation> =
@@ -153,4 +181,134 @@ fn thousand_sessions_scheduled_under_memory_pressure_match_sequential() {
         max_slices - min_slices <= 1,
         "round-robin fairness bound violated: slices range {min_slices}..={max_slices}"
     );
+}
+
+/// Quarantine semantics: a session that panics mid-batch is isolated with a
+/// typed [`ServiceError::SessionPanicked`], its last sealed checkpoint stays
+/// loadable and resumes bit-identically, and every neighbour finishes with
+/// correct billing — one bad job never takes the pool down.
+#[test]
+fn quarantined_session_keeps_its_checkpoint_and_neighbours_finish() {
+    silence_injected_panics();
+    const QJOBS: usize = 8;
+    let references: Vec<Reference> = (0..QJOBS).map(reference_for).collect();
+
+    // Panic at the 10th slice boundary (budget 1, so exactly one victim).
+    // With 8 jobs and round-robin slicing, boundary ordinals 0..=7 are first
+    // slices, so ordinal 9 hits some job's *second* slice — guaranteeing the
+    // victim has already sealed a checkpoint when the panic lands.
+    let plan = Arc::new(FaultPlan::new(0xC0FFEE).with_site(FaultSite::SliceBoundary, 10, 1));
+    let service = SessionService::new(ServiceOptions {
+        workers: Some(2),
+        slice_s: SLICE_S,
+        resident_budget_bytes: Some(0), // evict everything: checkpoint every slice
+        fault_plan: Some(Arc::clone(&plan)),
+        ..Default::default()
+    })
+    .expect("valid options");
+    let jobs: Vec<Simulation> =
+        (0..QJOBS).map(|k| Simulation::from_config(job_scenario(k))).collect();
+    let report = service.run(jobs);
+
+    assert_eq!(plan.injected(FaultSite::SliceBoundary), 1, "the fault fired");
+    assert_eq!(report.quarantined, 1, "exactly one session is quarantined");
+    assert!(!report.interrupted, "a quarantine is not a service interruption");
+
+    let mut ok_jobs = 0usize;
+    let mut total_billed = Duration::ZERO;
+    for (k, (outcome, reference)) in report.outcomes.iter().zip(&references).enumerate() {
+        total_billed += outcome.billed_engine_time;
+        match &outcome.result {
+            Err(ServiceError::SessionPanicked { id, payload }) => {
+                assert_eq!(id, &format!("job-{k}"), "quarantine is attributed to the victim");
+                assert!(payload.contains("injected fault"), "payload preserved: {payload}");
+                // The last good checkpoint survives quarantine: it restores
+                // and resumes to a final state bit-identical to an
+                // uninterrupted run of the same scenario.
+                let frame = outcome
+                    .last_checkpoint
+                    .as_ref()
+                    .expect("a quarantined session retains its last sealed frame");
+                let mut resumed = Session::restore(frame).expect("quarantined frame restores");
+                resumed.run_to_end().expect("resumed session completes");
+                let resumed = resumed.report();
+                assert_eq!(
+                    resumed.final_state, reference.final_state,
+                    "job {k}: resume-from-quarantine diverged from sequential"
+                );
+                assert_eq!(resumed.engine_stats.state_space.steps, reference.state_space_steps);
+                assert_eq!(resumed.control_events, reference.control_events);
+            }
+            Ok(job_report) => {
+                ok_jobs += 1;
+                assert_eq!(
+                    job_report.final_state, reference.final_state,
+                    "job {k}: neighbour of a quarantined session diverged"
+                );
+                assert_eq!(
+                    outcome.billed_engine_time,
+                    job_report.engine_time(),
+                    "job {k}: billing still telescopes next to a quarantine"
+                );
+            }
+            Err(other) => panic!("job {k}: unexpected error {other}"),
+        }
+    }
+    assert_eq!(ok_jobs, QJOBS - 1, "every non-victim job completes");
+    assert_eq!(report.total_billed, total_billed, "partial slices of the victim are still billed");
+}
+
+/// A probe that panics after a fixed number of samples — stands in for any
+/// user observer with a latent bug.
+struct PanickingProbe {
+    samples: usize,
+    panic_at: usize,
+}
+
+impl harvsim::Probe for PanickingProbe {
+    fn on_sample(&mut self, _t: f64, _states: &DVector, _terminals: &DVector) {
+        self.samples += 1;
+        if self.samples >= self.panic_at {
+            panic!("injected fault: probe panic at sample {}", self.samples);
+        }
+    }
+}
+
+/// A panicking user probe is containable: the panic unwinds out of the
+/// session without corrupting anything durable — a checkpoint sealed before
+/// the probe was attached restores and resumes bit-identically.
+#[test]
+fn probe_panic_leaves_sealed_checkpoints_untouched() {
+    silence_injected_panics();
+    let scenario = job_scenario(3);
+
+    // Uninterrupted reference.
+    let mut reference = Simulation::from_config(scenario.clone()).start().expect("starts");
+    reference.run_to_end().expect("completes");
+    let reference = reference.report();
+
+    // Seal a mid-run checkpoint, then let a faulty probe panic on resume.
+    let mut session = Simulation::from_config(scenario).start().expect("starts");
+    session.run_until(DURATION_S / 2.0).expect("first half runs");
+    let frame = session.checkpoint().expect("mid-run frame seals");
+
+    let mut victim = Session::restore(&frame).expect("frame restores");
+    victim.add_probe(PanickingProbe { samples: 0, panic_at: 1 });
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| victim.run_to_end()));
+    let payload = outcome.expect_err("the probe panic must surface to the supervisor");
+    let message = payload
+        .downcast_ref::<String>()
+        .cloned()
+        .expect("panic payload is the probe's format string");
+    assert!(message.contains("injected fault"), "payload preserved: {message}");
+
+    // The sealed frame is unaffected: a clean restore finishes the run
+    // bit-identically to the uninterrupted reference.
+    let mut resumed = Session::restore(&frame).expect("frame still restores after the panic");
+    resumed.run_to_end().expect("resumed run completes");
+    let resumed = resumed.report();
+    assert_eq!(resumed.final_state, reference.final_state);
+    assert_eq!(resumed.engine_stats.state_space.steps, reference.engine_stats.state_space.steps);
+    assert_eq!(resumed.digital_events, reference.digital_events);
+    assert_eq!(resumed.control_events, reference.control_events);
 }
