@@ -15,6 +15,16 @@
 //! perf-smoke job gates on and ROADMAP.md tracks across PRs. With `--sweep`
 //! the record gains one row per point of a sleep-load × acceleration grid,
 //! fanned across worker threads by the batch runner.
+//!
+//! `repro serve` starts the session service's front door instead of running
+//! experiments: a line-protocol server over a crash-safe store directory,
+//! speaking on a unix socket (`--socket <path>`) or stdin/stdout
+//! (`--stdio`, the default):
+//!
+//! ```bash
+//! cargo run --release -p harvsim-bench --bin repro -- \
+//!     serve --store /tmp/harvsim-store --socket /tmp/harvsim.sock
+//! ```
 
 use harvsim_bench::{scenario1, scenario2, seconds, write_table2_json, Table2Record};
 use harvsim_core::measurement;
@@ -26,6 +36,9 @@ use harvsim_core::{
 
 fn main() -> Result<(), CoreError> {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("serve") {
+        return serve(&args[1..]);
+    }
     let long = args.iter().any(|arg| arg == "--long");
     let sweep = args.iter().any(|arg| arg == "--sweep");
     let wanted = |name: &str| {
@@ -48,6 +61,70 @@ fn main() -> Result<(), CoreError> {
         fig9(long)?;
     }
     Ok(())
+}
+
+/// `repro serve`: the session service's front door as a standalone process.
+///
+/// Flags: `--store <dir>` (required), `--socket <path>` or `--stdio`
+/// (default), `--slice <simulated-s>`, `--workers <n>`, `--capacity <n>`.
+/// The server admits, schedules, checkpoints and bills sessions over the
+/// line protocol until a `drain` command (or EOF on stdio) shuts it down;
+/// restarting over the same store directory resumes every admitted session.
+fn serve(args: &[String]) -> Result<(), CoreError> {
+    let value_of = |flag: &str| -> Option<&str> {
+        args.iter().position(|arg| arg == flag).and_then(|at| args.get(at + 1)).map(String::as_str)
+    };
+    let parse = |flag: &str| -> Result<Option<f64>, CoreError> {
+        value_of(flag)
+            .map(|raw| {
+                raw.parse::<f64>().map_err(|_| {
+                    CoreError::InvalidConfiguration(format!("{flag} expects a number, got {raw}"))
+                })
+            })
+            .transpose()
+    };
+    let store_dir = value_of("--store").ok_or_else(|| {
+        CoreError::InvalidConfiguration("serve requires --store <dir>".to_string())
+    })?;
+    let store = harvsim_core::SessionStore::open(store_dir).map_err(CoreError::Store)?;
+
+    let mut options = harvsim_core::ServerOptions::default();
+    if let Some(slice) = parse("--slice")? {
+        options.slice_s = slice;
+    }
+    if let Some(workers) = parse("--workers")? {
+        options.workers = Some(workers as usize);
+    }
+    if let Some(capacity) = parse("--capacity")? {
+        options.class_capacity = capacity as usize;
+    }
+    let server = harvsim_core::Server::start(store, options)?;
+    eprintln!(
+        "harvsim session server: store {store_dir}, {} recovered session(s)",
+        server.stats().depths.iter().sum::<u64>()
+    );
+
+    let result = match value_of("--socket") {
+        Some(path) => {
+            eprintln!("listening on unix socket {path}");
+            server.serve_unix(std::path::Path::new(path)).map_err(|err| {
+                CoreError::InvalidConfiguration(format!("socket server failed: {err}"))
+            })
+        }
+        None => {
+            eprintln!("speaking the line protocol on stdin/stdout");
+            server.serve_stdio().map_err(|err| {
+                CoreError::InvalidConfiguration(format!("stdio server failed: {err}"))
+            })
+        }
+    };
+    if !server.is_shutdown() {
+        // EOF without an explicit `drain`: drain anyway so every resident
+        // session is persisted before the process exits.
+        let _ = server.execute(harvsim_core::Command::Drain);
+    }
+    server.join();
+    result
 }
 
 /// Table I: CPU time to simulate the supercapacitor-charging curve with

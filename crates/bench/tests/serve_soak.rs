@@ -1,0 +1,268 @@
+//! The serve-soak gate: the `repro serve` binary, a real unix socket, a
+//! mixed-class batch, a SIGKILL mid-flight, and a restart over the same
+//! store directory — after which every session must finish **bit-identically**
+//! to its uninterrupted sequential run, the billing ledger must be
+//! consistent (`bill` == `status`, monotone across the kill), the offer
+//! ledger must balance, and the store directory must end clean: no `*.tmp`
+//! staging files, no orphaned frames.
+
+#![cfg(unix)]
+
+use std::os::unix::net::UnixStream;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command as ProcessCommand, Stdio};
+use std::time::{Duration, Instant};
+
+use harvsim_core::{
+    fnv1a64, Client, Command, JobClass, Response, RetryPolicy, SessionStore, SubmitSpec, WireState,
+};
+
+fn unique_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("harvsim-soak-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The mixed-class batch: one long job per class plus a fourth, each with a
+/// distinct initial voltage so swapped or resurrected frames would be
+/// caught by the digest comparison. ~3000 slices each at the server's
+/// 0.002 s slice — several wall-clock seconds of checkpointed scheduling,
+/// so the mid-flight SIGKILL provably lands before any session can finish.
+/// The server runs one worker per session: every session makes progress
+/// concurrently (EDF would otherwise starve the later batch-class job
+/// behind the earlier-deadline one until it *finished*, and a finished
+/// session rightly leaves the store before the kill).
+fn batch() -> Vec<SubmitSpec> {
+    let classes = [JobClass::Interactive, JobClass::Batch, JobClass::BestEffort, JobClass::Batch];
+    classes
+        .iter()
+        .enumerate()
+        .map(|(k, class)| {
+            let mut spec = SubmitSpec::new(format!("soak-{k}"));
+            spec.class = *class;
+            spec.deadline_s = Some(1.0 + k as f64);
+            spec.duration_s = Some(6.0);
+            spec.step_at_s = Some(2.0);
+            spec.initial_voltage = Some(2.5 + k as f64 * 1e-3);
+            spec
+        })
+        .collect()
+}
+
+fn reference_fnv(spec: &SubmitSpec) -> u64 {
+    let mut session = spec.simulation().start().expect("start reference");
+    session.run_to_end().expect("run reference");
+    let report = session.report();
+    let mut bytes = Vec::with_capacity(report.final_state.len() * 8);
+    for value in report.final_state.iter() {
+        bytes.extend_from_slice(&value.to_le_bytes());
+    }
+    fnv1a64(&bytes)
+}
+
+fn spawn_server(store: &Path, socket: &Path) -> Child {
+    ProcessCommand::new(env!("CARGO_BIN_EXE_repro"))
+        .arg("serve")
+        .arg("--store")
+        .arg(store)
+        .arg("--socket")
+        .arg(socket)
+        .args(["--slice", "0.002", "--workers", "4"])
+        .stdin(Stdio::null())
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn repro serve")
+}
+
+/// A retrying client over the server's unix socket; waits for the socket to
+/// appear first (the server binds it asynchronously after startup).
+fn socket_client(
+    socket: &Path,
+) -> Client<UnixStream, impl FnMut(&RetryPolicy) -> std::io::Result<(UnixStream, UnixStream)>> {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while !socket.exists() {
+        assert!(Instant::now() < deadline, "server never bound {socket:?}");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let socket = socket.to_path_buf();
+    Client::new(
+        move |policy: &RetryPolicy| -> std::io::Result<(UnixStream, UnixStream)> {
+            let stream = UnixStream::connect(&socket)?;
+            stream.set_read_timeout(Some(policy.deadline))?;
+            Ok((stream.try_clone()?, stream))
+        },
+        RetryPolicy {
+            attempts: 4,
+            deadline: Duration::from_secs(20),
+            backoff: Duration::from_millis(25),
+        },
+    )
+}
+
+fn status<S, F>(client: &mut Client<S, F>, id: &str) -> harvsim_core::StatusInfo
+where
+    S: std::io::Read + std::io::Write,
+    F: FnMut(&RetryPolicy) -> std::io::Result<(S, S)>,
+{
+    match client.send(&Command::Status { id: id.into() }).expect("status") {
+        Response::Status(info) => info,
+        other => panic!("status of {id} answered {other:?}"),
+    }
+}
+
+fn assert_store_clean(dir: &Path) {
+    for entry in std::fs::read_dir(dir).expect("read store dir") {
+        let name = entry.expect("entry").file_name();
+        let name = name.to_string_lossy().into_owned();
+        assert!(!name.ends_with(".tmp"), "stale staging file {name:?} survived recovery");
+        assert!(
+            name == "MANIFEST" || name.ends_with(".ckpt") || name.ends_with(".corrupt"),
+            "unexpected file {name:?} in the store directory"
+        );
+    }
+}
+
+#[test]
+fn killed_server_resumes_bit_identically_over_the_socket() {
+    let store_dir = unique_dir("store");
+    let socket1 = unique_dir("sock1").with_extension("sock");
+    let socket2 = unique_dir("sock2").with_extension("sock");
+    let specs = batch();
+    let references: Vec<u64> = specs.iter().map(reference_fnv).collect();
+
+    // Act 1: serve, admit the batch, let every session make real progress,
+    // then SIGKILL the whole process mid-flight — no drain, no warning.
+    let mut child = spawn_server(&store_dir, &socket1);
+    {
+        let mut client = socket_client(&socket1);
+        assert_eq!(client.send(&Command::Ping).expect("ping"), Response::Pong);
+        for spec in &specs {
+            match client.send(&Command::Submit(spec.clone())).expect("submit") {
+                Response::Submitted { id, .. } => assert_eq!(id, spec.id),
+                other => panic!("submit answered {other:?}"),
+            }
+        }
+        let deadline = Instant::now() + Duration::from_secs(60);
+        for spec in &specs {
+            loop {
+                let info = status(&mut client, &spec.id);
+                // A slice landed *and* was persisted once billing is booked
+                // and simulated time moved.
+                if info.time_s > 0.0 && info.billed_ns > 0 {
+                    break;
+                }
+                assert!(Instant::now() < deadline, "{} never progressed", spec.id);
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        }
+    }
+    child.kill().expect("SIGKILL the server");
+    let _ = child.wait();
+
+    // Act 2: restart over the same store. Idempotent resubmission re-admits
+    // every session from its persisted frame; everything finishes with the
+    // sequential run's exact digest and a monotone ledger.
+    let mut child = spawn_server(&store_dir, &socket2);
+    {
+        let mut client = socket_client(&socket2);
+        let mut billed_at_resume = Vec::new();
+        for spec in &specs {
+            match client.send(&Command::Submit(spec.clone())).expect("resubmit") {
+                Response::Resubmitted { id, state } => {
+                    assert_eq!(id, spec.id);
+                    assert_eq!(state, WireState::Queued, "recovered sessions re-enter the queue");
+                }
+                other => panic!(
+                    "{}: a session with persisted progress must resubmit idempotently, got \
+                     {other:?}",
+                    spec.id
+                ),
+            }
+            billed_at_resume.push(status(&mut client, &spec.id).billed_ns);
+        }
+        let deadline = Instant::now() + Duration::from_secs(180);
+        for ((spec, reference), before) in specs.iter().zip(&references).zip(&billed_at_resume) {
+            let info = loop {
+                let info = status(&mut client, &spec.id);
+                if info.state == WireState::Done {
+                    break info;
+                }
+                assert!(
+                    !matches!(info.state, WireState::Failed | WireState::Cancelled),
+                    "{} resolved wrongly: {:?}",
+                    spec.id,
+                    info.state
+                );
+                assert!(Instant::now() < deadline, "{} never finished", spec.id);
+                std::thread::sleep(Duration::from_millis(5));
+            };
+            assert!(info.recovered, "{} must be marked recovered", spec.id);
+            assert_eq!(
+                info.final_state_fnv,
+                Some(*reference),
+                "{}: the resumed run is not bit-identical to the sequential run",
+                spec.id
+            );
+            assert!(
+                info.billed_ns >= *before,
+                "{}: billing went backwards across the kill",
+                spec.id
+            );
+            match client.send(&Command::Bill { id: spec.id.clone() }).expect("bill") {
+                Response::Billed { billed_ns, .. } => assert_eq!(billed_ns, info.billed_ns),
+                other => panic!("bill answered {other:?}"),
+            }
+        }
+        match client.send(&Command::Stats).expect("stats") {
+            Response::Stats(stats) => {
+                assert_eq!(
+                    stats.admitted + stats.shed + stats.resubmitted,
+                    stats.offered,
+                    "the offer ledger must balance across the restart"
+                );
+                assert!(
+                    stats.resubmitted >= specs.len() as u64,
+                    "every recovered session resubmitted idempotently: {stats:?}"
+                );
+                assert_eq!(stats.done, specs.len() as u64);
+                assert_eq!(stats.failed, 0);
+                assert_eq!(stats.depths, [0, 0, 0]);
+            }
+            other => panic!("stats answered {other:?}"),
+        }
+        // Graceful exit: drain over the wire; the process must terminate.
+        match client.send(&Command::Drain).expect("drain") {
+            Response::Drained { checkpointed, not_started, .. } => {
+                assert_eq!((checkpointed, not_started), (0, 0), "nothing left to park");
+            }
+            other => panic!("drain answered {other:?}"),
+        }
+    }
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        match child.try_wait().expect("try_wait") {
+            Some(code) => {
+                assert!(code.success(), "drained server exited with {code:?}");
+                break;
+            }
+            None => {
+                assert!(Instant::now() < deadline, "server never exited after drain");
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        }
+    }
+
+    // The store ends empty and clean: every session resolved and left, no
+    // staging litter survived the SIGKILL, and no orphan frames remain.
+    let store = SessionStore::open(&store_dir).expect("reopen store");
+    assert!(
+        store.active_ids().is_empty(),
+        "sessions leaked into the store: {:?}",
+        store.active_ids()
+    );
+    assert_store_clean(&store_dir);
+    let _ = std::fs::remove_dir_all(&store_dir);
+    let _ = std::fs::remove_file(&socket1);
+    let _ = std::fs::remove_file(&socket2);
+}

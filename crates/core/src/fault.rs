@@ -43,10 +43,20 @@ pub enum FaultSite {
     /// [`Fault::Panic`] (a runaway/defective session) and — on its own
     /// kill schedule — [`Fault::KillService`].
     SliceBoundary,
+    /// Each command frame read from a protocol connection. Supports
+    /// [`Fault::TornWrite`] (frame truncated mid-read, as a dying client
+    /// leaves it), [`Fault::BitFlip`] (garbage bytes in flight),
+    /// [`Fault::IoError`] (mid-command disconnect) and [`Fault::Stall`]
+    /// (a slow/stalled client).
+    WireRead,
+    /// Each response frame written to a protocol connection. Supports
+    /// [`Fault::IoError`] (the reply is dropped — the client never sees it,
+    /// exercising idempotent retry) and [`Fault::Stall`].
+    WireWrite,
 }
 
 /// Number of distinct [`FaultSite`] values (array-index domain).
-const SITE_COUNT: usize = 6;
+const SITE_COUNT: usize = 8;
 
 impl FaultSite {
     fn index(self) -> usize {
@@ -57,8 +67,23 @@ impl FaultSite {
             FaultSite::StoreRead => 3,
             FaultSite::StoreRename => 4,
             FaultSite::SliceBoundary => 5,
+            FaultSite::WireRead => 6,
+            FaultSite::WireWrite => 7,
         }
     }
+
+    /// Every site, in index order (the iteration domain of
+    /// [`FaultPlan::drained`] and the bookkeeping tests).
+    pub const ALL: [FaultSite; SITE_COUNT] = [
+        FaultSite::CheckpointEncode,
+        FaultSite::CheckpointDecode,
+        FaultSite::StoreWrite,
+        FaultSite::StoreRead,
+        FaultSite::StoreRename,
+        FaultSite::SliceBoundary,
+        FaultSite::WireRead,
+        FaultSite::WireWrite,
+    ];
 }
 
 /// A concrete fault drawn from the plan at one call site.
@@ -86,6 +111,13 @@ pub enum Fault {
     /// dead, in-flight sessions are dropped, unresolved jobs report
     /// interrupted. Only the on-disk store survives.
     KillService,
+    /// The call site sleeps for `millis` before proceeding — a slow or
+    /// stalled peer. The operation itself then succeeds; what the stall
+    /// tests is the *other* side's deadline/timeout machinery.
+    Stall {
+        /// Milliseconds the site sleeps (bounded small so tests stay fast).
+        millis: u64,
+    },
 }
 
 /// Which fault kinds a site may draw (builder-facing tags).
@@ -99,6 +131,8 @@ pub enum FaultKind {
     Panic,
     /// [`Fault::IoError`].
     Io,
+    /// [`Fault::Stall`].
+    Stall,
 }
 
 /// Per-site schedule: fire every `period`-th call, at most `budget` times,
@@ -171,6 +205,10 @@ impl FaultPlan {
             FaultSite::StoreRead => vec![FaultKind::Flip, FaultKind::Io],
             FaultSite::StoreRename => vec![FaultKind::Io],
             FaultSite::SliceBoundary => vec![FaultKind::Panic],
+            FaultSite::WireRead => {
+                vec![FaultKind::Torn, FaultKind::Flip, FaultKind::Io, FaultKind::Stall]
+            }
+            FaultSite::WireWrite => vec![FaultKind::Io, FaultKind::Stall],
         };
         self.with_site_kinds(site, period, budget, &kinds)
     }
@@ -231,6 +269,7 @@ impl FaultPlan {
             FaultKind::Flip => Fault::BitFlip { offset: (h >> 8) as usize % len.max(1) },
             FaultKind::Panic => Fault::Panic,
             FaultKind::Io => Fault::IoError,
+            FaultKind::Stall => Fault::Stall { millis: 1 + (h >> 8) % 15 },
         })
     }
 
@@ -256,6 +295,43 @@ impl FaultPlan {
     /// The panic message every injected [`Fault::Panic`] uses — test panic
     /// hooks filter on it to keep torture-run output readable.
     pub const PANIC_MESSAGE: &'static str = "injected fault: panic";
+
+    /// Proves every configured fault budget was actually *spent*: `Ok(())`
+    /// when each armed site injected its full budget and the kill schedule
+    /// (if armed) fired `max_kills` times, otherwise `Err` naming every
+    /// unspent budget. Torture tests end with
+    /// `plan.drained().expect("budgets spent")` so a schedule that silently
+    /// stopped firing (periods never hit, sites never reached) fails loudly
+    /// instead of vacuously passing.
+    pub fn drained(&self) -> Result<(), String> {
+        let mut unspent = Vec::new();
+        for site in FaultSite::ALL {
+            if let Some(config) = &self.sites[site.index()] {
+                let injected = self.injected(site);
+                if injected < config.budget {
+                    unspent.push(format!("{site:?}: {injected}/{} injected", config.budget));
+                }
+            }
+        }
+        if self.max_kills > 0 && self.kills() < self.max_kills {
+            unspent.push(format!("KillService: {}/{} fired", self.kills(), self.max_kills));
+        }
+        if unspent.is_empty() {
+            Ok(())
+        } else {
+            Err(format!("fault budgets not drained: {}", unspent.join(", ")))
+        }
+    }
+}
+
+/// Sleeps out a [`Fault::Stall`] (other faults are a no-op). Returns whether
+/// the call actually stalled.
+pub fn apply_stall(fault: Fault) -> bool {
+    if let Fault::Stall { millis } = fault {
+        std::thread::sleep(std::time::Duration::from_millis(millis));
+        return true;
+    }
+    false
 }
 
 /// Flips one bit of `bytes` in place per `fault` if it is a
@@ -317,6 +393,49 @@ mod tests {
         }
         assert_eq!(kills, vec![10, 20]);
         assert_eq!(plan.kills(), 2);
+    }
+
+    #[test]
+    fn drained_reports_unspent_budgets_by_site() {
+        let plan = FaultPlan::new(5)
+            .with_site(FaultSite::WireRead, 2, 3)
+            .with_site_kinds(FaultSite::WireWrite, 3, 2, &[FaultKind::Io])
+            .with_kills(4, 1);
+        let err = plan.drained().unwrap_err();
+        assert!(err.contains("WireRead: 0/3"), "{err}");
+        assert!(err.contains("WireWrite: 0/2"), "{err}");
+        assert!(err.contains("KillService: 0/1"), "{err}");
+        // Spend everything: wire reads fire on every 2nd call, wire writes on
+        // every 3rd, the kill on the 4th slice boundary.
+        for _ in 0..8 {
+            plan.decide(FaultSite::WireRead, 32);
+            plan.decide(FaultSite::WireWrite, 32);
+            plan.decide(FaultSite::SliceBoundary, 0);
+        }
+        plan.drained().expect("all budgets spent");
+    }
+
+    #[test]
+    fn wire_sites_draw_their_own_kinds_and_stalls_sleep() {
+        let plan = FaultPlan::new(21).with_site_kinds(
+            FaultSite::WireRead,
+            1,
+            u64::MAX,
+            &[FaultKind::Stall],
+        );
+        match plan.decide(FaultSite::WireRead, 16) {
+            Some(stall @ Fault::Stall { millis }) => {
+                assert!((1..=15).contains(&millis), "stalls stay short: {millis} ms");
+                let before = std::time::Instant::now();
+                assert!(apply_stall(stall));
+                assert!(before.elapsed() >= std::time::Duration::from_millis(millis));
+            }
+            other => panic!("expected a stall, got {other:?}"),
+        }
+        assert!(!apply_stall(Fault::IoError));
+        // Distinct wire sites keep distinct ordinals.
+        assert_eq!(plan.calls(FaultSite::WireRead), 1);
+        assert_eq!(plan.calls(FaultSite::WireWrite), 0);
     }
 
     #[test]

@@ -80,7 +80,9 @@ pub mod harvester;
 pub mod measurement;
 pub mod mixed;
 pub mod probe;
+pub mod protocol;
 pub mod scenario;
+pub mod server;
 pub mod service;
 pub mod session;
 pub mod solver;
@@ -101,8 +103,16 @@ pub use mixed::{MixedSignalResult, MixedSignalSimulation, SimulationEngine};
 pub use probe::{
     DigitalEvent, EnvelopeProbe, PowerProbe, Probe, StepHistogramProbe, WaveformProbe,
 };
+pub use protocol::{
+    Client, Command, FrameReader, FrameWriter, ProtocolError, Response, RetryPolicy, ServerStats,
+    StatusInfo, SubmitSpec, WireError, WireState,
+};
 pub use scenario::{run_batch, ScenarioConfig, ScenarioResult, SweepParameter};
-pub use service::{JobOutcome, ServiceError, ServiceOptions, ServiceReport, SessionService};
+pub use server::{DrainReport, Server, ServerOptions};
+pub use service::{
+    ClassReport, JobClass, JobOutcome, JobRequest, ServiceError, ServiceOptions, ServiceReport,
+    SessionService,
+};
 pub use session::{ProbeId, Session, SessionReport, SessionStatus, Simulation};
 pub use solver::{SolveResult, SolverOptions, SolverStats, StateSpaceSolver};
 pub use store::{RecoveryReport, SessionStore, StoreError, StoreOptions};

@@ -9,13 +9,29 @@
 //! # Scheduling model
 //!
 //! Jobs are submitted as [`Simulation`] builders (a validated
-//! [`crate::ScenarioConfig`] each) and enter a FIFO run queue. Every worker
-//! thread repeatedly pops the front job, advances it by one *time slice* of
-//! simulated seconds ([`ServiceOptions::slice_s`]) via
-//! [`Session::run_until_deadline`], and pushes it back to the tail. Because
-//! requeueing is strictly FIFO, no job can be starved: between two slices of
-//! one job, every other runnable job gets exactly one slice (the fairness
-//! bound the stress test pins).
+//! [`crate::ScenarioConfig`] each) and enter a run queue. Every worker
+//! thread repeatedly pops the next runnable job, advances it by one *time
+//! slice* of simulated seconds ([`ServiceOptions::slice_s`]) via
+//! [`Session::run_until_deadline`], and pushes it back. The queue is a set
+//! of **scheduling classes** ([`JobClass`]: `interactive` > `batch` >
+//! `best-effort`) popped in strict priority order, with
+//! **earliest-deadline-first** ordering inside each class
+//! ([`JobRequest::deadline_s`]; deadline-less jobs order FIFO behind every
+//! deadline, so a single-class deadline-less batch — the [`SessionService::run`]
+//! path — degenerates to exactly the old round-robin FIFO lane and keeps its
+//! fairness bound). Cross-class starvation is bounded by **aging**: a class
+//! whose head job has been passed over [`ServiceOptions::aging_passes`]
+//! times is promoted for one pop, so even a flood of interactive work lets
+//! best-effort jobs through at a provable rate.
+//!
+//! # Admission control
+//!
+//! [`ServiceOptions::class_capacity`] bounds the per-class accept queue:
+//! jobs offered beyond a class's capacity are **shed at admission** with a
+//! typed [`ServiceError::Overloaded`] outcome — zero slices, zero billing —
+//! and counted per class, so `admitted + shed = offered` holds exactly in
+//! [`ServiceReport::classes`]. Shedding is load *control*, not failure: the
+//! report tells the caller precisely which jobs to resubmit.
 //!
 //! Preemption reuses the session facade's pause guarantee: slices stop at the
 //! first accepted step boundary at or past the slice target (or past the
@@ -73,7 +89,7 @@
 //! `run_with_store` over the same store picks the batch back up.
 
 use std::any::Any;
-use std::collections::{HashSet, VecDeque};
+use std::collections::{BTreeMap, HashSet};
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
@@ -82,6 +98,176 @@ use crate::fault::{Fault, FaultPlan, FaultSite};
 use crate::session::{Session, SessionReport, Simulation};
 use crate::store::SessionStore;
 use crate::CoreError;
+
+/// A job's scheduling class. Classes are popped in strict priority order —
+/// `Interactive` before `Batch` before `BestEffort` — with
+/// [`ServiceOptions::aging_passes`] bounding how long a lower class can be
+/// passed over (starvation-proof aging). Within a class, jobs order
+/// earliest-deadline-first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum JobClass {
+    /// Latency-sensitive work (probe reads, short interactive sessions):
+    /// always scheduled first.
+    Interactive,
+    /// The default class for ordinary simulation jobs.
+    Batch,
+    /// Scavenger work that runs when nothing better is queued (subject to
+    /// the aging bound).
+    BestEffort,
+}
+
+impl JobClass {
+    /// Number of distinct classes (array-index domain for the ledgers).
+    pub const COUNT: usize = 3;
+
+    /// Every class, in priority order.
+    pub const ALL: [JobClass; JobClass::COUNT] =
+        [JobClass::Interactive, JobClass::Batch, JobClass::BestEffort];
+
+    /// Stable index in priority order (0 = highest priority).
+    pub fn index(self) -> usize {
+        match self {
+            JobClass::Interactive => 0,
+            JobClass::Batch => 1,
+            JobClass::BestEffort => 2,
+        }
+    }
+
+    /// The wire-protocol spelling of the class.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            JobClass::Interactive => "interactive",
+            JobClass::Batch => "batch",
+            JobClass::BestEffort => "best-effort",
+        }
+    }
+
+    /// Parses the wire spelling ([`JobClass::as_str`]).
+    pub fn parse(s: &str) -> Option<JobClass> {
+        match s {
+            "interactive" => Some(JobClass::Interactive),
+            "batch" => Some(JobClass::Batch),
+            "best-effort" => Some(JobClass::BestEffort),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for JobClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One job offered to [`SessionService::run_jobs`]: the simulation plus its
+/// scheduling class and optional deadline.
+#[derive(Debug)]
+pub struct JobRequest {
+    /// The simulation to schedule.
+    pub simulation: Simulation,
+    /// Scheduling class (default [`JobClass::Batch`]).
+    pub class: JobClass,
+    /// Earliest-deadline-first key within the class, in seconds (any
+    /// non-negative finite scale the caller likes — only the ordering
+    /// matters). `None` orders FIFO behind every deadline-carrying job of
+    /// the same class.
+    pub deadline_s: Option<f64>,
+}
+
+impl JobRequest {
+    /// A batch-class, deadline-less request (the [`SessionService::run`]
+    /// default).
+    pub fn new(simulation: Simulation) -> Self {
+        JobRequest { simulation, class: JobClass::Batch, deadline_s: None }
+    }
+
+    /// Sets the scheduling class.
+    pub fn class(mut self, class: JobClass) -> Self {
+        self.class = class;
+        self
+    }
+
+    /// Sets the EDF deadline key (seconds; non-negative and finite).
+    pub fn deadline_s(mut self, deadline_s: f64) -> Self {
+        self.deadline_s = Some(deadline_s);
+        self
+    }
+}
+
+/// Maps an optional deadline to a totally-ordered `u64` key: non-negative
+/// finite deadlines order by value (IEEE-754 bit order), `None` sorts after
+/// every real deadline. Ties order FIFO by push sequence.
+fn deadline_key(deadline_s: Option<f64>) -> u64 {
+    match deadline_s {
+        // Valid deadlines are non-negative finite, whose bit patterns order
+        // like the values; MAX is reserved for "no deadline".
+        Some(d) => d.to_bits().min(u64::MAX - 1),
+        None => u64::MAX,
+    }
+}
+
+/// The class-aware run queue shared by the batch scheduler and the front-door
+/// server: strict priority across classes, earliest-deadline-first (FIFO on
+/// ties) within a class, and aging so no class starves. Not thread-safe —
+/// callers hold their scheduler lock.
+#[derive(Debug)]
+pub(crate) struct ClassQueues<T> {
+    queues: [BTreeMap<(u64, u64), T>; JobClass::COUNT],
+    next_seq: u64,
+    /// Consecutive pops in which a non-empty class was passed over.
+    skips: [u64; JobClass::COUNT],
+    aging_passes: u64,
+}
+
+impl<T> ClassQueues<T> {
+    pub(crate) fn new(aging_passes: u64) -> Self {
+        ClassQueues {
+            queues: Default::default(),
+            next_seq: 0,
+            skips: [0; JobClass::COUNT],
+            aging_passes,
+        }
+    }
+
+    /// Enqueues `item` under `class` with the given deadline.
+    pub(crate) fn push(&mut self, class: JobClass, deadline_s: Option<f64>, item: T) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.queues[class.index()].insert((deadline_key(deadline_s), seq), item);
+    }
+
+    /// Jobs currently queued under `class`.
+    pub(crate) fn depth(&self, class: JobClass) -> usize {
+        self.queues[class.index()].len()
+    }
+
+    /// Pops the next runnable job: the starved-past-the-aging-bound class
+    /// with the most skips if one exists, else the highest-priority
+    /// non-empty class; within the class, the earliest deadline (FIFO on
+    /// ties). Every other non-empty class's skip counter ages by one.
+    pub(crate) fn pop(&mut self) -> Option<(JobClass, T)> {
+        let chosen = if self.aging_passes > 0 {
+            JobClass::ALL
+                .into_iter()
+                .filter(|c| !self.queues[c.index()].is_empty())
+                .filter(|c| self.skips[c.index()] >= self.aging_passes)
+                .max_by_key(|c| self.skips[c.index()])
+        } else {
+            None
+        };
+        let class = chosen
+            .or_else(|| JobClass::ALL.into_iter().find(|c| !self.queues[c.index()].is_empty()))?;
+        for other in JobClass::ALL {
+            if other != class && !self.queues[other.index()].is_empty() {
+                self.skips[other.index()] += 1;
+            }
+        }
+        self.skips[class.index()] = 0;
+        let key = *self.queues[class.index()].keys().next().expect("non-empty class queue");
+        let item = self.queues[class.index()].remove(&key).expect("key just observed");
+        Some((class, item))
+    }
+}
 
 /// Tuning knobs for a [`SessionService`].
 #[derive(Debug, Clone)]
@@ -109,6 +295,14 @@ pub struct ServiceOptions {
     /// and checkpoint encode/decode (store I/O sites are armed on the store
     /// itself via [`SessionStore::set_fault_plan`]). `None` injects nothing.
     pub fault_plan: Option<Arc<FaultPlan>>,
+    /// Bounded per-class accept queue: jobs offered beyond this many
+    /// admitted-and-unfinished jobs in their class are shed at admission
+    /// with a typed [`ServiceError::Overloaded`]. `None` admits everything.
+    pub class_capacity: Option<usize>,
+    /// Starvation bound for the class scheduler: a non-empty class passed
+    /// over this many consecutive pops is promoted for one pop. `0` means
+    /// strict priority (lower classes may starve under sustained load).
+    pub aging_passes: u64,
 }
 
 impl Default for ServiceOptions {
@@ -119,6 +313,8 @@ impl Default for ServiceOptions {
             resident_budget_bytes: None,
             slice_timeout: None,
             fault_plan: None,
+            class_capacity: None,
+            aging_passes: 8,
         }
     }
 }
@@ -134,6 +330,11 @@ impl ServiceOptions {
         if self.workers == Some(0) {
             return Err(CoreError::InvalidConfiguration(
                 "service worker count must be at least 1".into(),
+            ));
+        }
+        if self.class_capacity == Some(0) {
+            return Err(CoreError::InvalidConfiguration(
+                "class capacity must admit at least one job (use None for unbounded)".into(),
             ));
         }
         Ok(())
@@ -165,6 +366,17 @@ pub enum ServiceError {
     /// a [`SessionStore`], a later [`SessionService::run_with_store`]
     /// resumes the job from its last persisted checkpoint.
     Interrupted,
+    /// The job was shed at admission: its class's accept queue was already
+    /// at capacity ([`ServiceOptions::class_capacity`]). The job consumed
+    /// zero slices and zero billing — resubmit it when load drops.
+    Overloaded {
+        /// The class whose queue was full.
+        class: JobClass,
+        /// Queue depth observed at the admission attempt.
+        depth: usize,
+        /// The configured per-class capacity.
+        capacity: usize,
+    },
 }
 
 impl std::fmt::Display for ServiceError {
@@ -176,6 +388,13 @@ impl std::fmt::Display for ServiceError {
             }
             ServiceError::Interrupted => {
                 write!(f, "service was interrupted before the job resolved")
+            }
+            ServiceError::Overloaded { class, depth, capacity } => {
+                write!(
+                    f,
+                    "service overloaded: class `{class}` queue at depth {depth} of capacity \
+                     {capacity}; job shed at admission"
+                )
             }
         }
     }
@@ -205,6 +424,8 @@ pub struct JobOutcome {
     /// The job's session id: the label, or `job-<index>` when unlabelled.
     /// Keys the job's entry in a [`SessionStore`].
     pub id: String,
+    /// The job's scheduling class.
+    pub class: JobClass,
     /// The finished session's report, or the typed reason it did not finish.
     pub result: Result<SessionReport, ServiceError>,
     /// Engine wall-clock billed to this job, accumulated slice by slice.
@@ -214,6 +435,14 @@ pub struct JobOutcome {
     pub billed_engine_time: Duration,
     /// Scheduling slices the job received.
     pub slices: usize,
+    /// Wall-clock time the job spent parked in the run queue, summed across
+    /// its waits (push-to-pop). The per-class sums in
+    /// [`ServiceReport::classes`] balance against these exactly.
+    pub queue_latency: Duration,
+    /// Global pop ordinal of the job's first slice (0-based), `None` if it
+    /// was never scheduled. The aging test pins the starvation bound with
+    /// this.
+    pub first_scheduled_ordinal: Option<u64>,
     /// Times the job was evicted to checkpoint bytes under the memory budget.
     pub evictions: usize,
     /// Times the job was restored from checkpoint bytes (once per eviction,
@@ -232,12 +461,38 @@ pub struct JobOutcome {
     pub last_checkpoint: Option<Vec<u8>>,
 }
 
+/// Per-class accounting ledger. The admission identity
+/// `admitted + shed == offered` and the balances
+/// `billed == Σ outcome.billed_engine_time` /
+/// `queue_latency == Σ outcome.queue_latency` over the class's outcomes hold
+/// exactly (pinned by the class-scheduling suite).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClassReport {
+    /// Jobs offered to this class (admitted + shed).
+    pub offered: usize,
+    /// Jobs admitted into the class queue.
+    pub admitted: usize,
+    /// Jobs shed at admission with [`ServiceError::Overloaded`].
+    pub shed: usize,
+    /// Admitted jobs that finished with a report.
+    pub finished: usize,
+    /// Engine time billed to this class's jobs.
+    pub billed: Duration,
+    /// Wall-clock queue latency accumulated by this class's jobs.
+    pub queue_latency: Duration,
+}
+
 /// Aggregate result of a [`SessionService::run`] /
 /// [`SessionService::run_with_store`] call.
 #[derive(Debug)]
 pub struct ServiceReport {
     /// Per-job outcomes, in submission order.
     pub outcomes: Vec<JobOutcome>,
+    /// Per-class ledgers, indexed by [`JobClass::index`].
+    pub classes: [ClassReport; JobClass::COUNT],
+    /// Jobs shed at admission across all classes (load control, not
+    /// failure): `admitted + shed == offered` per class.
+    pub shed: usize,
     /// Sum of the per-job billed engine times.
     pub total_billed: Duration,
     /// Total evictions across all jobs.
@@ -277,8 +532,12 @@ struct JobSlot {
     parked: Option<Parked>,
     id: String,
     label: Option<String>,
+    class: JobClass,
+    deadline_s: Option<f64>,
     billed: Duration,
     slices: usize,
+    queue_latency: Duration,
+    first_pop_ordinal: Option<u64>,
     evictions: usize,
     restores: usize,
     recovered: bool,
@@ -289,11 +548,20 @@ struct JobSlot {
     done: Option<Result<SessionReport, ServiceError>>,
 }
 
+/// A run-queue entry: the job's slot index plus its push timestamp (the
+/// queue-latency ledger's unit of account).
+struct QueueToken {
+    index: usize,
+    enqueued_at: Instant,
+}
+
 struct SchedulerState {
-    run_queue: VecDeque<usize>,
+    run_queue: ClassQueues<QueueToken>,
     jobs: Vec<JobSlot>,
     /// Jobs not yet finished or failed — the workers' exit condition.
     unfinished: usize,
+    /// Global pop counter, stamping each job's first scheduling.
+    pops: u64,
     /// A (fault-injected) service kill: workers stop dead, in-flight slices
     /// are discarded, unresolved jobs report interrupted.
     killed: bool,
@@ -396,15 +664,29 @@ impl SessionService {
     /// Schedules `jobs` to completion across the worker pool and reports
     /// per-job outcomes plus the scheduler's own accounting. Job failures —
     /// including escaped panics, which are quarantined — are per-job
-    /// ([`JobOutcome::result`]), never a panic or abort of the run.
+    /// ([`JobOutcome::result`]), never a panic or abort of the run. All jobs
+    /// run as deadline-less [`JobClass::Batch`] (the single-class FIFO lane);
+    /// use [`SessionService::run_jobs`] for classes and deadlines.
     pub fn run(&self, jobs: Vec<Simulation>) -> ServiceReport {
+        self.run_jobs(jobs.into_iter().map(JobRequest::new).collect())
+    }
+
+    /// Like [`SessionService::run`], but with per-job scheduling classes and
+    /// EDF deadlines ([`JobRequest`]), admission control
+    /// ([`ServiceOptions::class_capacity`]) and per-class ledgers in the
+    /// report.
+    pub fn run_jobs(&self, jobs: Vec<JobRequest>) -> ServiceReport {
         let slots: Vec<JobSlot> = jobs
             .into_iter()
             .enumerate()
-            .map(|(index, simulation)| {
-                let label = simulation.config().label.clone();
+            .map(|(index, request)| {
+                let label = request.simulation.config().label.clone();
                 let id = label.clone().unwrap_or_else(|| format!("job-{index}"));
-                new_slot(Parked::Fresh(Box::new(simulation)), id, label, false)
+                let mut slot =
+                    new_slot(Parked::Fresh(Box::new(request.simulation)), id, label, false);
+                slot.class = request.class;
+                slot.deadline_s = request.deadline_s;
+                slot
             })
             .collect();
         self.run_inner(slots, None, 0)
@@ -429,10 +711,24 @@ impl SessionService {
         jobs: Vec<Simulation>,
         store: &SessionStore,
     ) -> Result<ServiceReport, CoreError> {
+        self.run_jobs_with_store(jobs.into_iter().map(JobRequest::new).collect(), store)
+    }
+
+    /// [`SessionService::run_with_store`] with per-job classes and deadlines.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidConfiguration`] if two jobs share a session id.
+    pub fn run_jobs_with_store(
+        &self,
+        jobs: Vec<JobRequest>,
+        store: &SessionStore,
+    ) -> Result<ServiceReport, CoreError> {
         let mut seen: HashSet<String> = HashSet::with_capacity(jobs.len());
         let mut recovery_discarded = 0usize;
         let mut slots: Vec<JobSlot> = Vec::with_capacity(jobs.len());
-        for (index, simulation) in jobs.into_iter().enumerate() {
+        for (index, request) in jobs.into_iter().enumerate() {
+            let JobRequest { simulation, class, deadline_s } = request;
             let label = simulation.config().label.clone();
             let id = label.clone().unwrap_or_else(|| format!("job-{index}"));
             if !seen.insert(id.clone()) {
@@ -440,7 +736,7 @@ impl SessionService {
                     "duplicate session id `{id}` in batch: store-backed runs need unique ids"
                 )));
             }
-            let slot = if store.is_active(&id) {
+            let mut slot = if store.is_active(&id) {
                 match store.get(&id) {
                     Ok(bytes) => {
                         let frame = Arc::new(bytes);
@@ -459,6 +755,8 @@ impl SessionService {
             } else {
                 new_slot(Parked::Fresh(Box::new(simulation)), id, label, false)
             };
+            slot.class = class;
+            slot.deadline_s = deadline_s;
             slots.push(slot);
         }
         Ok(self.run_inner(slots, Some(store), recovery_discarded))
@@ -466,15 +764,46 @@ impl SessionService {
 
     fn run_inner(
         &self,
-        slots: Vec<JobSlot>,
+        mut slots: Vec<JobSlot>,
         store: Option<&SessionStore>,
         recovery_discarded: usize,
     ) -> ServiceReport {
-        let job_count = slots.len();
+        // Admission pass, in submission order: validate the deadline, check
+        // the class queue depth, then enqueue or shed. Shed jobs resolve
+        // right here — zero slices, zero billing.
+        let mut run_queue = ClassQueues::new(self.options.aging_passes);
+        let mut admitted = 0usize;
+        for (index, slot) in slots.iter_mut().enumerate() {
+            if let Some(deadline) = slot.deadline_s {
+                if !(deadline >= 0.0) || !deadline.is_finite() {
+                    slot.done = Some(Err(ServiceError::Session(CoreError::InvalidConfiguration(
+                        format!("job deadline must be non-negative and finite, got {deadline}"),
+                    ))));
+                    continue;
+                }
+            }
+            // Nothing pops during admission, so the queue depth is exactly
+            // the class's admitted-so-far count.
+            let depth = run_queue.depth(slot.class);
+            if let Some(capacity) = self.options.class_capacity {
+                if depth >= capacity {
+                    slot.done =
+                        Some(Err(ServiceError::Overloaded { class: slot.class, depth, capacity }));
+                    continue;
+                }
+            }
+            admitted += 1;
+            run_queue.push(
+                slot.class,
+                slot.deadline_s,
+                QueueToken { index, enqueued_at: Instant::now() },
+            );
+        }
         let shared = Shared {
             state: Mutex::new(SchedulerState {
-                run_queue: (0..job_count).collect(),
-                unfinished: job_count,
+                run_queue,
+                unfinished: admitted,
+                pops: 0,
                 killed: false,
                 quarantined: 0,
                 jobs: slots,
@@ -485,8 +814,8 @@ impl SessionService {
             wake: Condvar::new(),
         };
         let default_workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-        let workers = self.options.workers.unwrap_or(default_workers).min(job_count.max(1)).max(1);
-        if job_count > 0 {
+        let workers = self.options.workers.unwrap_or(default_workers).min(admitted.max(1)).max(1);
+        if admitted > 0 {
             std::thread::scope(|scope| {
                 for _ in 0..workers {
                     scope.spawn(|| self.worker(&shared, store));
@@ -497,6 +826,8 @@ impl SessionService {
         let interrupted = state.killed;
         let mut recovered_jobs = 0usize;
         let mut degraded_writes = 0usize;
+        let mut classes = [ClassReport::default(); JobClass::COUNT];
+        let mut shed = 0usize;
         let outcomes: Vec<JobOutcome> = state
             .jobs
             .into_iter()
@@ -506,6 +837,17 @@ impl SessionService {
                 let result = slot.done.unwrap_or(Err(ServiceError::Interrupted));
                 recovered_jobs += usize::from(slot.recovered);
                 degraded_writes += slot.degraded_writes;
+                let ledger = &mut classes[slot.class.index()];
+                ledger.offered += 1;
+                if matches!(result, Err(ServiceError::Overloaded { .. })) {
+                    ledger.shed += 1;
+                    shed += 1;
+                } else {
+                    ledger.admitted += 1;
+                }
+                ledger.finished += usize::from(result.is_ok());
+                ledger.billed += slot.billed;
+                ledger.queue_latency += slot.queue_latency;
                 let last_checkpoint = if result.is_err() {
                     slot.last_frame.map(|frame| frame.as_ref().clone())
                 } else {
@@ -514,9 +856,12 @@ impl SessionService {
                 JobOutcome {
                     label: slot.label,
                     id: slot.id,
+                    class: slot.class,
                     result,
                     billed_engine_time: slot.billed,
                     slices: slot.slices,
+                    queue_latency: slot.queue_latency,
+                    first_scheduled_ordinal: slot.first_pop_ordinal,
                     evictions: slot.evictions,
                     restores: slot.restores,
                     recovered: slot.recovered,
@@ -528,6 +873,8 @@ impl SessionService {
         let total_billed = outcomes.iter().map(|o| o.billed_engine_time).sum();
         ServiceReport {
             outcomes,
+            classes,
+            shed,
             total_billed,
             evictions: state.total_evictions,
             peak_resident_bytes: state.peak_resident_bytes,
@@ -566,8 +913,14 @@ impl SessionService {
             if state.killed || state.unfinished == 0 {
                 return None;
             }
-            if let Some(index) = state.run_queue.pop_front() {
+            if let Some((_, token)) = state.run_queue.pop() {
+                let QueueToken { index, enqueued_at } = token;
+                let ordinal = state.pops;
+                state.pops += 1;
+                let waited = enqueued_at.elapsed();
                 let slot = &mut state.jobs[index];
+                slot.queue_latency += waited;
+                slot.first_pop_ordinal.get_or_insert(ordinal);
                 let parked = slot
                     .parked
                     .take()
@@ -729,7 +1082,15 @@ impl SessionService {
                     state.resident_bytes += footprint;
                     state.peak_resident_bytes = state.peak_resident_bytes.max(state.resident_bytes);
                 }
-                state.run_queue.push_back(index);
+                let (class, deadline_s) = {
+                    let slot = &state.jobs[index];
+                    (slot.class, slot.deadline_s)
+                };
+                state.run_queue.push(
+                    class,
+                    deadline_s,
+                    QueueToken { index, enqueued_at: Instant::now() },
+                );
                 shared.wake.notify_one();
             }
         }
@@ -758,8 +1119,12 @@ fn new_slot(parked: Parked, id: String, label: Option<String>, recovered: bool) 
         parked: Some(parked),
         id,
         label,
+        class: JobClass::Batch,
+        deadline_s: None,
         billed: Duration::ZERO,
         slices: 0,
+        queue_latency: Duration::ZERO,
+        first_pop_ordinal: None,
         evictions: 0,
         restores: 0,
         recovered,

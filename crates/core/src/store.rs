@@ -25,11 +25,16 @@
 //! the store rebuild it by adopting frames that pass their own internal
 //! seals (the service's label check is the backstop there).
 //!
-//! Write ordering: a put renames the frame into place *before* updating the
-//! manifest (a crash in between discards the newest slice, falling back to
-//! the previous manifest-consistent state or a fresh start); completion marks
-//! the record *done* in the manifest *before* unlinking the frame (a crash in
-//! between is swept as done-with-leftover-frame).
+//! Write ordering: a put first preserves the currently-committed frame as a
+//! `*.ckpt.prev` hard link (overwrites only), then renames the new frame
+//! into place, then updates the manifest, then drops the link. A crash
+//! between the rename and the manifest update therefore discards only the
+//! newest slice: recovery sees the disagreement on the final name, finds the
+//! preserved previous frame still matching the manifest record, and promotes
+//! it back — the session falls back one slice instead of restarting fresh
+//! ([`RecoveryReport::restored_previous`]). Completion marks the record
+//! *done* in the manifest *before* unlinking the frame (a crash in between
+//! is swept as done-with-leftover-frame).
 //!
 //! # Degradation & fault injection
 //!
@@ -68,6 +73,11 @@ const TMP_SUFFIX: &str = ".tmp";
 /// Suffix frames are quarantined under when recovery rejects them. Kept on
 /// disk for forensics; never read back as a frame.
 const CORRUPT_SUFFIX: &str = ".corrupt";
+
+/// Suffix of the preserved previous frame during an overwriting put: the
+/// fallback recovery promotes back when a crash lands between the frame
+/// rename and the manifest update. Swept at open otherwise.
+const PREV_SUFFIX: &str = ".prev";
 
 /// A typed store failure. `Clone`/`PartialEq` so it can ride inside
 /// [`crate::CoreError`]; raw `std::io::Error` details are carried as strings.
@@ -176,6 +186,10 @@ pub struct RecoveryReport {
     /// Whether the manifest was missing/corrupt and rebuilt by adopting
     /// internally-sealed frames.
     pub manifest_rebuilt: bool,
+    /// Sessions whose newest frame was lost to a crash mid-put but whose
+    /// preserved previous frame still matched the manifest and was promoted
+    /// back (the session resumes one slice behind instead of fresh).
+    pub restored_previous: usize,
 }
 
 /// Lifecycle state of a manifest record.
@@ -270,20 +284,46 @@ impl SessionStore {
     pub fn put(&self, id: &str, frame: &[u8]) -> Result<(), StoreError> {
         validate_id(id)?;
         let path = self.frame_path(id);
-        self.with_retries(|| self.write_file_atomic(&path, frame))?;
+        let prev = prev_path(&path);
         let entry = ManifestEntry {
             state: EntryState::Active,
             frame_len: frame.len() as u64,
             frame_checksum: fnv1a64(frame),
         };
         let mut entries = self.lock_entries();
-        entries.insert(id.to_string(), entry);
+        // Preserve the committed frame across the rename-vs-manifest crash
+        // window (overwrites only): a hard link is free and atomic; recovery
+        // promotes it back if the manifest still points at it.
+        let _ = fs::remove_file(&prev);
+        let preserved = entries.get(id).is_some_and(|e| e.state == EntryState::Active)
+            && (fs::hard_link(&path, &prev).is_ok() || fs::copy(&path, &prev).is_ok());
+        if let Err(err) = self.with_retries(|| self.write_file_atomic(&path, frame)) {
+            let _ = fs::remove_file(&prev);
+            return Err(err);
+        }
+        let previous_entry = entries.insert(id.to_string(), entry);
         let result = self.with_retries(|| self.persist_manifest(&entries));
-        if result.is_err() {
-            // The frame renamed into place but the manifest didn't: exactly
-            // the disagreement recovery discards. Drop the record so the
-            // in-memory view matches what a restart would conclude.
-            entries.remove(id);
+        match &result {
+            Ok(()) => {
+                let _ = fs::remove_file(&prev);
+            }
+            Err(_) => match previous_entry {
+                Some(old) if preserved => {
+                    // Manifest still records the previous frame: roll the
+                    // file back so disk, memory and a restart all agree on
+                    // that frame.
+                    let _ = fs::rename(&prev, &path);
+                    entries.insert(id.to_string(), old);
+                }
+                _ => {
+                    // No previous frame to fall back to: drop the record
+                    // (and the now-unaccounted frame) so the in-memory view
+                    // matches what a restart would conclude.
+                    entries.remove(id);
+                    let _ = fs::remove_file(&prev);
+                    let _ = fs::remove_file(&path);
+                }
+            },
         }
         result
     }
@@ -291,6 +331,7 @@ impl SessionStore {
     /// Loads the active frame stored under `id`, re-validating it end to end
     /// (manifest length/checksum, then the sealed-frame checks).
     pub fn get(&self, id: &str) -> Result<Vec<u8>, StoreError> {
+        validate_id(id)?;
         let entry = match self.lock_entries().get(id) {
             Some(entry) if entry.state == EntryState::Active => entry.clone(),
             _ => return Err(StoreError::UnknownSession { id: id.to_string() }),
@@ -319,6 +360,7 @@ impl SessionStore {
     /// swept at the next open). After this, the session is no longer
     /// recoverable — call it only once the job's result is delivered.
     pub fn remove(&self, id: &str) -> Result<(), StoreError> {
+        validate_id(id)?;
         let mut entries = self.lock_entries();
         let Some(entry) = entries.get_mut(id) else {
             return Err(StoreError::UnknownSession { id: id.to_string() });
@@ -489,6 +531,7 @@ impl SessionStore {
         // 1. Sweep atomic-write temporaries: they are, by construction, the
         //    only files a crash can leave half-written.
         let mut frames_on_disk: Vec<String> = Vec::new();
+        let mut prev_files: Vec<PathBuf> = Vec::new();
         let listing = fs::read_dir(&self.dir).map_err(|err| io_error("scan", &self.dir, &err))?;
         for entry in listing {
             let entry = entry.map_err(|err| io_error("scan", &self.dir, &err))?;
@@ -497,6 +540,11 @@ impl SessionStore {
                 if fs::remove_file(entry.path()).is_ok() {
                     report.swept_temp_files += 1;
                 }
+            } else if name.ends_with(PREV_SUFFIX) {
+                // Preserved previous frames: only authoritative when the
+                // manifest still describes them — checked per record below,
+                // leftovers swept after the scan.
+                prev_files.push(entry.path());
             } else if let Some(stem) = name.strip_suffix(&format!(".{FRAME_EXT}")) {
                 if let Some(id) = decode_id(stem) {
                     frames_on_disk.push(id);
@@ -539,6 +587,15 @@ impl SessionStore {
                                     }
                                 }
                             }
+                            Ok(_) if self.restore_previous(&path, &entry) => {
+                                // Crash mid-put: the final name held the
+                                // torn newer frame, the preserved previous
+                                // one still matches the manifest. Promoted
+                                // back; the session resumes one slice behind.
+                                reconciled.insert(id.clone(), entry);
+                                report.recovered.push(id);
+                                report.restored_previous += 1;
+                            }
                             Ok(bytes) => {
                                 self.quarantine_frame(&path);
                                 let detail = format!(
@@ -553,6 +610,11 @@ impl SessionStore {
                                     id.clone(),
                                     StoreError::ManifestDisagreement { id, detail },
                                 ));
+                            }
+                            Err(_) if self.restore_previous(&path, &entry) => {
+                                reconciled.insert(id.clone(), entry);
+                                report.recovered.push(id);
+                                report.restored_previous += 1;
                             }
                             Err(err) => {
                                 self.quarantine_frame(&path);
@@ -624,11 +686,34 @@ impl SessionStore {
             }
         }
 
+        // Leftover preserved-previous frames (their put committed, or their
+        // record resolved above): never authoritative on their own — sweep.
+        for prev in prev_files {
+            if fs::remove_file(&prev).is_ok() {
+                report.swept_temp_files += 1;
+            }
+        }
+
         let persist = self.with_retries(|| self.persist_manifest(&reconciled));
         *self.lock_entries() = reconciled;
         persist?;
         report.recovered.sort();
         Ok(report)
+    }
+
+    /// Attempts to promote the preserved previous frame back into place when
+    /// the manifest record still describes it exactly — the crash-mid-put
+    /// fallback (see the module docs on write ordering). On success the
+    /// final frame name holds the previous, manifest-consistent bytes.
+    fn restore_previous(&self, path: &Path, entry: &ManifestEntry) -> bool {
+        let prev = prev_path(path);
+        let Ok(bytes) = self.read_file(&prev) else {
+            return false;
+        };
+        bytes.len() as u64 == entry.frame_len
+            && fnv1a64(&bytes) == entry.frame_checksum
+            && open_frame(&bytes).is_ok()
+            && fs::rename(&prev, path).is_ok()
     }
 
     /// Moves a rejected frame aside (best-effort) so it is never read as a
@@ -644,6 +729,12 @@ fn tmp_path(path: &Path) -> PathBuf {
     let mut tmp = path.as_os_str().to_owned();
     tmp.push(TMP_SUFFIX);
     PathBuf::from(tmp)
+}
+
+fn prev_path(path: &Path) -> PathBuf {
+    let mut prev = path.as_os_str().to_owned();
+    prev.push(PREV_SUFFIX);
+    PathBuf::from(prev)
 }
 
 fn io_error(op: &'static str, path: &Path, err: &std::io::Error) -> StoreError {
@@ -666,6 +757,17 @@ fn validate_id(id: &str) -> Result<(), StoreError> {
         return Err(StoreError::InvalidId {
             id: id.into(),
             reason: "id longer than 512 bytes".into(),
+        });
+    }
+    // Worst case every byte percent-encodes to three; the stem plus the
+    // frame extension must stay under common 255-byte file-name limits, so
+    // oversized ids fail typed here instead of as an opaque I/O error at
+    // the first write.
+    let encoded = encode_id(id).len();
+    if encoded > 240 {
+        return Err(StoreError::InvalidId {
+            id: id.into(),
+            reason: format!("id encodes to a {encoded}-byte file name (limit 240)"),
         });
     }
     Ok(())
@@ -693,6 +795,11 @@ fn encode_id(id: &str) -> String {
 
 /// Inverse of [`encode_id`]; `None` for stems that are not valid encodings
 /// (foreign files in the store directory are simply ignored by the scan).
+/// Only **canonical** stems decode: re-encoding the decoded id must
+/// reproduce the stem byte for byte, so aliases like `%2E%2E` for `..`
+/// (whose canonical stem is `%2E.`) or lowercase hex are rejected — two
+/// distinct on-disk stems can never claim the same session id, and ids the
+/// validator refuses (empty, oversized) have no decodable stem at all.
 fn decode_id(stem: &str) -> Option<String> {
     let bytes = stem.as_bytes();
     let mut out = Vec::with_capacity(bytes.len());
@@ -707,7 +814,11 @@ fn decode_id(stem: &str) -> Option<String> {
             i += 1;
         }
     }
-    String::from_utf8(out).ok()
+    let id = String::from_utf8(out).ok()?;
+    if validate_id(&id).is_err() || encode_id(&id) != stem {
+        return None;
+    }
+    Some(id)
 }
 
 #[cfg(test)]

@@ -12,7 +12,11 @@
 //! 4. run the same batch **store-backed** and kill the service mid-run with
 //!    an injected fault, then reopen the [`harvsim::SessionStore`] and show
 //!    the restarted service recovering the interrupted jobs from their last
-//!    sealed frames — finishing bit-identically, with billing conserved.
+//!    sealed frames — finishing bit-identically, with billing conserved;
+//! 5. open the **front door**: a [`harvsim::Server`] with a deliberately
+//!    tiny per-class admission bound, an overload that sheds typed, the
+//!    per-class queue-latency ledgers, and a graceful drain that parks
+//!    every resident session durably in the store.
 //!
 //! ```bash
 //! cargo run --release --example service_demo
@@ -21,8 +25,8 @@
 use std::sync::Arc;
 
 use harvsim::{
-    FaultPlan, ScenarioConfig, ServiceOptions, Session, SessionService, SessionStore, Simulation,
-    WaveformProbe,
+    Command, FaultPlan, JobClass, Response, ScenarioConfig, Server, ServerOptions, ServiceOptions,
+    Session, SessionService, SessionStore, Simulation, SubmitSpec, WaveformProbe, WireError,
 };
 
 fn scenario(label: &str, v0: f64) -> ScenarioConfig {
@@ -191,5 +195,84 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         store.active_ids().len(),
     );
     std::fs::remove_dir_all(&store_dir).ok();
+
+    // -- 5. the front door: overload shedding, classes, graceful drain ------
+    println!("\n== front door: admission control, deadline classes, drain ==");
+    let door_dir = std::env::temp_dir().join("harvsim_service_demo_door");
+    std::fs::remove_dir_all(&door_dir).ok();
+    let server = Server::start(
+        SessionStore::open(&door_dir)?,
+        ServerOptions {
+            workers: Some(2),
+            slice_s: 0.04,
+            class_capacity: 2, // deliberately tiny: the overload is the point
+            ..Default::default()
+        },
+    )?;
+    // Five offers against a 2-per-class bound: the third interactive one is
+    // shed typed at the door — nothing about it is retained or billed.
+    let classes = [
+        JobClass::Interactive,
+        JobClass::Interactive,
+        JobClass::Interactive,
+        JobClass::Batch,
+        JobClass::BestEffort,
+    ];
+    for (k, class) in classes.iter().enumerate() {
+        let mut spec = SubmitSpec::new(format!("door-{k}"));
+        spec.class = *class;
+        spec.deadline_s = Some(0.5 + k as f64 * 0.25);
+        // Long enough (in wall-clock terms) that every admitted session is
+        // still resident when the later offers arrive and the drain runs —
+        // the drain parks them; nobody waits for them to finish.
+        spec.duration_s = Some(30.0);
+        spec.initial_voltage = Some(2.5 + k as f64 * 0.01);
+        match server.execute(Command::Submit(spec)) {
+            Response::Submitted { id, class, depth } => {
+                println!("  admitted {id} ({class}, resident depth {depth})");
+            }
+            Response::Error(WireError::Overloaded { class, depth, capacity }) => {
+                println!(
+                    "  shed door-{k}: {class} already at {depth}/{capacity} resident — \
+                     typed rejection, nothing leaked"
+                );
+            }
+            other => println!("  unexpected submit answer: {other:?}"),
+        }
+    }
+    let drained = match server.execute(Command::Drain) {
+        Response::Drained { checkpointed, not_started, duration_ms } => {
+            (checkpointed, not_started, duration_ms)
+        }
+        other => panic!("drain answered {other:?}"),
+    };
+    let stats = server.stats();
+    assert_eq!(
+        stats.admitted + stats.shed + stats.resubmitted,
+        stats.offered,
+        "the offer ledger must balance"
+    );
+    println!(
+        "  books: offered {} = admitted {} + shed {} + resubmitted {}",
+        stats.offered, stats.admitted, stats.shed, stats.resubmitted
+    );
+    for class in JobClass::ALL {
+        println!(
+            "  {class:>12}: {} resident, {:.3} ms total queue latency",
+            stats.depths[class.index()],
+            stats.queue_latency_ns[class.index()] as f64 * 1e-6,
+        );
+    }
+    println!(
+        "  drain parked {} session(s) durably ({} never started) in {} ms",
+        drained.0, drained.1, drained.2
+    );
+    server.join();
+    let store = SessionStore::open(&door_dir)?;
+    println!(
+        "  reopened store holds {} frame(s) — resubmit after a restart resumes them",
+        store.active_ids().len()
+    );
+    std::fs::remove_dir_all(&door_dir).ok();
     Ok(())
 }

@@ -68,11 +68,13 @@ pub use harvsim_blocks::{
     HarvesterParameters, LoadMode, Scenario, StateSpaceBlock, VibrationExcitation,
 };
 pub use harvsim_core::{
-    fnv1a64, BaselineOptions, CheckpointError, ComparisonReport, CoreError, DigitalEvent,
-    EnvelopeProbe, Fault, FaultKind, FaultPlan, FaultSite, JobOutcome, MixedSignalSimulation,
-    NewtonRaphsonBaseline, PowerProbe, Probe, RecoveryReport, ScenarioConfig, ScenarioResult,
-    ServiceError, ServiceOptions, ServiceReport, Session, SessionReport, SessionService,
-    SessionStatus, SessionStore, Simulation, SimulationEngine, SolverOptions, SpeedComparison,
-    StateSpaceSolver, StepHistogramProbe, StoreError, StoreOptions, TunableHarvester,
-    WaveformProbe, CHECKPOINT_MAGIC, CHECKPOINT_VERSION,
+    fnv1a64, BaselineOptions, CheckpointError, Client, Command, ComparisonReport, CoreError,
+    DigitalEvent, DrainReport, EnvelopeProbe, Fault, FaultKind, FaultPlan, FaultSite, FrameReader,
+    FrameWriter, JobClass, JobOutcome, JobRequest, MixedSignalSimulation, NewtonRaphsonBaseline,
+    PowerProbe, Probe, ProtocolError, RecoveryReport, Response, RetryPolicy, ScenarioConfig,
+    ScenarioResult, Server, ServerOptions, ServerStats, ServiceError, ServiceOptions,
+    ServiceReport, Session, SessionReport, SessionService, SessionStatus, SessionStore, Simulation,
+    SimulationEngine, SolverOptions, SpeedComparison, StateSpaceSolver, StatusInfo,
+    StepHistogramProbe, StoreError, StoreOptions, SubmitSpec, TunableHarvester, WaveformProbe,
+    WireError, WireState, CHECKPOINT_MAGIC, CHECKPOINT_VERSION,
 };

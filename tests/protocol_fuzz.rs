@@ -1,0 +1,408 @@
+//! The wire-protocol fuzz battery: arbitrary bytes in, typed
+//! [`ProtocolError`]s out — never a panic, never a leaked session.
+//!
+//! Three layers are attacked: the pure parser (`parse_command` /
+//! `Response::parse`), the framing layer ([`FrameReader`] under truncation,
+//! interleaved partial writes and garbage), and the live [`Server`]
+//! connection handler under injected wire faults ([`FaultSite::WireRead`] /
+//! [`FaultSite::WireWrite`]) — after the storm, the server's books must
+//! still balance and every armed fault budget must be spent
+//! ([`FaultPlan::drained`]).
+
+#![cfg(unix)]
+
+use std::io::{Cursor, Write};
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use harvsim::core::protocol::parse_command;
+use harvsim::core::store::SessionStore;
+use harvsim::{
+    Client, Command, FaultPlan, FaultSite, FrameReader, JobClass, ProtocolError, Response,
+    RetryPolicy, Server, ServerOptions, SubmitSpec, WireState,
+};
+
+/// The corpus of valid wire lines every mutation starts from.
+fn corpus() -> Vec<String> {
+    let mut spec = SubmitSpec::new("fuzz-seed");
+    spec.class = JobClass::Interactive;
+    spec.deadline_s = Some(1.5);
+    spec.scenario = 2;
+    spec.duration_s = Some(0.02);
+    spec.step_at_s = Some(0.007);
+    spec.initial_voltage = Some(2.75);
+    vec![
+        Command::Ping.to_line(),
+        Command::Stats.to_line(),
+        Command::Drain.to_line(),
+        Command::Pause { id: "a".into() }.to_line(),
+        Command::Resume { id: "fuzz-seed".into() }.to_line(),
+        Command::Cancel { id: "x-1".into() }.to_line(),
+        Command::Status { id: "想🦀".into() }.to_line(),
+        Command::Bill { id: "b".into() }.to_line(),
+        Command::Submit(spec).to_line(),
+    ]
+}
+
+fn unique_dir(tag: &str) -> PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "harvsim-fuzz-{tag}-{}-{}",
+        std::process::id(),
+        NEXT.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn start_server(dir: &PathBuf, options: ServerOptions) -> Server {
+    let store = SessionStore::open(dir).expect("open store");
+    Server::start(store, options).expect("start server")
+}
+
+/// Feeds raw bytes through the framing layer and the command parser; the
+/// only acceptable outcomes are parsed commands and typed errors.
+fn exhaust_frames(bytes: &[u8], max_frame: usize) -> (usize, usize) {
+    let mut reader = FrameReader::new(Cursor::new(bytes.to_vec()), max_frame, None);
+    let (mut frames, mut errors) = (0, 0);
+    loop {
+        match reader.next_frame() {
+            Ok(Some(frame)) => {
+                frames += 1;
+                if parse_command(&frame).is_err() {
+                    errors += 1;
+                }
+            }
+            Ok(None) => return (frames, errors),
+            Err(_) => return (frames, errors + 1),
+        }
+    }
+}
+
+#[test]
+fn every_single_byte_flip_of_valid_frames_stays_typed() {
+    for line in corpus() {
+        let bytes = line.as_bytes();
+        for position in 0..bytes.len() {
+            for bit in 0..8 {
+                let mut mutated = bytes.to_vec();
+                mutated[position] ^= 1 << bit;
+                // Layer 1: the framing layer (the flip may break UTF-8 or
+                // inject a newline — both must stay typed).
+                let mut framed = mutated.clone();
+                framed.push(b'\n');
+                exhaust_frames(&framed, 4096);
+                // Layer 2: the command parser, when the flip kept it text.
+                if let Ok(text) = std::str::from_utf8(&mutated) {
+                    let _ = parse_command(text);
+                    let _ = Response::parse(text);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn every_truncation_of_valid_frames_stays_typed() {
+    for line in corpus() {
+        let bytes = line.as_bytes();
+        for cut in 0..=bytes.len() {
+            // A clean truncation at a char boundary parses or errors typed…
+            if let Ok(text) = std::str::from_utf8(&bytes[..cut]) {
+                let _ = parse_command(text);
+                let _ = Response::parse(text);
+            }
+            // …and an EOF mid-frame (no trailing newline) is reported as
+            // `Truncated`, never silently dropped as a clean close.
+            let mut reader = FrameReader::new(Cursor::new(bytes[..cut].to_vec()), 4096, None);
+            match reader.next_frame() {
+                Ok(Some(_)) | Err(_) => {}
+                Ok(None) => assert_eq!(cut, 0, "mid-frame EOF at {cut} read as a clean close"),
+            }
+        }
+    }
+}
+
+#[test]
+fn garbage_streams_yield_typed_errors_only() {
+    let mut state = 0x5EED_CAFE_u64 | 1;
+    let mut step = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    for round in 0..64 {
+        let len = (step() % 2048) as usize;
+        let mut blob: Vec<u8> = (0..len).map(|_| (step() & 0xFF) as u8).collect();
+        // Sprinkle newlines so the framing layer actually yields frames.
+        for chunk in blob.chunks_mut(64) {
+            if let Some(last) = chunk.last_mut() {
+                *last = b'\n';
+            }
+        }
+        // Small frame bounds exercise the FrameTooLong path too.
+        let max_frame = if round % 3 == 0 { 64 } else { 4096 };
+        exhaust_frames(&blob, max_frame);
+    }
+}
+
+#[test]
+fn interleaved_partial_writes_reassemble_into_whole_commands() {
+    let dir = unique_dir("dribble");
+    let server = start_server(
+        &dir,
+        ServerOptions { workers: Some(2), slice_s: 0.002, ..ServerOptions::default() },
+    );
+    let (mut client_end, server_end) = UnixStream::pair().expect("pair");
+    client_end.set_read_timeout(Some(Duration::from_secs(30))).expect("timeout");
+    let handler = {
+        let server = server.clone();
+        let read_half = server_end.try_clone().expect("clone");
+        std::thread::spawn(move || server.handle_connection(read_half, server_end))
+    };
+
+    let mut spec = SubmitSpec::new("dribble-0");
+    spec.duration_s = Some(0.01);
+    spec.step_at_s = Some(0.004);
+    // One byte at a time, with pauses: the reader must buffer until the
+    // newline no matter how the bytes are interleaved by the transport.
+    let line = format!("{}\n", Command::Submit(spec).to_line());
+    for byte in line.as_bytes() {
+        client_end.write_all(std::slice::from_ref(byte)).expect("dribble");
+        client_end.flush().expect("flush");
+        if byte % 7 == 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+    // Pipelined frames in one write must produce one reply each, in order.
+    client_end.write_all(b"ping\nstats\n").expect("pipeline");
+
+    let mut reader = FrameReader::new(client_end.try_clone().expect("clone"), 4096, None);
+    let submit_reply = reader.next_frame().expect("reply").expect("frame");
+    assert!(
+        matches!(Response::parse(&submit_reply), Ok(Response::Submitted { .. })),
+        "dribbled submit answered {submit_reply:?}"
+    );
+    let ping_reply = reader.next_frame().expect("reply").expect("frame");
+    assert_eq!(Response::parse(&ping_reply).expect("parse"), Response::Pong);
+    let stats_reply = reader.next_frame().expect("reply").expect("frame");
+    assert!(matches!(Response::parse(&stats_reply), Ok(Response::Stats(_))));
+
+    drop(reader);
+    drop(client_end);
+    let _ = handler.join();
+    server.execute(Command::Drain);
+    server.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn hostile_connections_leak_no_sessions_and_never_kill_the_server() {
+    let dir = unique_dir("hostile");
+    let server = start_server(
+        &dir,
+        ServerOptions {
+            workers: Some(2),
+            slice_s: 0.002,
+            max_frame_len: 256,
+            ..ServerOptions::default()
+        },
+    );
+
+    let attacks: Vec<Vec<u8>> = vec![
+        b"submit\n".to_vec(),                    // missing id
+        b"submit \x00evil\n".to_vec(),           // control chars in id
+        b"submit ok id=trick\n".to_vec(),        // option-shaped id elsewhere
+        b"submit j class=warp9\n".to_vec(),      // unknown class
+        b"submit j deadline=NaN\n".to_vec(),     // non-finite deadline
+        b"submit j deadline=-1\n".to_vec(),      // negative deadline
+        b"submit j scenario=3\n".to_vec(),       // unknown scenario
+        b"warp 9\n".to_vec(),                    // unknown command
+        b"\n\n\n\n".to_vec(),                    // empty frames
+        vec![0xC3, 0x28, b'\n'],                 // invalid UTF-8
+        [vec![b'A'; 512], vec![b'\n']].concat(), // frame past the bound
+        vec![0xFF; 300],                         // garbage, no newline
+    ];
+    for attack in &attacks {
+        let (mut client_end, server_end) = UnixStream::pair().expect("pair");
+        client_end.set_read_timeout(Some(Duration::from_secs(10))).expect("timeout");
+        let handler = {
+            let server = server.clone();
+            let read_half = server_end.try_clone().expect("clone");
+            std::thread::spawn(move || server.handle_connection(read_half, server_end))
+        };
+        client_end.write_all(attack).expect("attack bytes");
+        // Whatever came back must parse as a response line (typically
+        // `err protocol …`); a closed connection is equally acceptable.
+        let mut reader = FrameReader::new(client_end.try_clone().expect("clone"), 4096, None);
+        if let Ok(Some(reply)) = reader.next_frame() {
+            let parsed = Response::parse(&reply).expect("server replies stay parseable");
+            assert!(
+                matches!(parsed, Response::Error(_)),
+                "hostile frame {attack:?} was answered {parsed:?}"
+            );
+        }
+        drop(reader);
+        drop(client_end);
+        let _ = handler.join();
+    }
+
+    // No attack admitted, billed, shed or left behind any session.
+    let stats = server.stats();
+    assert_eq!(
+        (stats.offered, stats.admitted, stats.shed, stats.depths),
+        (0, 0, 0, [0, 0, 0]),
+        "hostile bytes must never touch the session books: {stats:?}"
+    );
+    // And the server still does real work afterwards.
+    let mut spec = SubmitSpec::new("survivor");
+    spec.duration_s = Some(0.01);
+    spec.step_at_s = Some(0.004);
+    assert!(matches!(server.execute(Command::Submit(spec)), Response::Submitted { .. }));
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        if let Response::Status(info) = server.execute(Command::Status { id: "survivor".into() }) {
+            if info.state == WireState::Done {
+                break;
+            }
+        }
+        assert!(Instant::now() < deadline, "survivor never finished");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    server.execute(Command::Drain);
+    server.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn injected_wire_faults_stay_typed_and_spend_every_budget() {
+    let dir = unique_dir("wirefault");
+    // Both wire sites armed across all their kinds: torn reads, bit flips,
+    // I/O errors and stalls on the read side; dropped replies and stalls on
+    // the write side.
+    let plan = Arc::new(FaultPlan::new(0xF417).with_site(FaultSite::WireRead, 5, 12).with_site(
+        FaultSite::WireWrite,
+        7,
+        6,
+    ));
+    let server = start_server(
+        &dir,
+        ServerOptions {
+            workers: Some(2),
+            slice_s: 0.002,
+            fault_plan: Some(plan.clone()),
+            ..ServerOptions::default()
+        },
+    );
+
+    let connect_server = server.clone();
+    let mut client = Client::new(
+        move |policy: &RetryPolicy| -> std::io::Result<(UnixStream, UnixStream)> {
+            let (client_end, server_end) = UnixStream::pair()?;
+            client_end.set_read_timeout(Some(policy.deadline))?;
+            let handler = connect_server.clone();
+            let read_half = server_end.try_clone()?;
+            std::thread::spawn(move || {
+                let _ = handler.handle_connection(read_half, server_end);
+            });
+            Ok((client_end.try_clone()?, client_end))
+        },
+        RetryPolicy {
+            attempts: 5,
+            deadline: Duration::from_secs(5),
+            backoff: Duration::from_millis(2),
+        },
+    );
+
+    // Hammer the faulty wire until every budget is spent. Commands may fail
+    // even after retries (the fault plan can eat several attempts in a
+    // row) — that is fine as long as every failure is typed; panics would
+    // abort the test on the spot.
+    let mut submitted = Vec::new();
+    let deadline = Instant::now() + Duration::from_secs(120);
+    for round in 0.. {
+        if plan.drained().is_ok() {
+            break;
+        }
+        assert!(Instant::now() < deadline, "fault budgets never drained: {:?}", plan.drained());
+        let _ = client.send(&Command::Ping);
+        if round % 3 == 0 {
+            let mut spec = SubmitSpec::new(format!("storm-{round}"));
+            spec.duration_s = Some(0.008);
+            spec.step_at_s = Some(0.003);
+            spec.class = JobClass::ALL[round % 3];
+            if let Ok(Response::Submitted { id, .. } | Response::Resubmitted { id, .. }) =
+                client.send(&Command::Submit(spec))
+            {
+                submitted.push(id)
+            }
+        }
+        let _ = client.send(&Command::Stats);
+    }
+    plan.drained().expect("all wire fault budgets spent");
+
+    // The books survived the storm: every session the client saw admitted
+    // resolves, nothing leaks resident, and the offer ledger balances.
+    let deadline = Instant::now() + Duration::from_secs(120);
+    let stats = loop {
+        let stats = server.stats();
+        if stats.done + stats.failed + stats.cancelled == stats.admitted {
+            break stats;
+        }
+        assert!(Instant::now() < deadline, "sessions stuck after the storm: {stats:?}");
+        std::thread::sleep(Duration::from_millis(5));
+    };
+    assert_eq!(
+        stats.admitted + stats.shed + stats.resubmitted,
+        stats.offered,
+        "the offer ledger must balance under injected wire faults"
+    );
+    assert_eq!(stats.failed, 0, "wire faults must never fail a session");
+    assert_eq!(stats.depths, [0, 0, 0]);
+    for id in &submitted {
+        match server.execute(Command::Status { id: id.clone() }) {
+            Response::Status(info) => {
+                assert_eq!(info.state, WireState::Done, "{id} left unresolved")
+            }
+            other => panic!("status of {id} answered {other:?}"),
+        }
+    }
+
+    server.execute(Command::Drain);
+    server.join();
+
+    // A hostile wire must never leak sessions into the store either.
+    let store = SessionStore::open(&dir).expect("reopen");
+    assert!(store.active_ids().is_empty(), "sessions leaked into the store");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// `ProtocolError` is the *only* error currency: every variant renders a
+/// human-readable line (used verbatim in `err protocol …` replies).
+#[test]
+fn protocol_errors_render_stably() {
+    let samples: Vec<ProtocolError> = vec![
+        ProtocolError::Empty,
+        ProtocolError::FrameTooLong { len: 9999, max: 4096 },
+        ProtocolError::InvalidUtf8,
+        ProtocolError::UnknownCommand("warp".into()),
+        ProtocolError::MissingArgument { command: "submit", argument: "id" },
+        ProtocolError::InvalidArgument {
+            argument: "deadline".into(),
+            value: "NaN".into(),
+            reason: "not finite".into(),
+        },
+        ProtocolError::Truncated,
+        ProtocolError::Disconnected,
+        ProtocolError::MalformedResponse("ok what".into()),
+    ];
+    for error in samples {
+        let rendered = error.to_string();
+        assert!(!rendered.is_empty());
+        assert!(!rendered.contains('\n'), "error text must stay single-line: {rendered:?}");
+    }
+}

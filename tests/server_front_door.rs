@@ -1,0 +1,704 @@
+//! The hardened front door, end to end: full command lifecycle over a real
+//! socket transport, idempotent retry after a dropped reply, deterministic
+//! admission-control shedding, graceful drain with bit-identical resumption
+//! after a restart, and the kill-during-drain torture.
+//!
+//! Bit-identity is witnessed at the wire level: the `status` line of a
+//! finished session carries the FNV-1a-64 digest of its final state vector,
+//! which must equal the digest of an uninterrupted sequential run of the
+//! same spec.
+
+#![cfg(unix)]
+
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use harvsim::core::store::SessionStore;
+use harvsim::{
+    fnv1a64, Client, Command, FaultKind, FaultPlan, FaultSite, JobClass, Response, RetryPolicy,
+    Server, ServerOptions, SubmitSpec, WireError, WireState,
+};
+
+fn unique_dir(tag: &str) -> PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "harvsim-door-{tag}-{}-{}",
+        std::process::id(),
+        NEXT.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn start_server(dir: &PathBuf, options: ServerOptions) -> Server {
+    let store = SessionStore::open(dir).expect("open store");
+    Server::start(store, options).expect("start server")
+}
+
+/// A distinct, quickly-finishing spec per index: unique id, unique initial
+/// voltage (so final states differ across jobs), ~7 slices at the test's
+/// 0.002 s slice.
+fn quick_spec(k: usize, class: JobClass) -> SubmitSpec {
+    let mut spec = SubmitSpec::new(format!("door-{}-{k}", class));
+    spec.class = class;
+    spec.deadline_s = Some(0.5 + k as f64);
+    spec.duration_s = Some(0.015);
+    spec.step_at_s = Some(0.004);
+    spec.initial_voltage = Some(2.5 + k as f64 * 1e-3);
+    spec
+}
+
+/// A long spec (hundreds of slices at 0.002 s) that cannot finish before the
+/// test gets a pause/cancel/drain in.
+fn long_spec(id: &str, class: JobClass) -> SubmitSpec {
+    let mut spec = SubmitSpec::new(id);
+    spec.class = class;
+    spec.duration_s = Some(0.8);
+    spec.step_at_s = Some(0.3);
+    spec.initial_voltage = Some(2.6);
+    spec
+}
+
+/// The uninterrupted sequential run's final-state digest — the bit-identity
+/// reference every scheduled/recovered run must reproduce.
+fn reference_fnv(spec: &SubmitSpec) -> u64 {
+    let mut session = spec.simulation().start().expect("start reference");
+    session.run_to_end().expect("run reference");
+    let report = session.report();
+    let mut bytes = Vec::with_capacity(report.final_state.len() * 8);
+    for value in report.final_state.iter() {
+        bytes.extend_from_slice(&value.to_le_bytes());
+    }
+    fnv1a64(&bytes)
+}
+
+/// Polls `status <id>` via `execute` until the session reaches one of
+/// `want`, with a generous wall-clock deadline.
+fn await_state(server: &Server, id: &str, want: &[WireState]) -> harvsim::StatusInfo {
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        match server.execute(Command::Status { id: id.into() }) {
+            Response::Status(info) => {
+                if want.contains(&info.state) {
+                    return info;
+                }
+                assert!(
+                    Instant::now() < deadline,
+                    "timed out waiting for {id} to reach {want:?}; last state {:?}",
+                    info.state
+                );
+            }
+            other => panic!("status of {id} answered {other:?}"),
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
+/// A retrying [`Client`] whose "connections" are socket pairs served by a
+/// dedicated handler thread each — a faithful stand-in for a unix-socket
+/// transport that the test fully controls.
+fn pair_client(
+    server: &Server,
+) -> Client<UnixStream, impl FnMut(&RetryPolicy) -> std::io::Result<(UnixStream, UnixStream)>> {
+    let server = server.clone();
+    let connect = move |policy: &RetryPolicy| -> std::io::Result<(UnixStream, UnixStream)> {
+        let (client_end, server_end) = UnixStream::pair()?;
+        client_end.set_read_timeout(Some(policy.deadline))?;
+        let handler = server.clone();
+        let read_half = server_end.try_clone()?;
+        std::thread::spawn(move || {
+            let _ = handler.handle_connection(read_half, server_end);
+        });
+        Ok((client_end.try_clone()?, client_end))
+    };
+    Client::new(
+        connect,
+        RetryPolicy {
+            attempts: 3,
+            deadline: Duration::from_secs(20),
+            backoff: Duration::from_millis(5),
+        },
+    )
+}
+
+#[test]
+fn full_lifecycle_over_a_socket_transport_is_bit_identical() {
+    let dir = unique_dir("lifecycle");
+    let server = start_server(
+        &dir,
+        ServerOptions { workers: Some(2), slice_s: 0.002, ..ServerOptions::default() },
+    );
+    let mut client = pair_client(&server);
+
+    assert_eq!(client.send(&Command::Ping).expect("ping"), Response::Pong);
+
+    let specs: Vec<SubmitSpec> =
+        JobClass::ALL.iter().enumerate().map(|(k, class)| quick_spec(k, *class)).collect();
+    for spec in &specs {
+        match client.send(&Command::Submit(spec.clone())).expect("submit") {
+            Response::Submitted { id, class, .. } => {
+                assert_eq!(id, spec.id);
+                assert_eq!(class, spec.class);
+            }
+            other => panic!("submit answered {other:?}"),
+        }
+    }
+
+    for spec in &specs {
+        let info = await_state(&server, &spec.id, &[WireState::Done]);
+        assert_eq!(info.class, spec.class);
+        assert!(info.billed_ns > 0, "a finished session must have been billed");
+        assert_eq!(
+            info.final_state_fnv,
+            Some(reference_fnv(spec)),
+            "{}: scheduled final state diverged from the sequential run",
+            spec.id
+        );
+        // `bill` and `status` must agree on the ledger.
+        match client.send(&Command::Bill { id: spec.id.clone() }).expect("bill") {
+            Response::Billed { id, billed_ns } => {
+                assert_eq!(id, spec.id);
+                assert_eq!(billed_ns, info.billed_ns);
+            }
+            other => panic!("bill answered {other:?}"),
+        }
+    }
+
+    match client.send(&Command::Stats).expect("stats") {
+        Response::Stats(stats) => {
+            assert_eq!(stats.offered, 3);
+            assert_eq!(stats.admitted, 3);
+            assert_eq!(stats.shed, 0);
+            assert_eq!(stats.done, 3);
+            assert_eq!(stats.failed, 0);
+            assert_eq!(stats.depths, [0, 0, 0], "finished sessions are no longer resident");
+            assert!(
+                stats.queue_latency_ns.iter().any(|&ns| ns > 0),
+                "queue latency must have been booked"
+            );
+        }
+        other => panic!("stats answered {other:?}"),
+    }
+
+    // Unknown and invalid requests answer typed, never close the connection.
+    match client.send(&Command::Status { id: "nobody".into() }).expect("status") {
+        Response::Error(WireError::UnknownSession { id }) => assert_eq!(id, "nobody"),
+        other => panic!("unknown session answered {other:?}"),
+    }
+
+    match client.send(&Command::Drain).expect("drain") {
+        Response::Drained { checkpointed, not_started, .. } => {
+            assert_eq!(checkpointed, 0, "every session already finished");
+            assert_eq!(not_started, 0);
+        }
+        other => panic!("drain answered {other:?}"),
+    }
+    server.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn pause_resume_cancel_are_idempotent_state_transitions() {
+    let dir = unique_dir("prc");
+    let server = start_server(
+        &dir,
+        ServerOptions { workers: Some(1), slice_s: 0.002, ..ServerOptions::default() },
+    );
+
+    let held = long_spec("prc-held", JobClass::Batch);
+    let doomed = long_spec("prc-doomed", JobClass::Batch);
+    for spec in [&held, &doomed] {
+        assert!(matches!(
+            server.execute(Command::Submit(spec.clone())),
+            Response::Submitted { .. }
+        ));
+    }
+
+    // Pause both (from Queued or Running — both paths must land in Paused).
+    for id in ["prc-held", "prc-doomed"] {
+        assert!(matches!(
+            server.execute(Command::Pause { id: id.into() }),
+            Response::Paused { .. }
+        ));
+        let info = await_state(&server, id, &[WireState::Paused]);
+        assert_eq!(info.state, WireState::Paused);
+        // Pausing a paused session is a no-op, not an error.
+        assert!(matches!(
+            server.execute(Command::Pause { id: id.into() }),
+            Response::Paused { .. }
+        ));
+    }
+
+    // Cancel the doomed one from Paused; cancelling again stays cancelled.
+    assert!(matches!(
+        server.execute(Command::Cancel { id: "prc-doomed".into() }),
+        Response::Cancelled { .. }
+    ));
+    await_state(&server, "prc-doomed", &[WireState::Cancelled]);
+    assert!(matches!(
+        server.execute(Command::Cancel { id: "prc-doomed".into() }),
+        Response::Cancelled { .. }
+    ));
+    // Resubmitting a cancelled id reports its state; it is NOT re-admitted.
+    match server.execute(Command::Submit(doomed.clone())) {
+        Response::Resubmitted { state, .. } => assert_eq!(state, WireState::Cancelled),
+        other => panic!("resubmit of cancelled answered {other:?}"),
+    }
+    // Resuming a cancelled session is a typed state error.
+    match server.execute(Command::Resume { id: "prc-doomed".into() }) {
+        Response::Error(WireError::InvalidState { state, .. }) => {
+            assert_eq!(state, WireState::Cancelled)
+        }
+        other => panic!("resume of cancelled answered {other:?}"),
+    }
+
+    // Resume the held one and let it finish — bit-identically.
+    assert!(matches!(
+        server.execute(Command::Resume { id: "prc-held".into() }),
+        Response::Resumed { .. }
+    ));
+    let info = await_state(&server, "prc-held", &[WireState::Done]);
+    assert_eq!(info.final_state_fnv, Some(reference_fnv(&held)));
+
+    match server.execute(Command::Stats) {
+        Response::Stats(stats) => {
+            assert_eq!((stats.admitted, stats.done, stats.cancelled), (2, 1, 1));
+        }
+        other => panic!("stats answered {other:?}"),
+    }
+    server.execute(Command::Drain);
+    server.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn admission_control_sheds_typed_and_recovers_capacity() {
+    let dir = unique_dir("overload");
+    let server = start_server(
+        &dir,
+        ServerOptions {
+            workers: Some(1),
+            slice_s: 0.002,
+            class_capacity: 2,
+            ..ServerOptions::default()
+        },
+    );
+
+    // Two best-effort residents fill the class; the third is shed typed.
+    // Resident-count admission makes this deterministic: paused/queued/
+    // running sessions all hold their seat until resolved.
+    for k in 0..2 {
+        let spec = long_spec(&format!("load-{k}"), JobClass::BestEffort);
+        assert!(matches!(server.execute(Command::Submit(spec)), Response::Submitted { .. }));
+    }
+    match server.execute(Command::Submit(long_spec("load-2", JobClass::BestEffort))) {
+        Response::Error(WireError::Overloaded { class, depth, capacity }) => {
+            assert_eq!(class, JobClass::BestEffort);
+            assert_eq!((depth, capacity), (2, 2));
+        }
+        other => panic!("overloaded submit answered {other:?}"),
+    }
+    // Other classes are unaffected by best-effort pressure.
+    assert!(matches!(
+        server.execute(Command::Submit(quick_spec(9, JobClass::Interactive))),
+        Response::Submitted { .. }
+    ));
+    // A shed session was never admitted: it has no state to query or bill.
+    assert!(matches!(
+        server.execute(Command::Status { id: "load-2".into() }),
+        Response::Error(WireError::UnknownSession { .. })
+    ));
+
+    // Cancelling a resident frees its seat; the retried submit now lands.
+    assert!(matches!(
+        server.execute(Command::Cancel { id: "load-0".into() }),
+        Response::Cancelled { .. }
+    ));
+    await_state(&server, "load-0", &[WireState::Cancelled]);
+    assert!(matches!(
+        server.execute(Command::Submit(long_spec("load-2", JobClass::BestEffort))),
+        Response::Submitted { .. }
+    ));
+
+    match server.execute(Command::Stats) {
+        Response::Stats(stats) => {
+            assert_eq!(stats.offered, 5);
+            assert_eq!(stats.admitted, 4);
+            assert_eq!(stats.shed, 1);
+            assert_eq!(
+                stats.admitted + stats.shed + stats.resubmitted,
+                stats.offered,
+                "every offer is accounted admitted, shed or resubmitted"
+            );
+        }
+        other => panic!("stats answered {other:?}"),
+    }
+    server.execute(Command::Drain);
+    server.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn dropped_reply_retry_is_idempotent_and_single_billed() {
+    let dir = unique_dir("retry");
+    // The very first wire write — the reply to the first submit — is eaten
+    // by an injected I/O fault; the session is already admitted by then.
+    let plan = Arc::new(FaultPlan::new(0xD00D).with_site_kinds(
+        FaultSite::WireWrite,
+        1,
+        1,
+        &[FaultKind::Io],
+    ));
+    let server = start_server(
+        &dir,
+        ServerOptions {
+            workers: Some(2),
+            slice_s: 0.002,
+            fault_plan: Some(plan.clone()),
+            ..ServerOptions::default()
+        },
+    );
+    let mut client = pair_client(&server);
+
+    let spec = quick_spec(0, JobClass::Interactive);
+    // The client never sees the dropped reply: it reconnects, resends, and
+    // the idempotent resubmission reports the already-admitted session.
+    match client.send(&Command::Submit(spec.clone())).expect("submit with retry") {
+        Response::Resubmitted { id, .. } => assert_eq!(id, spec.id),
+        other => panic!("retried submit answered {other:?}"),
+    }
+    plan.drained().expect("the armed wire-write fault must have fired");
+
+    let info = await_state(&server, &spec.id, &[WireState::Done]);
+    assert_eq!(info.final_state_fnv, Some(reference_fnv(&spec)));
+
+    match client.send(&Command::Stats).expect("stats") {
+        Response::Stats(stats) => {
+            assert_eq!(stats.offered, 2, "both the submit and its retry are offers");
+            assert_eq!(stats.admitted, 1, "the session was admitted exactly once");
+            assert_eq!(stats.resubmitted, 1, "the retry is booked as an idempotent resubmit");
+            assert_eq!(stats.shed, 0);
+            assert_eq!(stats.done, 1);
+        }
+        other => panic!("stats answered {other:?}"),
+    }
+    // Billed exactly once: `bill` equals the finished status' ledger and is
+    // stable across reads.
+    let billed = match client.send(&Command::Bill { id: spec.id.clone() }).expect("bill") {
+        Response::Billed { billed_ns, .. } => billed_ns,
+        other => panic!("bill answered {other:?}"),
+    };
+    assert_eq!(billed, info.billed_ns);
+
+    server.execute(Command::Drain);
+    server.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn concurrent_clients_hammering_the_door_stay_accounted() {
+    const CLIENTS: usize = 8;
+    const PER_CLIENT: usize = 4;
+    let dir = unique_dir("hammer");
+    let server = start_server(
+        &dir,
+        ServerOptions { workers: Some(4), slice_s: 0.002, ..ServerOptions::default() },
+    );
+
+    let handles: Vec<_> = (0..CLIENTS)
+        .map(|c| {
+            let server = server.clone();
+            std::thread::spawn(move || {
+                let mut client = pair_client(&server);
+                for j in 0..PER_CLIENT {
+                    let mut spec = quick_spec(c * PER_CLIENT + j, JobClass::ALL[j % 3]);
+                    spec.id = format!("hammer-{c}-{j}");
+                    match client.send(&Command::Submit(spec)).expect("submit") {
+                        Response::Submitted { .. } | Response::Resubmitted { .. } => {}
+                        Response::Error(WireError::Overloaded { .. }) => continue,
+                        other => panic!("client {c} submit answered {other:?}"),
+                    }
+                    // Interleave the other verbs while jobs are in flight.
+                    let id = format!("hammer-{c}-{j}");
+                    client.send(&Command::Status { id: id.clone() }).expect("status");
+                    if j == PER_CLIENT - 1 {
+                        client.send(&Command::Cancel { id }).expect("cancel");
+                    }
+                }
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().expect("client thread");
+    }
+
+    // Wait for the flight to land: every admitted session resolves.
+    let deadline = Instant::now() + Duration::from_secs(120);
+    let stats = loop {
+        let stats = server.stats();
+        if stats.done + stats.failed + stats.cancelled == stats.admitted {
+            break stats;
+        }
+        assert!(Instant::now() < deadline, "sessions stuck in flight: {stats:?}");
+        std::thread::sleep(Duration::from_millis(5));
+    };
+    assert_eq!(stats.offered, (CLIENTS * PER_CLIENT) as u64);
+    assert_eq!(stats.admitted + stats.shed + stats.resubmitted, stats.offered);
+    assert_eq!(stats.failed, 0, "no session may fail under concurrency alone");
+    assert_eq!(stats.depths, [0, 0, 0], "no session may leak resident");
+
+    // Every admitted id answers `status` with a resolved state.
+    for c in 0..CLIENTS {
+        for j in 0..PER_CLIENT {
+            match server.execute(Command::Status { id: format!("hammer-{c}-{j}") }) {
+                Response::Status(info) => assert!(
+                    matches!(
+                        info.state,
+                        WireState::Done | WireState::Cancelled | WireState::Failed
+                    ),
+                    "hammer-{c}-{j} left unresolved: {:?}",
+                    info.state
+                ),
+                Response::Error(WireError::UnknownSession { .. }) => {} // shed
+                other => panic!("status answered {other:?}"),
+            }
+        }
+    }
+    server.execute(Command::Drain);
+    server.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn drain_then_restart_resumes_bit_identically_with_billing_conserved() {
+    let dir = unique_dir("drain");
+    let specs: Vec<SubmitSpec> = (0..3)
+        .map(|k| {
+            let mut spec = long_spec(&format!("drain-{k}"), JobClass::Batch);
+            spec.initial_voltage = Some(2.55 + k as f64 * 1e-3);
+            spec
+        })
+        .collect();
+    let references: Vec<u64> = specs.iter().map(reference_fnv).collect();
+
+    // Phase 1: run until every session has made progress, then drain.
+    let mut billed_at_drain = Vec::new();
+    {
+        let server = start_server(
+            &dir,
+            ServerOptions { workers: Some(2), slice_s: 0.002, ..ServerOptions::default() },
+        );
+        for spec in &specs {
+            assert!(matches!(
+                server.execute(Command::Submit(spec.clone())),
+                Response::Submitted { .. }
+            ));
+        }
+        // At least one slice each, so there is real state to checkpoint.
+        for spec in &specs {
+            let deadline = Instant::now() + Duration::from_secs(60);
+            loop {
+                if let Response::Status(info) =
+                    server.execute(Command::Status { id: spec.id.clone() })
+                {
+                    if info.time_s > 0.0 {
+                        break;
+                    }
+                }
+                assert!(Instant::now() < deadline, "{} never progressed", spec.id);
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        }
+        match server.execute(Command::Drain) {
+            Response::Drained { checkpointed, not_started, .. } => {
+                assert_eq!(checkpointed, 3, "every resident session must be persisted");
+                assert_eq!(not_started, 0);
+            }
+            other => panic!("drain answered {other:?}"),
+        }
+        // Drain is idempotent: the second call reports the same accounting.
+        assert!(matches!(
+            server.execute(Command::Drain),
+            Response::Drained { checkpointed: 3, not_started: 0, .. }
+        ));
+        // Admissions are refused once draining.
+        assert!(matches!(
+            server.execute(Command::Submit(quick_spec(7, JobClass::Batch))),
+            Response::Error(WireError::Draining)
+        ));
+        for spec in &specs {
+            match server.execute(Command::Status { id: spec.id.clone() }) {
+                Response::Status(info) => {
+                    assert_eq!(info.state, WireState::Paused);
+                    assert!(info.billed_ns > 0);
+                    billed_at_drain.push(info.billed_ns);
+                }
+                other => panic!("status answered {other:?}"),
+            }
+        }
+        server.join();
+    }
+
+    // The sealed store carries exactly the drained sessions, no temp litter.
+    {
+        let store = SessionStore::open(&dir).expect("reopen store");
+        let mut ids = store.active_ids();
+        ids.sort();
+        assert_eq!(ids, vec!["drain-0", "drain-1", "drain-2"]);
+    }
+    assert_no_temp_litter(&dir);
+
+    // Phase 2: a fresh server over the same store re-adopts and finishes
+    // every session bit-identically; the restart never re-bills the work
+    // already on the ledger.
+    {
+        let server = start_server(
+            &dir,
+            ServerOptions { workers: Some(2), slice_s: 0.002, ..ServerOptions::default() },
+        );
+        for spec in &specs {
+            match server.execute(Command::Submit(spec.clone())) {
+                Response::Resubmitted { id, state } => {
+                    assert_eq!(id, spec.id);
+                    assert_eq!(state, WireState::Queued, "recovered sessions re-enter the queue");
+                }
+                other => panic!("resubmit answered {other:?}"),
+            }
+        }
+        for ((spec, reference), before) in specs.iter().zip(&references).zip(&billed_at_drain) {
+            let info = await_state(&server, &spec.id, &[WireState::Done]);
+            assert!(info.recovered, "{} must be marked recovered", spec.id);
+            assert_eq!(
+                info.final_state_fnv,
+                Some(*reference),
+                "{}: resumed run diverged from the sequential reference",
+                spec.id
+            );
+            assert!(
+                info.billed_ns >= *before,
+                "{}: the frame-carried ledger went backwards ({} < {before})",
+                spec.id,
+                info.billed_ns
+            );
+        }
+        server.execute(Command::Drain);
+        server.join();
+    }
+    // Finished sessions left the store; the manifest is clean.
+    let store = SessionStore::open(&dir).expect("final reopen");
+    assert!(store.active_ids().is_empty(), "finished sessions must leave the store");
+    assert_no_temp_litter(&dir);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn kill_during_drain_is_recoverable_bit_identically() {
+    let dir = unique_dir("killdrain");
+    let specs: Vec<SubmitSpec> =
+        (0..3).map(|k| long_spec(&format!("torture-{k}"), JobClass::Batch)).collect();
+    let references: Vec<u64> = specs.iter().map(reference_fnv).collect();
+
+    // Phase 1: make progress, drain cleanly — three durable frames.
+    {
+        let server = start_server(
+            &dir,
+            ServerOptions { workers: Some(2), slice_s: 0.002, ..ServerOptions::default() },
+        );
+        for spec in &specs {
+            server.execute(Command::Submit(spec.clone()));
+        }
+        for spec in &specs {
+            let deadline = Instant::now() + Duration::from_secs(60);
+            loop {
+                if let Response::Status(info) =
+                    server.execute(Command::Status { id: spec.id.clone() })
+                {
+                    if info.time_s > 0.0 {
+                        break;
+                    }
+                }
+                assert!(Instant::now() < deadline, "{} never progressed", spec.id);
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        }
+        assert!(matches!(server.execute(Command::Drain), Response::Drained { .. }));
+        server.join();
+    }
+
+    // Phase 2: a drain that is killed between two persists. The recovered
+    // sessions never run (nobody resumed them), so the slice-boundary
+    // ordinal is consumed only by the drain loop: entry 0 survives, the
+    // kill fires before entry 1.
+    let plan = Arc::new(FaultPlan::new(0xBAD).with_kills(1, 1));
+    {
+        let server = start_server(
+            &dir,
+            ServerOptions {
+                workers: Some(1),
+                slice_s: 0.002,
+                fault_plan: Some(plan.clone()),
+                ..ServerOptions::default()
+            },
+        );
+        match server.execute(Command::Drain) {
+            Response::Error(WireError::Failed(detail)) => {
+                assert!(detail.contains("killed during drain"), "unexpected detail {detail:?}");
+            }
+            other => panic!("killed drain answered {other:?}"),
+        }
+        assert_eq!(plan.kills(), 1, "the kill schedule must have fired exactly once");
+        server.join();
+    }
+
+    // Phase 3: the kill lost nothing durable — a clean server over the same
+    // store resumes all three bit-identically.
+    {
+        let store = SessionStore::open(&dir).expect("reopen after kill");
+        let mut ids = store.active_ids();
+        ids.sort();
+        assert_eq!(
+            ids,
+            vec!["torture-0", "torture-1", "torture-2"],
+            "the killed drain must not have lost or corrupted any session"
+        );
+    }
+    {
+        let server = start_server(
+            &dir,
+            ServerOptions { workers: Some(2), slice_s: 0.002, ..ServerOptions::default() },
+        );
+        for spec in &specs {
+            assert!(matches!(
+                server.execute(Command::Submit(spec.clone())),
+                Response::Resubmitted { state: WireState::Queued, .. }
+            ));
+        }
+        for (spec, reference) in specs.iter().zip(&references) {
+            let info = await_state(&server, &spec.id, &[WireState::Done]);
+            assert_eq!(
+                info.final_state_fnv,
+                Some(*reference),
+                "{}: post-kill resume diverged from the sequential reference",
+                spec.id
+            );
+            assert!(info.billed_ns > 0);
+        }
+        server.execute(Command::Drain);
+        server.join();
+    }
+    assert_no_temp_litter(&dir);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// No `*.tmp` staging files and no orphaned (non-manifest) frames may ever
+/// survive in the store directory.
+fn assert_no_temp_litter(dir: &PathBuf) {
+    for entry in std::fs::read_dir(dir).expect("read store dir") {
+        let name = entry.expect("entry").file_name();
+        let name = name.to_string_lossy().into_owned();
+        assert!(!name.ends_with(".tmp"), "temp staging file {name:?} leaked into the store");
+    }
+}

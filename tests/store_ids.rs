@@ -1,0 +1,186 @@
+//! Session-id hardening at the trust boundary: ids now arrive from the wire,
+//! so the store's percent-encoding path must (1) round-trip **arbitrary
+//! unicode** ids through put → reopen-scan → get bit-identically, (2) map
+//! every id to a file name that stays **inside** the store directory — no
+//! traversal via `..`, `/`, or encoded aliases — and (3) reject empty and
+//! oversized ids typed at every entry point (`put`, `get`, `remove`), not
+//! just at `put`.
+
+use std::path::{Component, PathBuf};
+use std::sync::OnceLock;
+
+use harvsim::core::store::{SessionStore, StoreError};
+use harvsim::Simulation;
+use proptest::prelude::*;
+
+fn unique_dir(tag: &str) -> PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "harvsim-ids-{tag}-{}-{}",
+        std::process::id(),
+        NEXT.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A genuine sealed checkpoint frame (the store's `get` re-validates frames
+/// end to end, so only real frames round-trip). One is enough — id handling
+/// is independent of the payload.
+fn frame() -> &'static [u8] {
+    static FRAME: OnceLock<Vec<u8>> = OnceLock::new();
+    FRAME.get_or_init(|| {
+        let mut session =
+            Simulation::scenario1().duration(0.01).frequency_step_at(0.004).start().expect("start");
+        session.run_until(0.002).expect("advance");
+        session.checkpoint().expect("checkpoint")
+    })
+}
+
+/// A deterministic hostile id from a seed: mixes unicode, separators,
+/// percent signs, dots, and control characters — everything an attacker or
+/// an i18n user might put on the wire.
+fn hostile_id(seed: u64) -> String {
+    const PALETTE: &[&str] = &[
+        "a", "Z", "9", "-", "_", ".", "..", "/", "\\", "%", "%2E", "想", "é", "ß", "🦀", " ", "\t",
+        "\u{0}", "\u{7}", "~", ":", "COM1", "*", "?", "'", "\"", "\u{202e}", "ñ", "中文", "..%2F",
+        "a/../b",
+    ];
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    let mut id = String::new();
+    let pieces = 1 + (seed % 7) as usize;
+    for _ in 0..pieces {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        id.push_str(PALETTE[(state % PALETTE.len() as u64) as usize]);
+    }
+    id
+}
+
+/// The frame path must be exactly one normal component below the store dir.
+fn assert_contained(store: &SessionStore, id: &str) {
+    let path = store.frame_path(id);
+    let relative = path.strip_prefix(store.dir()).unwrap_or_else(|_| {
+        panic!("frame path {path:?} escaped the store dir {:?} for id {id:?}", store.dir())
+    });
+    let components: Vec<Component> = relative.components().collect();
+    assert_eq!(components.len(), 1, "id {id:?} mapped to nested path {relative:?}");
+    assert!(
+        matches!(components[0], Component::Normal(_)),
+        "id {id:?} mapped to non-normal component {relative:?}"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Arbitrary unicode ids round-trip: the frame survives a reopen (the
+    /// recovery scan re-derives the id from the encoded file name), the
+    /// bytes come back identical, and the file never leaves the store dir.
+    #[test]
+    fn hostile_ids_round_trip_and_stay_contained(seed in 0usize..100_000) {
+        let id = hostile_id(seed as u64);
+        let dir = unique_dir("roundtrip");
+        let store = SessionStore::open(&dir).expect("open");
+        assert_contained(&store, &id);
+        let bytes = frame().to_vec();
+        store.put(&id, &bytes).expect("put");
+        prop_assert!(store.is_active(&id));
+        prop_assert_eq!(&store.get(&id).expect("get"), &bytes);
+
+        // Reopen: the scan must rediscover exactly this id from disk.
+        drop(store);
+        let store = SessionStore::open(&dir).expect("reopen");
+        prop_assert_eq!(store.active_ids(), vec![id.clone()]);
+        prop_assert_eq!(&store.get(&id).expect("get after reopen"), &bytes);
+        store.remove(&id).expect("remove");
+        prop_assert!(!store.is_active(&id));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn traversal_ids_cannot_escape_the_store_directory() {
+    let dir = unique_dir("traversal");
+    let store = SessionStore::open(&dir).expect("open");
+    let probe = dir.parent().expect("tmp parent").join("harvsim-escape-probe.ckpt");
+    let _ = std::fs::remove_file(&probe);
+    for id in [
+        "..",
+        "../escape",
+        "../../escape",
+        "/etc/passwd",
+        "a/../../b",
+        "..\\windows",
+        "%2e%2e%2fescape",
+        "..%2Fescape",
+        ".hidden",
+        "C:\\x",
+    ] {
+        assert_contained(&store, id);
+        store.put(id, frame()).expect("put traversal-shaped id");
+        assert_eq!(store.get(id).expect("get"), frame(), "round trip of {id:?}");
+    }
+    assert!(!probe.exists(), "a traversal id escaped the store directory");
+    // Nothing outside the dir, and every file inside is store-owned.
+    for entry in std::fs::read_dir(&dir).expect("read store dir") {
+        let name = entry.expect("dir entry").file_name();
+        let name = name.to_string_lossy().into_owned();
+        assert!(
+            name == "MANIFEST" || name.ends_with(".ckpt"),
+            "unexpected file {name:?} in store dir"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn empty_and_oversized_ids_are_rejected_at_every_entry_point() {
+    let dir = unique_dir("reject");
+    let store = SessionStore::open(&dir).expect("open");
+    let oversized = "x".repeat(513);
+    // Encodes to 3 bytes per char — far past any file-name limit even
+    // though the raw id is comfortably under 512 bytes.
+    let wide = "ü".repeat(100);
+    for id in ["", oversized.as_str(), wide.as_str()] {
+        assert!(
+            matches!(store.put(id, frame()), Err(StoreError::InvalidId { .. })),
+            "put must reject {:?}",
+            &id[..id.len().min(8)]
+        );
+        assert!(
+            matches!(store.get(id), Err(StoreError::InvalidId { .. })),
+            "get must reject invalid ids typed"
+        );
+        assert!(
+            matches!(store.remove(id), Err(StoreError::InvalidId { .. })),
+            "remove must reject invalid ids typed"
+        );
+    }
+    // The boundary itself is fine: a 240-byte encoded stem is a valid id.
+    let max = "y".repeat(240);
+    store.put(&max, frame()).expect("240-byte plain id is legal");
+    assert_eq!(store.get(&max).expect("get"), frame());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn non_canonical_stem_aliases_are_ignored_by_the_scan() {
+    let dir = unique_dir("alias");
+    {
+        let store = SessionStore::open(&dir).expect("open");
+        store.put("..", frame()).expect("put");
+    }
+    // Plant alias files whose decoded id collides with `..` (canonical stem
+    // `%2E.`) plus assorted junk; the reopen scan must ignore them all
+    // rather than let two stems claim one session id.
+    for alias in ["%2E%2E.ckpt", "%2e%2e.ckpt", "%2E%2E%2F.ckpt", "%G1.ckpt", "%2.ckpt"] {
+        std::fs::write(dir.join(alias), frame()).expect("plant alias");
+    }
+    let store = SessionStore::open(&dir).expect("reopen");
+    assert_eq!(store.active_ids(), vec!["..".to_string()], "only the canonical stem decodes");
+    assert_eq!(store.get("..").expect("get"), frame(), "canonical frame untouched");
+    let _ = std::fs::remove_dir_all(&dir);
+}
