@@ -24,6 +24,7 @@ use std::io::Write;
 use std::path::Path;
 
 use harvsim_core::scenario::ScenarioConfig;
+use harvsim_core::ExploreReport;
 
 /// One scenario row of the machine-readable Table II record emitted by the
 /// `repro` binary (`BENCH_table2.json`), used by the CI perf-smoke job and by
@@ -153,6 +154,125 @@ pub fn write_table2_json(path: &Path, records: &[Table2Record]) -> std::io::Resu
     Ok(())
 }
 
+/// Serialises an [`ExploreReport`] to `path` as the `BENCH_explore.json`
+/// document the `explore-smoke` CI job validates (schema modelled on
+/// `BENCH_table2.json`): experiment header, grid description, balanced point
+/// accounting, scheduler/warm-start counters, one row per point, the Pareto
+/// front's point indices and the per-objective summaries.
+///
+/// # Errors
+///
+/// Propagates I/O failures from creating or writing the file.
+pub fn write_explore_json(path: &Path, report: &ExploreReport) -> std::io::Result<()> {
+    // Same non-finite policy as `write_table2_json`: JSON cannot encode them,
+    // ±∞ clamps to ±1e9 and NaN to 0.0 so the CI gate stays parseable.
+    let json_number = |value: f64| {
+        if value.is_nan() {
+            0.0
+        } else if value.is_infinite() {
+            1e9_f64.copysign(value)
+        } else {
+            value
+        }
+    };
+    // Labels are machine-built, but error rows carry arbitrary display
+    // strings — escape the JSON specials instead of trusting them.
+    let json_string = |value: &str| {
+        let mut out = String::with_capacity(value.len() + 2);
+        for ch in value.chars() {
+            match ch {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out
+    };
+    let mut file = std::fs::File::create(path)?;
+    writeln!(file, "{{")?;
+    writeln!(file, "  \"experiment\": \"explore\",")?;
+    writeln!(file, "  \"base\": \"{}\",", json_string(&report.base_label))?;
+    writeln!(file, "  \"axes\": [")?;
+    for (i, (param, values)) in report.axes.iter().enumerate() {
+        let comma = if i + 1 < report.axes.len() { "," } else { "" };
+        let values: Vec<String> = values.iter().map(|v| format!("{}", json_number(*v))).collect();
+        writeln!(
+            file,
+            "    {{ \"param\": \"{}\", \"values\": [{}] }}{comma}",
+            json_string(param),
+            values.join(", ")
+        )?;
+    }
+    writeln!(file, "  ],")?;
+    writeln!(file, "  \"subsample\": {},", json_number(report.subsample))?;
+    writeln!(file, "  \"seed\": {},", report.seed)?;
+    writeln!(file, "  \"offered\": {},", report.offered)?;
+    writeln!(file, "  \"completed\": {},", report.completed)?;
+    writeln!(file, "  \"failed\": {},", report.failed)?;
+    writeln!(file, "  \"skipped\": {},", report.skipped)?;
+    writeln!(file, "  \"workers\": {},", report.workers)?;
+    writeln!(file, "  \"threads_used\": {},", report.threads_used)?;
+    writeln!(file, "  \"steals\": {},", report.steals)?;
+    writeln!(file, "  \"warm_hits\": {},", report.warm_hits)?;
+    writeln!(file, "  \"cold_starts\": {},", report.cold_starts)?;
+    writeln!(file, "  \"resumed\": {},", report.resumed)?;
+    writeln!(file, "  \"dropped_regions\": {},", report.dropped_regions)?;
+    writeln!(file, "  \"points\": [")?;
+    for (i, row) in report.rows.iter().enumerate() {
+        let comma = if i + 1 < report.rows.len() { "," } else { "" };
+        write!(
+            file,
+            "    {{ \"index\": {}, \"label\": \"{}\", \"warm\": {}, \"resumed\": {}, ",
+            row.index,
+            json_string(&row.label),
+            row.warm,
+            row.recovered
+        )?;
+        match row.metrics() {
+            Some(metrics) => writeln!(
+                file,
+                "\"status\": \"completed\", \"energy_gain_j\": {:.9}, \"dip_v\": {:.6}, \
+                 \"wall_s\": {:.6}, \"steps\": {}, \"v_first\": {:.6}, \"v_last\": {:.6}, \
+                 \"rms_after_uw\": {:.3} }}{comma}",
+                json_number(metrics.energy_gain_j),
+                json_number(metrics.dip_v),
+                json_number(metrics.wall_s),
+                metrics.steps,
+                json_number(metrics.v_first),
+                json_number(metrics.v_last),
+                json_number(metrics.rms_after_uw),
+            )?,
+            None => writeln!(
+                file,
+                "\"status\": \"failed\", \"error\": \"{}\" }}{comma}",
+                json_string(row.error().unwrap_or(""))
+            )?,
+        }
+    }
+    writeln!(file, "  ],")?;
+    let front: Vec<String> = report.pareto_front.iter().map(|i| i.to_string()).collect();
+    writeln!(file, "  \"pareto_front\": [{}],", front.join(", "))?;
+    writeln!(file, "  \"summaries\": [")?;
+    for (i, summary) in report.summaries.iter().enumerate() {
+        let comma = if i + 1 < report.summaries.len() { "," } else { "" };
+        writeln!(
+            file,
+            "    {{ \"objective\": \"{}\", \"min\": {:.9}, \"max\": {:.9}, \"mean\": {:.9} }}{comma}",
+            json_string(summary.objective),
+            json_number(summary.min),
+            json_number(summary.max),
+            json_number(summary.mean),
+        )?;
+    }
+    writeln!(file, "  ]")?;
+    writeln!(file, "}}")?;
+    Ok(())
+}
+
 /// Scenario 1 (70 → 71 Hz) trimmed to `duration_s` seconds for benchmarking.
 pub fn scenario1(duration_s: f64) -> ScenarioConfig {
     let mut scenario = ScenarioConfig::scenario1();
@@ -242,6 +362,83 @@ mod tests {
         assert!(written.contains("\"binding_pole_re\": -439.800"));
         assert!(written.contains("\"binding_pole_im\": 62.100"));
         // Braces balance (cheap well-formedness check without a JSON parser).
+        assert_eq!(written.matches('{').count(), written.matches('}').count());
+    }
+
+    #[test]
+    fn explore_json_carries_rows_front_and_counters() {
+        use harvsim_core::{
+            ExploreReport, ObjectiveSummary, PointMetrics, PointOutcome, PointRecord,
+        };
+        let report = ExploreReport {
+            base_label: "scenario1".to_string(),
+            axes: vec![("acc".to_string(), vec![0.45, 0.6])],
+            subsample: 1.0,
+            seed: 0,
+            offered: 2,
+            completed: 1,
+            failed: 1,
+            skipped: 0,
+            workers: 2,
+            threads_used: 2,
+            steals: 1,
+            warm_hits: 1,
+            cold_starts: 1,
+            resumed: 0,
+            dropped_regions: 0,
+            rows: vec![
+                PointRecord {
+                    index: 0,
+                    label: "scenario1+acc=4.5e-1".to_string(),
+                    values: vec![0.45],
+                    warm: false,
+                    recovered: false,
+                    outcome: PointOutcome::Completed(PointMetrics {
+                        energy_gain_j: 1.5e-4,
+                        dip_v: 0.002,
+                        wall_s: f64::NAN,
+                        steps: 321,
+                        v_first: 2.5,
+                        v_last: 2.51,
+                        rms_after_uw: 117.0,
+                        final_state: vec![0.0; 3],
+                    }),
+                },
+                PointRecord {
+                    index: 1,
+                    label: "scenario1+acc=6e-1".to_string(),
+                    values: vec![0.6],
+                    warm: true,
+                    recovered: true,
+                    outcome: PointOutcome::Failed(
+                        "scenario `x`: a \"quoted\"\nfailure".to_string(),
+                    ),
+                },
+            ],
+            pareto_front: vec![0],
+            summaries: vec![ObjectiveSummary {
+                objective: "energy_gain_j",
+                min: 1.5e-4,
+                max: 1.5e-4,
+                mean: 1.5e-4,
+            }],
+        };
+        let path = std::env::temp_dir().join("harvsim_bench_explore_test.json");
+        write_explore_json(&path, &report).unwrap();
+        let written = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert!(written.contains("\"experiment\": \"explore\""));
+        assert!(written.contains("\"param\": \"acc\""));
+        assert!(written.contains("\"offered\": 2"));
+        assert!(written.contains("\"warm_hits\": 1"));
+        assert!(written.contains("\"status\": \"completed\""));
+        assert!(written.contains("\"status\": \"failed\""));
+        // The NaN wall-time clamps to 0.0 so the file stays parseable JSON.
+        assert!(written.contains("\"wall_s\": 0.000000"));
+        // Error strings arrive escaped, never raw.
+        assert!(written.contains("a \\\"quoted\\\"\\nfailure"));
+        assert!(written.contains("\"pareto_front\": [0]"));
+        assert!(written.contains("\"objective\": \"energy_gain_j\""));
         assert_eq!(written.matches('{').count(), written.matches('}').count());
     }
 

@@ -19,7 +19,7 @@
 //! |-------:|-----:|-------|
 //! | 0      | 4    | magic `b"HVCK"` |
 //! | 4      | 2    | format version (`u16`, currently 1) |
-//! | 6      | 1    | payload kind (1 = session) |
+//! | 6      | 1    | payload kind (1 = session, 2 = store manifest, 3 = explore record) |
 //! | 7      | 1    | reserved, must be 0 |
 //! | 8      | 8    | rebuild digest (`u64`, FNV-1a of the rebuild section) |
 //! | 16     | 8    | payload length `L` (`u64`) |
@@ -77,11 +77,21 @@ pub(crate) const KIND_SESSION: u8 = 1;
 /// mistaken for a session frame or vice versa.
 pub(crate) const KIND_MANIFEST: u8 = 2;
 
+/// Payload kind tag of one design-space exploration result record
+/// ([`crate::explore`]): a single grid point's outcome, sealed as its own
+/// frame and appended to the exploration's result-store file. Each record is
+/// independently verifiable (own checksum, own grid digest in the header), so
+/// a killed exploration loses at most the record being written — every
+/// earlier point survives and `Explorer::resume` skips it.
+pub(crate) const KIND_EXPLORE_RECORD: u8 = 3;
+
 /// Fixed header length (magic + version + kind + reserved + digest + length).
-const HEADER_LEN: usize = 24;
+/// `pub(crate)` so the explore result-store scanner can size candidate frames
+/// while resynchronising past corruption.
+pub(crate) const HEADER_LEN: usize = 24;
 
 /// Trailing checksum length.
-const CHECKSUM_LEN: usize = 8;
+pub(crate) const CHECKSUM_LEN: usize = 8;
 
 /// A typed decoding failure: the reason a byte string was rejected as a
 /// checkpoint. Corrupt, truncated or version-skewed input always lands on one

@@ -75,6 +75,7 @@ pub mod baseline;
 pub mod checkpoint;
 pub mod comparison;
 mod error;
+pub mod explore;
 pub mod fault;
 pub mod harvester;
 pub mod measurement;
@@ -96,6 +97,9 @@ pub use baseline::{BaselineOptions, NewtonRaphsonBaseline};
 pub use checkpoint::{fnv1a64, CheckpointError, CHECKPOINT_MAGIC, CHECKPOINT_VERSION};
 pub use comparison::{ComparisonReport, SpeedComparison};
 pub use error::CoreError;
+pub use explore::{
+    ExploreReport, Explorer, GridSpec, ObjectiveSummary, PointMetrics, PointOutcome, PointRecord,
+};
 pub use fault::{Fault, FaultKind, FaultPlan, FaultSite};
 pub use harvester::TunableHarvester;
 pub use measurement::{PowerReport, WaveformComparison};
@@ -107,7 +111,7 @@ pub use protocol::{
     Client, Command, FrameReader, FrameWriter, ProtocolError, Response, RetryPolicy, ServerStats,
     StatusInfo, SubmitSpec, WireError, WireState,
 };
-pub use scenario::{run_batch, ScenarioConfig, ScenarioResult, SweepParameter};
+pub use scenario::{run_batch, ScenarioConfig, ScenarioResult, SweepGrid, SweepParameter};
 pub use server::{DrainReport, Server, ServerOptions};
 pub use service::{
     ClassReport, JobClass, JobOutcome, JobRequest, ServiceError, ServiceOptions, ServiceReport,

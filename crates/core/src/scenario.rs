@@ -192,24 +192,16 @@ impl ScenarioConfig {
     }
 
     /// Expands this configuration into one clone per value of `param` — the
-    /// grid-building step of a parameter sweep. Chained calls build the cross
-    /// product (`base.sweep(p, a).iter().flat_map(|c| c.sweep(q, b))`), and
-    /// the expanded list fans through the scoped-thread [`run_batch`] (or
-    /// [`crate::SpeedComparison::run_batch`]) like any other batch.
+    /// grid-building step of a parameter sweep. [`SweepGrid`] chains calls
+    /// into the full cross product, and the expanded list fans through the
+    /// scoped-thread [`run_batch`] (or [`crate::SpeedComparison::run_batch`])
+    /// or the [`crate::explore::Explorer`] like any other batch.
     pub fn sweep(&self, param: SweepParameter, values: &[f64]) -> Vec<ScenarioConfig> {
         values
             .iter()
             .map(|&value| {
                 let mut point = self.clone();
-                match param {
-                    SweepParameter::SleepLoadOhms => point.parameters.load_sleep_ohms = value,
-                    SweepParameter::AccelerationAmplitude => {
-                        point.parameters.acceleration_amplitude = value;
-                    }
-                    SweepParameter::InitialSupercapVoltage => {
-                        point.initial_supercap_voltage = value;
-                    }
-                }
+                param.apply(&mut point, value);
                 // Chained sweeps build up the full `scenario+p1=v1+p2=v2`
                 // path, so every grid point is identifiable in errors and
                 // sweep records without positional bookkeeping.
@@ -221,8 +213,69 @@ impl ScenarioConfig {
     }
 }
 
-/// Scenario parameter swept by [`ScenarioConfig::sweep`] — the load/excitation
-/// axes the roadmap's many-scenario studies move along.
+/// A declarative cross-product sweep grid: a base configuration plus an
+/// ordered list of axes, expanded row-major (the **last** axis varies
+/// fastest). This replaces the hand-rolled `flat_map` chains previously
+/// duplicated at every sweep call site; `repro table2 --sweep` and the
+/// design-space [`crate::explore::Explorer`] both build their grids here, so
+/// the `scenario+p1=v1+p2=v2` label path is pinned in exactly one place.
+#[derive(Debug, Clone)]
+pub struct SweepGrid {
+    base: ScenarioConfig,
+    axes: Vec<(SweepParameter, Vec<f64>)>,
+}
+
+impl SweepGrid {
+    /// Starts a grid over `base` with no axes (a single point: `base` itself).
+    pub fn new(base: ScenarioConfig) -> Self {
+        SweepGrid { base, axes: Vec::new() }
+    }
+
+    /// Appends an axis. Axes expand in insertion order, so the axis added
+    /// last is the innermost (fastest-varying) one.
+    pub fn axis(mut self, param: SweepParameter, values: &[f64]) -> Self {
+        self.axes.push((param, values.to_vec()));
+        self
+    }
+
+    /// The base configuration every point is derived from.
+    pub fn base(&self) -> &ScenarioConfig {
+        &self.base
+    }
+
+    /// The axes in expansion order (last = innermost).
+    pub fn axes(&self) -> &[(SweepParameter, Vec<f64>)] {
+        &self.axes
+    }
+
+    /// Number of points in the full cross product (`1` for an axis-free
+    /// grid, `0` if any axis is empty).
+    pub fn len(&self) -> usize {
+        self.axes.iter().map(|(_, values)| values.len()).product()
+    }
+
+    /// Whether the cross product is empty (some axis has no values).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Expands the full cross product, row-major with the last axis varying
+    /// fastest. Every point's label is its `scenario+p1=v1+p2=v2` path,
+    /// produced by chaining [`ScenarioConfig::sweep`] per axis — the same
+    /// labels a hand-rolled `flat_map` chain over `sweep` produces.
+    pub fn expand(&self) -> Vec<ScenarioConfig> {
+        let mut points = vec![self.base.clone()];
+        for (param, values) in &self.axes {
+            points = points.iter().flat_map(|point| point.sweep(*param, values)).collect();
+        }
+        points
+    }
+}
+
+/// Scenario parameter swept by [`ScenarioConfig::sweep`] — the design axes
+/// the roadmap's many-scenario studies move along: load/excitation/pre-charge
+/// plus the topology and controller axes the design-space explorer
+/// ([`crate::explore`]) cross-products over.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SweepParameter {
     /// Sleep-mode equivalent load resistance, in ohms (the leakage axis: 1 GΩ
@@ -233,15 +286,83 @@ pub enum SweepParameter {
     AccelerationAmplitude,
     /// Initial supercapacitor pre-charge, in volts (the stored-energy axis).
     InitialSupercapVoltage,
+    /// Dickson multiplier stage count (the topology axis). Values are rounded
+    /// to the nearest integer; non-positive values round to zero and are then
+    /// rejected by [`ScenarioConfig::validate`], surfacing as an attributed
+    /// per-point failure rather than a panic.
+    MultiplierStages,
+    /// Supercapacitor storage sizing, as a multiplicative scale applied to
+    /// all four branch capacitances (`C_i0`, `C_i1`, `C_d`, `C_l`) of the
+    /// configuration being expanded — `1.0` keeps the base sizing, `250`
+    /// turns the practical 2.2 mF device into the paper-scale 0.55 F one.
+    StorageScale,
+    /// Number of segments in the diode piecewise-linear lookup tables (the
+    /// accuracy/speed granularity axis). Rounded like
+    /// [`SweepParameter::MultiplierStages`]; values below 2 fail validation
+    /// per point.
+    PwlSegments,
+    /// Digital duty-cycle period: the microcontroller's watchdog wake-up
+    /// interval, in seconds (applied to both the controller configuration and
+    /// the parameter set so the two stay consistent).
+    WatchdogPeriod,
 }
 
 impl SweepParameter {
-    /// Short label used in sweep row names (`load`, `acc`, `v0`).
+    /// Short label used in sweep row names (`load`, `acc`, `v0`, `stages`,
+    /// `store`, `pwl`, `wdt`).
     pub fn label(&self) -> &'static str {
         match self {
             SweepParameter::SleepLoadOhms => "load",
             SweepParameter::AccelerationAmplitude => "acc",
             SweepParameter::InitialSupercapVoltage => "v0",
+            SweepParameter::MultiplierStages => "stages",
+            SweepParameter::StorageScale => "store",
+            SweepParameter::PwlSegments => "pwl",
+            SweepParameter::WatchdogPeriod => "wdt",
+        }
+    }
+
+    /// The inverse of [`SweepParameter::label`], for CLI axis flags.
+    pub fn from_label(label: &str) -> Option<SweepParameter> {
+        match label {
+            "load" => Some(SweepParameter::SleepLoadOhms),
+            "acc" => Some(SweepParameter::AccelerationAmplitude),
+            "v0" => Some(SweepParameter::InitialSupercapVoltage),
+            "stages" => Some(SweepParameter::MultiplierStages),
+            "store" => Some(SweepParameter::StorageScale),
+            "pwl" => Some(SweepParameter::PwlSegments),
+            "wdt" => Some(SweepParameter::WatchdogPeriod),
+            _ => None,
+        }
+    }
+
+    /// Writes `value` into the field(s) this axis controls. Integer-valued
+    /// axes round; out-of-range results are left for
+    /// [`ScenarioConfig::validate`] to reject per point, so a bad axis value
+    /// becomes an attributed failure row instead of aborting the grid.
+    pub fn apply(&self, config: &mut ScenarioConfig, value: f64) {
+        match self {
+            SweepParameter::SleepLoadOhms => config.parameters.load_sleep_ohms = value,
+            SweepParameter::AccelerationAmplitude => {
+                config.parameters.acceleration_amplitude = value;
+            }
+            SweepParameter::InitialSupercapVoltage => config.initial_supercap_voltage = value,
+            SweepParameter::MultiplierStages => {
+                config.parameters.multiplier_stages = value.round().max(0.0) as usize;
+            }
+            SweepParameter::StorageScale => {
+                config.parameters.supercap_ci0 *= value;
+                config.parameters.supercap_ci1 *= value;
+                config.parameters.supercap_cd *= value;
+                config.parameters.supercap_cl *= value;
+            }
+            SweepParameter::PwlSegments => {
+                config.parameters.diode_table_segments = value.round().max(0.0) as usize;
+            }
+            SweepParameter::WatchdogPeriod => {
+                config.controller.watchdog_period_s = value;
+                config.parameters.watchdog_period_s = value;
+            }
         }
     }
 }
@@ -454,6 +575,90 @@ mod tests {
         assert_eq!(SweepParameter::SleepLoadOhms.label(), "load");
         assert_eq!(SweepParameter::AccelerationAmplitude.label(), "acc");
         assert_eq!(SweepParameter::InitialSupercapVoltage.label(), "v0");
+    }
+
+    /// The `SweepGrid` builder must reproduce the hand-rolled `flat_map`
+    /// cross product exactly, including the pinned `scenario+p1=v1+p2=v2`
+    /// label path (regression pin for the sweep-label wire format: stored
+    /// explore rows and error attributions carry these strings).
+    #[test]
+    fn sweep_grid_builder_pins_labels_and_cross_product() {
+        let base = ScenarioConfig::scenario1().with_label("sweep");
+        let grid = SweepGrid::new(base.clone())
+            .axis(SweepParameter::SleepLoadOhms, &[1.0e9, 2.0e4])
+            .axis(SweepParameter::AccelerationAmplitude, &[0.4, 0.6, 0.8]);
+        assert_eq!(grid.len(), 6);
+        assert!(!grid.is_empty());
+        assert_eq!(grid.axes().len(), 2);
+        let points = grid.expand();
+        assert_eq!(points.len(), 6);
+
+        // Bit-identical to the chained flat_map expansion it replaces.
+        let reference: Vec<ScenarioConfig> = base
+            .sweep(SweepParameter::SleepLoadOhms, &[1.0e9, 2.0e4])
+            .iter()
+            .flat_map(|point| point.sweep(SweepParameter::AccelerationAmplitude, &[0.4, 0.6, 0.8]))
+            .collect();
+        for (point, expected) in points.iter().zip(&reference) {
+            assert_eq!(point.label, expected.label);
+            assert_eq!(point.parameters.load_sleep_ohms, expected.parameters.load_sleep_ohms);
+            assert_eq!(
+                point.parameters.acceleration_amplitude,
+                expected.parameters.acceleration_amplitude
+            );
+        }
+        // The pinned label format, spelled out for the innermost-fastest
+        // row-major order: last axis varies fastest.
+        assert_eq!(points[0].label.as_deref(), Some("sweep+load=1e9+acc=4e-1"));
+        assert_eq!(points[1].label.as_deref(), Some("sweep+load=1e9+acc=6e-1"));
+        assert_eq!(points[5].label.as_deref(), Some("sweep+load=2e4+acc=8e-1"));
+
+        // An axis-free grid is the base point itself; an empty axis empties
+        // the product.
+        assert_eq!(SweepGrid::new(base.clone()).expand().len(), 1);
+        let empty = SweepGrid::new(base).axis(SweepParameter::PwlSegments, &[]);
+        assert!(empty.is_empty());
+        assert!(empty.expand().is_empty());
+    }
+
+    /// The explorer's new design axes write the fields they advertise and
+    /// round-trip through `from_label`.
+    #[test]
+    fn extended_sweep_axes_apply_their_fields() {
+        let base = ScenarioConfig::scenario1();
+        let stages = base.sweep(SweepParameter::MultiplierStages, &[3.0]);
+        assert_eq!(stages[0].parameters.multiplier_stages, 3);
+        assert_eq!(stages[0].label.as_deref(), Some("scenario1+stages=3e0"));
+
+        let scaled = base.sweep(SweepParameter::StorageScale, &[250.0]);
+        assert!((scaled[0].parameters.supercap_ci0 - 0.55).abs() < 1e-12);
+        assert!((scaled[0].parameters.supercap_cd - 0.125).abs() < 1e-12);
+
+        let pwl = base.sweep(SweepParameter::PwlSegments, &[300.0]);
+        assert_eq!(pwl[0].parameters.diode_table_segments, 300);
+
+        let wdt = base.sweep(SweepParameter::WatchdogPeriod, &[0.75]);
+        assert_eq!(wdt[0].controller.watchdog_period_s, 0.75);
+        assert_eq!(wdt[0].parameters.watchdog_period_s, 0.75);
+
+        // A non-positive stage count survives `apply` (rounds to zero) and is
+        // rejected by validation — the attributed-failure path of the grid.
+        let bad = base.sweep(SweepParameter::MultiplierStages, &[-1.0]);
+        assert_eq!(bad[0].parameters.multiplier_stages, 0);
+        assert!(bad[0].validate().is_err());
+
+        for param in [
+            SweepParameter::SleepLoadOhms,
+            SweepParameter::AccelerationAmplitude,
+            SweepParameter::InitialSupercapVoltage,
+            SweepParameter::MultiplierStages,
+            SweepParameter::StorageScale,
+            SweepParameter::PwlSegments,
+            SweepParameter::WatchdogPeriod,
+        ] {
+            assert_eq!(SweepParameter::from_label(param.label()), Some(param));
+        }
+        assert_eq!(SweepParameter::from_label("nonsense"), None);
     }
 
     /// The batch runner records how many worker threads actually ran, so a

@@ -409,6 +409,55 @@ impl Session {
         })
     }
 
+    /// Adopts the **fast** states of a donor state vector as this session's
+    /// initial condition — the warm-start path of the design-space explorer
+    /// ([`crate::explore`]). The mechanical, coil, rail and intermediate
+    /// Dickson-stage states are copied from `donor`; the supercapacitor
+    /// branch states and the multiplier output stage keep this session's own
+    /// configured pre-charge, so a warm start only skips the fast start-up
+    /// transient and never imports the neighbouring point's stored energy —
+    /// that is what keeps warm-started results within the deviation gate of
+    /// cold-started references.
+    ///
+    /// Returns `true` when the donor was adopted and `false` when the
+    /// validity guard rejected it (dimension mismatch, non-finite or
+    /// implausibly large entries); on rejection the session keeps the cold
+    /// initial state it already has.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfiguration`] if the session has already
+    /// advanced: a warm start replaces the *initial* condition at `t = 0`,
+    /// never a mid-run state.
+    pub fn adopt_initial_state(&mut self, donor: &[f64]) -> Result<bool, CoreError> {
+        if self.t != 0.0 || self.runtime.march_active() || self.finished {
+            return Err(CoreError::InvalidConfiguration(
+                "warm-start adoption is only valid before the session advances past t = 0".into(),
+            ));
+        }
+        if donor.len() != self.x.len() {
+            return Ok(false);
+        }
+        // Every physical state of the harvester (displacement, velocity,
+        // current, stage voltage) lives well inside ±1e3 in SI units; a donor
+        // entry outside that bound is a diverged or foreign run.
+        const PLAUSIBLE_BOUND: f64 = 1.0e3;
+        if donor.iter().any(|value| !value.is_finite() || value.abs() > PLAUSIBLE_BOUND) {
+            return Ok(false);
+        }
+        let supercap = self.harvester.supercap_state_offset();
+        let output_stage = self.harvester.multiplier_state_offset()
+            + self.harvester.multiplier().stage_count()
+            - 1;
+        for (i, &value) in donor.iter().enumerate() {
+            if i == output_stage || (supercap..supercap + 3).contains(&i) {
+                continue;
+            }
+            self.x[i] = value;
+        }
+        Ok(true)
+    }
+
     /// Registers a probe; the returned id retrieves it later through
     /// [`Session::probe`] / [`Session::probe_mut`]. Probes added after the
     /// session has advanced only observe from the current time onward.

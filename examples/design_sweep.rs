@@ -3,75 +3,75 @@
 //! topology and optimal parameters of energy harvester are obtained iteratively
 //! using multiple simulations".
 //!
-//! This example sweeps the number of voltage-multiplier stages and the
-//! supercapacitor energy threshold, running one short closed-loop **streaming
-//! session** per design point: the only observers are O(1) probes (power
-//! windows, store envelope), so no design point ever materialises a dense
-//! trajectory — the sweep's memory footprint is independent of both the grid
-//! width and the simulated span, which is what makes "as many scenarios as
-//! you can imagine" a memory non-event.
+//! This example drives the `explore` subsystem (DESIGN.md §12) in memory: a
+//! declarative [`GridSpec`] over multiplier depth × excitation × pre-charge
+//! is executed by the work-stealing, warm-starting [`Explorer`], and the
+//! resulting rows are distilled into an exact Pareto front over (harvested
+//! energy ↑, store-voltage dip ↓, engine steps ↓). Every point runs as a
+//! streaming session observed by O(1) probes, so the grid's memory footprint
+//! is independent of both its width and the simulated span — which is what
+//! makes "as many scenarios as you can imagine" a memory non-event. For the
+//! durable, resumable variant of the same workflow, see `repro explore
+//! --store`.
 //!
 //! ```bash
 //! cargo run --release --example design_sweep
 //! ```
 
-use harvsim::{EnvelopeProbe, HarvesterParameters, PowerProbe, ScenarioConfig, Simulation};
+use harvsim::{Explorer, GridSpec, ScenarioConfig, SweepParameter};
 
 fn main() -> Result<(), harvsim::CoreError> {
-    println!("== design sweep: multiplier stages x energy threshold (streaming sessions) ==");
+    let mut base = ScenarioConfig::scenario1();
+    base.duration_s = 0.8;
+    base.frequency_step_time_s = 0.2;
+
+    // Pre-charge last: the innermost axis is the warm-start chain direction,
+    // and adjacent pre-charges make the best donors.
+    let spec = GridSpec::new(base)
+        .axis(SweepParameter::MultiplierStages, &[3.0, 4.0, 5.0, 6.0])
+        .axis(SweepParameter::AccelerationAmplitude, &[0.5, 0.7])
+        .axis(SweepParameter::InitialSupercapVoltage, &[2.3, 2.5, 2.7]);
+
+    println!("== design exploration: stages x acceleration x pre-charge ==");
+    println!("grid: {} points, executed by the work-stealing explorer\n", spec.offered());
+
+    let report = Explorer::new(spec).run()?;
     println!(
-        "{:>7} {:>12} {:>16} {:>16} {:>14} {:>12}",
-        "stages",
-        "thresh [V]",
-        "P_rms(70Hz) [uW]",
-        "P_rms(71Hz) [uW]",
-        "dV_store [mV]",
-        "probe mem [B]"
+        "completed {} / failed {} / skipped {} of {} offered  \
+         (workers {}, {} engaged, {} steals, warm {} / cold {})",
+        report.completed,
+        report.failed,
+        report.skipped,
+        report.offered,
+        report.workers,
+        report.threads_used,
+        report.steals,
+        report.warm_hits,
+        report.cold_starts
     );
 
-    let mut peak_bytes_overall = 0usize;
-    for stages in [3usize, 4, 5, 6] {
-        for threshold in [2.2f64, 2.4] {
-            let mut parameters = HarvesterParameters::practical_device();
-            parameters.multiplier_stages = stages;
-            parameters.energy_threshold_v = threshold;
-
-            let mut scenario = ScenarioConfig::scenario1();
-            scenario.parameters = parameters;
-            scenario.controller.energy_threshold_v = threshold;
-            scenario.duration_s = 5.0;
-            scenario.frequency_step_time_s = 1.0;
-
-            let mut session = Simulation::from_config(scenario.clone())
-                .label(format!("design+stages={stages}+thresh={threshold}"))
-                .start()?;
-            let vm = session.harvester().generator_voltage_net();
-            let im = session.harvester().generator_current_net();
-            let vc = session.harvester().storage_voltage_net();
-            let power = session.add_probe(PowerProbe::new(
-                vm,
-                im,
-                scenario.frequency_step_time_s,
-                scenario.duration_s,
-            ));
-            let store = session.add_probe(EnvelopeProbe::terminal(vc));
-            session.run_to_end()?;
-
-            let report = session.probe::<PowerProbe>(power).expect("typed probe").report();
-            let envelope = session.probe::<EnvelopeProbe>(store).expect("typed probe");
-            let dv = (envelope.last() - envelope.first()) * 1e3;
-            let peak = session.report().peak_probe_bytes;
-            peak_bytes_overall = peak_bytes_overall.max(peak);
+    println!(
+        "\n{:>6} {:<40} {:>13} {:>10} {:>8}",
+        "index", "design point", "energy [J]", "dip [mV]", "steps"
+    );
+    for row in &report.rows {
+        if let Some(metrics) = row.metrics() {
+            let front = if report.pareto_front.contains(&row.index) { " *" } else { "" };
             println!(
-                "{:>7} {:>12.1} {:>16.1} {:>16.1} {:>14.2} {:>12}",
-                stages, threshold, report.rms_before_uw, report.rms_after_uw, dv, peak
+                "{:>6} {:<40} {:>13.4e} {:>10.3} {:>8}{front}",
+                row.index,
+                row.label,
+                metrics.energy_gain_j,
+                metrics.dip_v * 1e3,
+                metrics.steps
             );
         }
     }
-
-    println!("\nEach design point is a full mixed-signal closed-loop simulation observed by");
     println!(
-        "streaming probes only — peak probe memory across the whole sweep: {peak_bytes_overall} B."
+        "\n* = on the exact Pareto front (maximise energy gain, minimise store dip,\n\
+         minimise engine steps) — {} of {} designs survive domination.",
+        report.pareto_front.len(),
+        report.completed
     );
     Ok(())
 }

@@ -69,12 +69,14 @@ pub use harvsim_blocks::{
 };
 pub use harvsim_core::{
     fnv1a64, BaselineOptions, CheckpointError, Client, Command, ComparisonReport, CoreError,
-    DigitalEvent, DrainReport, EnvelopeProbe, Fault, FaultKind, FaultPlan, FaultSite, FrameReader,
-    FrameWriter, JobClass, JobOutcome, JobRequest, MixedSignalSimulation, NewtonRaphsonBaseline,
-    PowerProbe, Probe, ProtocolError, RecoveryReport, Response, RetryPolicy, ScenarioConfig,
-    ScenarioResult, Server, ServerOptions, ServerStats, ServiceError, ServiceOptions,
-    ServiceReport, Session, SessionReport, SessionService, SessionStatus, SessionStore, Simulation,
-    SimulationEngine, SolverOptions, SpeedComparison, StateSpaceSolver, StatusInfo,
-    StepHistogramProbe, StoreError, StoreOptions, SubmitSpec, TunableHarvester, WaveformProbe,
-    WireError, WireState, CHECKPOINT_MAGIC, CHECKPOINT_VERSION,
+    DigitalEvent, DrainReport, EnvelopeProbe, ExploreReport, Explorer, Fault, FaultKind, FaultPlan,
+    FaultSite, FrameReader, FrameWriter, GridSpec, JobClass, JobOutcome, JobRequest,
+    MixedSignalSimulation, NewtonRaphsonBaseline, ObjectiveSummary, PointMetrics, PointOutcome,
+    PointRecord, PowerProbe, Probe, ProtocolError, RecoveryReport, Response, RetryPolicy,
+    ScenarioConfig, ScenarioResult, Server, ServerOptions, ServerStats, ServiceError,
+    ServiceOptions, ServiceReport, Session, SessionReport, SessionService, SessionStatus,
+    SessionStore, Simulation, SimulationEngine, SolverOptions, SpeedComparison, StateSpaceSolver,
+    StatusInfo, StepHistogramProbe, StoreError, StoreOptions, SubmitSpec, SweepGrid,
+    SweepParameter, TunableHarvester, WaveformProbe, WireError, WireState, CHECKPOINT_MAGIC,
+    CHECKPOINT_VERSION,
 };
